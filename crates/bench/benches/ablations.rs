@@ -1,0 +1,146 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out.
+//!
+//! Each group prices one PBPAIR design decision by timing the encoder
+//! with the decision enabled vs disabled (encode time tracks the modeled
+//! energy because motion estimation dominates both):
+//!
+//! 1. `early_vs_late` — the pre-ME mode decision (the paper's energy
+//!    contribution) vs deciding after the search (AIR's structure);
+//! 2. `sigma_bias` — the σ-aware search cost (λ = 1) vs plain SAD (λ = 0);
+//! 3. `similarity` — the content-aware similarity factor vs the Equation 3
+//!    approximation;
+//! 4. `search_strategy` — full search vs three-step under PBPAIR.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pbpair::schemes::LatePbpairPolicy;
+use pbpair::{PbpairConfig, PbpairPolicy, SimilarityModel};
+use pbpair_bench::{encode_all, frames, BENCH_FRAMES};
+use pbpair_codec::{EncoderConfig, MeConfig, SearchStrategy};
+use pbpair_media::synth::MotionClass;
+use pbpair_media::VideoFormat;
+
+fn base_cfg() -> PbpairConfig {
+    PbpairConfig {
+        intra_th: 0.93,
+        plr: 0.10,
+        ..PbpairConfig::default()
+    }
+}
+
+fn bench_early_vs_late(c: &mut Criterion) {
+    let fs = frames(MotionClass::MediumForeman, BENCH_FRAMES);
+    let enc_cfg = EncoderConfig::paper();
+    let mut group = c.benchmark_group("ablation_early_vs_late");
+    group.bench_function("early_decision_pbpair", |b| {
+        b.iter(|| {
+            let mut p = PbpairPolicy::new(VideoFormat::QCIF, base_cfg()).unwrap();
+            encode_all(black_box(&fs), enc_cfg, &mut p)
+        })
+    });
+    group.bench_function("late_decision_ablation", |b| {
+        b.iter(|| {
+            let mut p = LatePbpairPolicy::new(VideoFormat::QCIF, base_cfg()).unwrap();
+            encode_all(black_box(&fs), enc_cfg, &mut p)
+        })
+    });
+    group.finish();
+}
+
+fn bench_sigma_bias(c: &mut Criterion) {
+    let fs = frames(MotionClass::MediumForeman, BENCH_FRAMES);
+    let enc_cfg = EncoderConfig::default();
+    let mut group = c.benchmark_group("ablation_sigma_bias");
+    for (name, lambda) in [("sigma_aware", 1.0), ("plain_sad", 0.0)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut p = PbpairPolicy::new(
+                    VideoFormat::QCIF,
+                    PbpairConfig {
+                        lambda,
+                        ..base_cfg()
+                    },
+                )
+                .unwrap();
+                encode_all(black_box(&fs), enc_cfg, &mut p)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let fs = frames(MotionClass::LowAkiyo, BENCH_FRAMES);
+    let enc_cfg = EncoderConfig::default();
+    let mut group = c.benchmark_group("ablation_similarity");
+    for (name, model) in [
+        (
+            "copy_concealment",
+            SimilarityModel::default_copy_concealment(),
+        ),
+        ("eq3_no_similarity", SimilarityModel::None),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut p = PbpairPolicy::new(
+                    VideoFormat::QCIF,
+                    PbpairConfig {
+                        similarity: model,
+                        ..base_cfg()
+                    },
+                )
+                .unwrap();
+                encode_all(black_box(&fs), enc_cfg, &mut p)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_search_strategy(c: &mut Criterion) {
+    let fs = frames(MotionClass::HighGarden, BENCH_FRAMES);
+    let mut group = c.benchmark_group("ablation_search_strategy");
+    for (name, strategy) in [
+        ("full_search", SearchStrategy::Full),
+        ("three_step", SearchStrategy::ThreeStep),
+    ] {
+        let enc_cfg = EncoderConfig {
+            me: MeConfig {
+                search_range: 15,
+                strategy,
+            },
+            ..EncoderConfig::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut p = PbpairPolicy::new(VideoFormat::QCIF, base_cfg()).unwrap();
+                encode_all(black_box(&fs), enc_cfg, &mut p)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_half_pel(c: &mut Criterion) {
+    let fs = frames(MotionClass::HighGarden, BENCH_FRAMES);
+    let mut group = c.benchmark_group("ablation_half_pel");
+    for (name, half_pel) in [("integer_pel", false), ("half_pel", true)] {
+        let enc_cfg = EncoderConfig {
+            half_pel,
+            ..EncoderConfig::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut p = PbpairPolicy::new(VideoFormat::QCIF, base_cfg()).unwrap();
+                encode_all(black_box(&fs), enc_cfg, &mut p)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = bench_early_vs_late, bench_sigma_bias, bench_similarity, bench_search_strategy, bench_half_pel
+}
+criterion_main!(ablations);

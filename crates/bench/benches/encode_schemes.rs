@@ -1,0 +1,62 @@
+//! Per-scheme encode cost — the wall-clock analogue of Figure 5(d).
+//!
+//! Each bench encodes the same 8-frame foreman-class clip under one
+//! refresh scheme. Because motion estimation dominates encode time just
+//! as it dominates modeled energy, the *ordering* of these timings mirrors
+//! the paper's energy bars: PBPAIR ≈ PGOP < GOP < AIR ≈ NO.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pbpair::{build_policy, PbpairConfig, SchemeSpec};
+use pbpair_bench::{encode_all, frames, BENCH_FRAMES};
+use pbpair_codec::EncoderConfig;
+use pbpair_media::synth::MotionClass;
+use pbpair_media::VideoFormat;
+
+fn bench_schemes(c: &mut Criterion) {
+    let fs = frames(MotionClass::MediumForeman, BENCH_FRAMES);
+    let mut group = c.benchmark_group("encode_8_frames");
+    for spec in [
+        SchemeSpec::No,
+        SchemeSpec::Pbpair(PbpairConfig {
+            intra_th: 0.93,
+            ..PbpairConfig::default()
+        }),
+        SchemeSpec::Pgop(3),
+        SchemeSpec::Gop(3),
+        SchemeSpec::Air(24),
+    ] {
+        group.bench_function(spec.name(), |b| {
+            b.iter(|| {
+                let mut policy = build_policy(spec, VideoFormat::QCIF).unwrap();
+                encode_all(black_box(&fs), EncoderConfig::paper(), policy.as_mut())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sequera_classes(c: &mut Criterion) {
+    // PBPAIR cost across the three workload classes (content sensitivity).
+    let mut group = c.benchmark_group("pbpair_by_class");
+    for class in [
+        MotionClass::LowAkiyo,
+        MotionClass::MediumForeman,
+        MotionClass::HighGarden,
+    ] {
+        let fs = frames(class, BENCH_FRAMES);
+        group.bench_function(class.label(), |b| {
+            b.iter(|| {
+                let mut policy = pbpair_bench::default_pbpair();
+                encode_all(black_box(&fs), EncoderConfig::default(), &mut policy)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = schemes;
+    config = Criterion::default().sample_size(10);
+    targets = bench_schemes, bench_sequera_classes
+}
+criterion_main!(schemes);

@@ -1,0 +1,148 @@
+//! Codec-kernel microbenchmarks: the primitive operations whose relative
+//! costs the energy model encodes. Running this suite is how the
+//! `pbpair-energy` profile constants were sanity-checked (SAD ops must be
+//! a few cycles; a DCT block ~3 orders of magnitude more).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pbpair_bench::frames;
+use pbpair_codec::bitstream::{BitReader, BitWriter};
+use pbpair_codec::me::{sad_mb, search, MeConfig, SearchStrategy};
+use pbpair_codec::quant::{dequantize_block, quantize_block, Qp};
+use pbpair_codec::vlc::{read_tcoef, write_tcoef, TcoefEvent};
+use pbpair_codec::{dct, zigzag, MotionVector};
+use pbpair_media::synth::MotionClass;
+use pbpair_media::MbIndex;
+
+fn bench_dct(c: &mut Criterion) {
+    let block: [i32; 64] = std::array::from_fn(|i| ((i * 37) % 255) as i32 - 128);
+    let mut freq = [0i32; 64];
+    c.bench_function("dct/forward_8x8", |b| {
+        b.iter(|| dct::forward(black_box(&block), &mut freq))
+    });
+    dct::forward(&block, &mut freq);
+    let mut back = [0i32; 64];
+    c.bench_function("dct/inverse_8x8", |b| {
+        b.iter(|| dct::inverse(black_box(&freq), &mut back))
+    });
+}
+
+fn bench_sad_and_search(c: &mut Criterion) {
+    let fs = frames(MotionClass::MediumForeman, 2);
+    let (cur, reference) = (fs[1].y(), fs[0].y());
+    let mb = MbIndex::new(4, 5);
+    c.bench_function("me/sad_16x16", |b| {
+        b.iter(|| {
+            sad_mb(
+                black_box(cur),
+                black_box(reference),
+                mb,
+                MotionVector::new(3, -2),
+            )
+        })
+    });
+    for (name, strategy) in [
+        ("three_step", SearchStrategy::ThreeStep),
+        ("full", SearchStrategy::Full),
+    ] {
+        let cfg = MeConfig {
+            search_range: 15,
+            strategy,
+        };
+        c.bench_function(&format!("me/search_{name}_pm15"), |b| {
+            b.iter(|| search(black_box(cur), black_box(reference), mb, cfg, &mut |_| 0))
+        });
+    }
+}
+
+fn bench_quant(c: &mut Criterion) {
+    let coefs: [i32; 64] = std::array::from_fn(|i| (i as i32 - 32) * 13);
+    let qp = Qp::new(8).unwrap();
+    c.bench_function("quant/quantize_block", |b| {
+        b.iter(|| quantize_block(black_box(&coefs), qp, false))
+    });
+    let levels = quantize_block(&coefs, qp, false);
+    c.bench_function("quant/dequantize_block", |b| {
+        b.iter(|| dequantize_block(black_box(&levels), qp, false))
+    });
+}
+
+fn bench_vlc(c: &mut Criterion) {
+    let events: Vec<TcoefEvent> = (0..32)
+        .map(|i| TcoefEvent {
+            last: i == 31,
+            run: (i % 5) as u8,
+            level: ((i % 7) as i16 + 1) * if i % 2 == 0 { 1 } else { -1 },
+        })
+        .collect();
+    c.bench_function("vlc/write_32_tcoef_events", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::new();
+            for &ev in &events {
+                write_tcoef(&mut w, ev);
+            }
+            w.finish()
+        })
+    });
+    let mut w = BitWriter::new();
+    for &ev in &events {
+        write_tcoef(&mut w, ev);
+    }
+    let bytes = w.finish();
+    c.bench_function("vlc/read_32_tcoef_events", |b| {
+        b.iter(|| {
+            let mut r = BitReader::new(black_box(&bytes));
+            for _ in 0..events.len() {
+                let _ = read_tcoef(&mut r).unwrap();
+            }
+        })
+    });
+}
+
+fn bench_subpel_and_deblock(c: &mut Criterion) {
+    use pbpair_codec::deblock;
+    use pbpair_codec::mb::SubPelVector;
+    use pbpair_codec::mc::predict_luma_subpel;
+
+    let fs = frames(MotionClass::MediumForeman, 1);
+    let reference = fs[0].y();
+    let mb = MbIndex::new(4, 5);
+    let mut out = [0u8; 256];
+    c.bench_function("mc/predict_luma_integer", |b| {
+        b.iter(|| {
+            predict_luma_subpel(
+                black_box(reference),
+                mb,
+                SubPelVector::integer(MotionVector::new(3, -2)),
+                &mut out,
+            )
+        })
+    });
+    c.bench_function("mc/predict_luma_half_pel_diagonal", |b| {
+        b.iter(|| {
+            predict_luma_subpel(
+                black_box(reference),
+                mb,
+                SubPelVector::from_half_units(7, -5),
+                &mut out,
+            )
+        })
+    });
+    let mut plane = reference.clone();
+    c.bench_function("deblock/filter_qcif_luma", |b| {
+        b.iter(|| deblock::filter_plane(black_box(&mut plane), 4))
+    });
+}
+
+fn bench_zigzag(c: &mut Criterion) {
+    let natural: [i32; 64] = std::array::from_fn(|i| i as i32);
+    c.bench_function("zigzag/scan_unscan", |b| {
+        b.iter(|| zigzag::unscan(&zigzag::scan(black_box(&natural))))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(30);
+    targets = bench_dct, bench_sad_and_search, bench_quant, bench_vlc, bench_subpel_and_deblock, bench_zigzag
+}
+criterion_main!(kernels);

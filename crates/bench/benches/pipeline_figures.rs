@@ -1,0 +1,95 @@
+//! End-to-end pipeline cells, one group per paper figure. These are the
+//! benchmark-harness counterparts of the `pbpair-eval` binaries: the
+//! binaries regenerate the figures' *numbers*; these measure the cost of
+//! producing one cell of each, so regressions in any pipeline stage
+//! (codec, schemes, netsim, metrics) surface here.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pbpair::{PbpairConfig, SchemeSpec};
+use pbpair_codec::EncoderConfig;
+use pbpair_eval::pipeline::{run, LossSpec, RunConfig, SequenceSpec};
+use pbpair_media::synth::MotionClass;
+
+const FRAMES: usize = 8;
+
+fn cell(scheme: SchemeSpec, loss: LossSpec) -> RunConfig {
+    RunConfig {
+        scheme,
+        sequence: SequenceSpec::Synthetic {
+            class: MotionClass::MediumForeman,
+            seed: 2005,
+        },
+        frames: FRAMES,
+        encoder: EncoderConfig::default(),
+        loss,
+        mtu: 1400,
+    }
+}
+
+/// Figure 5 cells: scheme × uniform 10% loss.
+fn bench_fig5_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_cell");
+    for spec in [
+        SchemeSpec::No,
+        SchemeSpec::Pbpair(PbpairConfig::default()),
+        SchemeSpec::Pgop(3),
+        SchemeSpec::Gop(3),
+        SchemeSpec::Air(24),
+    ] {
+        let cfg = cell(
+            spec,
+            LossSpec::Uniform {
+                rate: 0.10,
+                seed: 77,
+            },
+        );
+        group.bench_function(spec.name(), |b| {
+            b.iter(|| run(black_box(&cfg)).unwrap().total_bytes)
+        });
+    }
+    group.finish();
+}
+
+/// Figure 6 cell: scripted loss events on a per-frame basis.
+fn bench_fig6_cell(c: &mut Criterion) {
+    let cfg = cell(
+        SchemeSpec::Pbpair(PbpairConfig::default()),
+        LossSpec::Scripted {
+            lost_frames: vec![2, 5],
+        },
+    );
+    c.bench_function("fig6_cell/pbpair_scripted_loss", |b| {
+        b.iter(|| {
+            let r = run(black_box(&cfg)).unwrap();
+            r.quality.psnr_series().len()
+        })
+    });
+}
+
+/// §4.3/§4.4 sweep points: the boundary operating points.
+fn bench_sweep_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_point");
+    for (name, th) in [("th_0", 0.0), ("th_0_9", 0.9), ("th_1", 1.0)] {
+        let cfg = cell(
+            SchemeSpec::Pbpair(PbpairConfig {
+                intra_th: th,
+                ..PbpairConfig::default()
+            }),
+            LossSpec::Uniform {
+                rate: 0.10,
+                seed: 77,
+            },
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| run(black_box(&cfg)).unwrap().total_bytes)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig5_cells, bench_fig6_cell, bench_sweep_points
+}
+criterion_main!(figures);

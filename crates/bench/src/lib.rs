@@ -1,0 +1,66 @@
+//! Shared fixtures for the Criterion benchmark suites.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `kernels` — codec primitives (DCT, SAD, search strategies, quantizer,
+//!   VLC), the per-operation costs behind the energy model;
+//! * `encode_schemes` — per-frame encode cost of every refresh scheme, the
+//!   wall-clock analogue of Figure 5(d);
+//! * `pipeline_figures` — one end-to-end pipeline cell per paper figure
+//!   (Fig 5 cell, Fig 6 scripted-loss cell, §4.3/§4.4 sweep points);
+//! * `ablations` — the DESIGN.md ablations: early vs late mode decision,
+//!   σ-aware search on/off, similarity factor on/off, full vs three-step
+//!   search.
+
+use pbpair::{PbpairConfig, PbpairPolicy};
+use pbpair_codec::{Encoder, EncoderConfig, RefreshPolicy};
+use pbpair_media::synth::{MotionClass, SyntheticSequence};
+use pbpair_media::{Frame, VideoFormat};
+
+/// Number of frames used by the per-scheme encode benches — enough for
+/// the refresh schedules to reach steady state, small enough for quick
+/// iterations.
+pub const BENCH_FRAMES: usize = 8;
+
+/// Pre-renders `n` frames of a sequence class (deterministic seed).
+pub fn frames(class: MotionClass, n: usize) -> Vec<Frame> {
+    let mut seq = SyntheticSequence::for_class(class, 2005);
+    (0..n).map(|_| seq.next_frame()).collect()
+}
+
+/// Encodes the given frames under a fresh encoder; returns total encoded
+/// bytes so benches have a value to black-box.
+pub fn encode_all(frames: &[Frame], cfg: EncoderConfig, policy: &mut dyn RefreshPolicy) -> usize {
+    let mut enc = Encoder::new(cfg);
+    frames
+        .iter()
+        .map(|f| enc.encode_frame(f, policy).data.len())
+        .sum()
+}
+
+/// A PBPAIR policy at the evaluation's default operating point.
+pub fn default_pbpair() -> PbpairPolicy {
+    PbpairPolicy::new(
+        VideoFormat::QCIF,
+        PbpairConfig {
+            intra_th: 0.93,
+            plr: 0.10,
+            ..PbpairConfig::default()
+        },
+    )
+    .expect("valid default config")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let fs = frames(MotionClass::LowAkiyo, 3);
+        assert_eq!(fs.len(), 3);
+        let mut policy = default_pbpair();
+        let bytes = encode_all(&fs, EncoderConfig::default(), &mut policy);
+        assert!(bytes > 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Serialization of quantized coefficient blocks as (LAST, RUN, LEVEL)
+//! event streams.
+
+use crate::bitstream::{BitReader, BitWriter, BitstreamError};
+use crate::dct::BLOCK_LEN;
+use crate::vlc::{read_tcoef, write_tcoef, TcoefEvent};
+
+/// Whether any coefficient at or after `first` is non-zero — decides the
+/// block's coded-block-pattern bit.
+pub fn block_is_coded(zig: &[i32; BLOCK_LEN], first: usize) -> bool {
+    zig[first..].iter().any(|&c| c != 0)
+}
+
+/// Writes the coefficients `zig[first..]` (zigzag order) as TCOEF events.
+/// Intra blocks pass `first = 1` (the DC travels separately); inter blocks
+/// pass `first = 0`.
+///
+/// # Panics
+///
+/// Panics if the range holds no non-zero coefficient (the caller must
+/// check [`block_is_coded`] and clear the cbp bit instead).
+pub fn write_coeff_block(w: &mut BitWriter, zig: &[i32; BLOCK_LEN], first: usize) {
+    let last_nz = zig[first..]
+        .iter()
+        .rposition(|&c| c != 0)
+        .map(|p| p + first)
+        .expect("write_coeff_block requires a coded block");
+    let mut run = 0u8;
+    for (i, &c) in zig.iter().enumerate().take(last_nz + 1).skip(first) {
+        if c == 0 {
+            run += 1;
+            continue;
+        }
+        write_tcoef(
+            w,
+            TcoefEvent {
+                last: i == last_nz,
+                run,
+                level: c.clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16,
+            },
+        );
+        run = 0;
+    }
+}
+
+/// Reads TCOEF events into a zigzag-order block starting at `first`.
+/// Coefficients before `first` are zero.
+///
+/// # Errors
+///
+/// Propagates bitstream errors; a run that walks past the end of the
+/// block is reported as corruption.
+pub fn read_coeff_block(
+    r: &mut BitReader<'_>,
+    first: usize,
+) -> Result<[i32; BLOCK_LEN], BitstreamError> {
+    let mut zig = [0i32; BLOCK_LEN];
+    let mut pos = first;
+    loop {
+        let ev = read_tcoef(r)?;
+        pos += ev.run as usize;
+        if pos >= BLOCK_LEN {
+            return Err(BitstreamError::ValueOutOfRange {
+                what: "TCOEF run past end of block",
+                value: pos as i64,
+            });
+        }
+        zig[pos] = ev.level as i32;
+        pos += 1;
+        if ev.last {
+            return Ok(zig);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(zig: [i32; BLOCK_LEN], first: usize) {
+        let mut w = BitWriter::new();
+        write_coeff_block(&mut w, &zig, first);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let got = read_coeff_block(&mut r, first).unwrap();
+        assert_eq!(got, zig);
+    }
+
+    #[test]
+    fn single_dc_coefficient() {
+        let mut zig = [0i32; BLOCK_LEN];
+        zig[0] = -5;
+        roundtrip(zig, 0);
+    }
+
+    #[test]
+    fn trailing_coefficient_at_position_63() {
+        let mut zig = [0i32; BLOCK_LEN];
+        zig[0] = 3;
+        zig[63] = 1; // forces a long (escaped) run
+        roundtrip(zig, 0);
+    }
+
+    #[test]
+    fn lone_coefficient_at_position_63_has_run_63() {
+        // The maximum legal run: 63 zeros then one coefficient. This is a
+        // regression test — an earlier decoder bound rejected run = 63.
+        let mut zig = [0i32; BLOCK_LEN];
+        zig[63] = -1;
+        roundtrip(zig, 0);
+    }
+
+    #[test]
+    fn dense_block() {
+        let zig: [i32; BLOCK_LEN] =
+            std::array::from_fn(|i| if i % 3 == 0 { (i as i32 % 11) - 5 } else { 0 });
+        // ensure at least one non-zero in range
+        let mut zig = zig;
+        zig[1] = 7;
+        roundtrip(zig, 0);
+        // With first = 1 the DC slot is not serialized; it reads back as 0.
+        zig[0] = 0;
+        roundtrip(zig, 1);
+    }
+
+    #[test]
+    fn intra_first_one_skips_dc_slot() {
+        let mut zig = [0i32; BLOCK_LEN];
+        zig[0] = 999; // DC: must NOT be serialized with first = 1
+        zig[2] = 4;
+        let mut w = BitWriter::new();
+        write_coeff_block(&mut w, &zig, 1);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let got = read_coeff_block(&mut r, 1).unwrap();
+        assert_eq!(got[0], 0);
+        assert_eq!(got[2], 4);
+    }
+
+    #[test]
+    fn large_levels_escape_and_roundtrip() {
+        let mut zig = [0i32; BLOCK_LEN];
+        zig[0] = 2000;
+        zig[5] = -2000;
+        roundtrip(zig, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a coded block")]
+    fn empty_block_is_a_caller_bug() {
+        let zig = [0i32; BLOCK_LEN];
+        let mut w = BitWriter::new();
+        write_coeff_block(&mut w, &zig, 0);
+    }
+
+    #[test]
+    fn corrupt_run_detected() {
+        // Event with run 50 at position 20 walks past 64.
+        let mut w = BitWriter::new();
+        write_tcoef(
+            &mut w,
+            TcoefEvent {
+                last: false,
+                run: 20,
+                level: 1,
+            },
+        );
+        write_tcoef(
+            &mut w,
+            TcoefEvent {
+                last: true,
+                run: 50,
+                level: 1,
+            },
+        );
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert!(matches!(
+            read_coeff_block(&mut r, 0),
+            Err(BitstreamError::ValueOutOfRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,175 @@
+//! Optional in-loop deblocking filter (H.263 Annex J-inspired).
+//!
+//! Block-based codecs produce visible discontinuities at 8×8 block
+//! boundaries at coarse quantization. This filter smooths each boundary
+//! with a QP-dependent clipped correction, applied identically inside the
+//! encoder's reconstruction loop and the decoder (the flag travels in the
+//! picture header, so streams are self-describing).
+//!
+//! For each boundary pixel pair `B | C` with outer neighbours `A`, `D`:
+//!
+//! ```text
+//! delta = clamp((A − 4B + 4C − D) / 8, −s, s),   s = max(1, QP/2)
+//! B' = B + delta,  C' = C − delta
+//! ```
+//!
+//! A genuine edge (large step) produces a `delta` beyond the clamp and is
+//! only softened by at most `s`, while small blocking steps are removed
+//! entirely — the standard strength-clipped deblocking idea.
+//!
+//! The filter is **off** in all paper-figure experiments (the paper's
+//! codec is baseline H.263) and excluded from the energy accounting.
+
+use crate::quant::Qp;
+use pbpair_media::{Frame, Plane};
+
+/// Filter strength for a quantizer: `max(1, QP/2)` sample codes.
+pub fn strength(qp: Qp) -> i32 {
+    (qp.get() as i32 / 2).max(1)
+}
+
+/// Applies the deblocking filter in place to all three planes of a
+/// reconstructed frame: horizontal edges first, then vertical, at every
+/// interior 8-aligned boundary.
+pub fn deblock_frame(frame: &mut Frame, qp: Qp) {
+    let s = strength(qp);
+    let (y, cb, cr) = frame.planes_mut();
+    filter_plane(y, s);
+    filter_plane(cb, s);
+    filter_plane(cr, s);
+}
+
+/// Filters one plane in place at interior 8-aligned boundaries.
+pub fn filter_plane(p: &mut Plane, s: i32) {
+    let (w, h) = (p.width(), p.height());
+    // Horizontal edges: boundary between rows y−1 and y.
+    let mut y = 8;
+    while y + 1 < h {
+        for x in 0..w {
+            let a = p.get(x, y - 2) as i32;
+            let b = p.get(x, y - 1) as i32;
+            let c = p.get(x, y) as i32;
+            let d = p.get(x, y + 1) as i32;
+            let delta = ((a - 4 * b + 4 * c - d) / 8).clamp(-s, s);
+            p.set(x, y - 1, (b + delta).clamp(0, 255) as u8);
+            p.set(x, y, (c - delta).clamp(0, 255) as u8);
+        }
+        y += 8;
+    }
+    // Vertical edges: boundary between columns x−1 and x.
+    let mut x = 8;
+    while x + 1 < w {
+        for y in 0..h {
+            let a = p.get(x - 2, y) as i32;
+            let b = p.get(x - 1, y) as i32;
+            let c = p.get(x, y) as i32;
+            let d = p.get(x + 1, y) as i32;
+            let delta = ((a - 4 * b + 4 * c - d) / 8).clamp(-s, s);
+            p.set(x - 1, y, (b + delta).clamp(0, 255) as u8);
+            p.set(x, y, (c - delta).clamp(0, 255) as u8);
+        }
+        x += 8;
+    }
+}
+
+/// Mean absolute step across interior 8-aligned boundaries of a plane —
+/// the "blockiness" measure the filter is judged by.
+pub fn blockiness(p: &Plane) -> f64 {
+    let (w, h) = (p.width(), p.height());
+    let mut acc = 0u64;
+    let mut n = 0u64;
+    let mut y = 8;
+    while y < h {
+        for x in 0..w {
+            acc += (p.get(x, y - 1) as i32 - p.get(x, y) as i32).unsigned_abs() as u64;
+            n += 1;
+        }
+        y += 8;
+    }
+    let mut x = 8;
+    while x < w {
+        for y in 0..h {
+            acc += (p.get(x - 1, y) as i32 - p.get(x, y) as i32).unsigned_abs() as u64;
+            n += 1;
+        }
+        x += 8;
+    }
+    acc as f64 / n.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strength_scales_with_qp() {
+        assert_eq!(strength(Qp::new(1).unwrap()), 1);
+        assert_eq!(strength(Qp::new(8).unwrap()), 4);
+        assert_eq!(strength(Qp::new(31).unwrap()), 15);
+    }
+
+    #[test]
+    fn small_block_steps_are_removed() {
+        // Flat 100 | flat 104 across the boundary at x = 8: the 4-code
+        // step is below the clamp at QP 16 (s = 8) and gets halved twice
+        // over — delta = 3·4/8 = 1 per application side.
+        let mut p = Plane::from_fn(16, 16, |x, _| if x < 8 { 100 } else { 104 });
+        let before = blockiness(&p);
+        filter_plane(&mut p, 8);
+        let after = blockiness(&p);
+        assert!(after < before, "blockiness must drop: {before} → {after}");
+    }
+
+    #[test]
+    fn genuine_edges_are_preserved_up_to_strength() {
+        // A 100-code step is a real edge; the filter may move each side by
+        // at most s = 2.
+        let mut p = Plane::from_fn(16, 16, |x, _| if x < 8 { 50 } else { 150 });
+        filter_plane(&mut p, 2);
+        assert!(p.get(7, 8) >= 48 && p.get(7, 8) <= 52);
+        assert!(p.get(8, 8) >= 148 && p.get(8, 8) <= 152);
+    }
+
+    #[test]
+    fn flat_planes_are_untouched() {
+        let mut p = Plane::filled(32, 32, 77);
+        let orig = p.clone();
+        filter_plane(&mut p, 8);
+        assert_eq!(p, orig);
+    }
+
+    #[test]
+    fn smooth_gradients_are_nearly_untouched() {
+        // delta of a linear ramp: a−4b+4c−d = (b−1) −4b +4c −(c+1) =
+        // 3(c−b) −2 = 1 for unit slope → small correction only.
+        let mut p = Plane::from_fn(32, 32, |x, y| (x + y) as u8 * 2);
+        let orig = p.clone();
+        filter_plane(&mut p, 8);
+        let max_diff = p
+            .samples()
+            .iter()
+            .zip(orig.samples())
+            .map(|(a, b)| (*a as i32 - *b as i32).abs())
+            .max()
+            .unwrap();
+        assert!(max_diff <= 1, "gradient distorted by {max_diff}");
+    }
+
+    #[test]
+    fn frame_filter_touches_all_planes() {
+        use pbpair_media::VideoFormat;
+        let fmt = VideoFormat::QCIF;
+        let mut f = Frame::new(fmt);
+        // Blocky pattern on every plane.
+        for plane in [f.y_mut()] {
+            for y in 0..plane.height() {
+                for x in 0..plane.width() {
+                    plane.set(x, y, if (x / 8) % 2 == 0 { 90 } else { 110 });
+                }
+            }
+        }
+        let before = blockiness(f.y());
+        deblock_frame(&mut f, Qp::new(10).unwrap());
+        assert!(blockiness(f.y()) < before);
+    }
+}

@@ -1,0 +1,768 @@
+//! The video decoder, with error concealment for lost frames.
+//!
+//! The decoder mirrors the encoder's reconstruction loop bit-exactly. When
+//! the network drops a packet (= one frame in the paper's setup), the
+//! caller invokes [`Decoder::conceal_lost_frame`]; the default concealment
+//! is the paper's **simple copy scheme** — repeat the previous
+//! reconstructed frame — and the strategy is pluggable so richer
+//! concealments slot in (the paper notes they only change PBPAIR's
+//! similarity factor).
+
+use crate::bitstream::{BitReader, BitstreamError};
+use crate::block::{store_block_clamped, store_pred, store_pred_plus_residual};
+use crate::blockcode::read_coeff_block;
+use crate::dct;
+use crate::encoder::{PICTURE_START_CODE, PICTURE_START_CODE_LEN};
+use crate::mb::{MbMode, MotionVector, SubPelVector};
+use crate::mc::{
+    predict_chroma, predict_chroma_subpel, predict_luma, predict_luma_subpel, CHROMA_BLOCK,
+    LUMA_BLOCK,
+};
+use crate::policy::FrameKind;
+use crate::quant::{dequantize_block, Qp};
+use crate::vlc;
+use crate::zigzag;
+use pbpair_media::{Frame, MbGrid, MbIndex, VideoFormat};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The bitstream ended early or a code was malformed.
+    Bitstream(BitstreamError),
+    /// The picture start code was absent (corrupt or non-frame data).
+    BadStartCode,
+    /// The header carried an illegal quantizer.
+    BadQp(u8),
+    /// The stream's source format differs from the decoder's configured
+    /// format.
+    FormatMismatch {
+        /// Format declared in the picture header.
+        stream: VideoFormat,
+        /// Format this decoder was built for.
+        decoder: VideoFormat,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Bitstream(e) => write!(f, "bitstream error: {e}"),
+            DecodeError::BadStartCode => write!(f, "missing picture start code"),
+            DecodeError::BadQp(q) => write!(f, "illegal quantizer {q} in picture header"),
+            DecodeError::FormatMismatch { stream, decoder } => write!(
+                f,
+                "stream format {stream} does not match decoder format {decoder}"
+            ),
+        }
+    }
+}
+
+impl Error for DecodeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DecodeError::Bitstream(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BitstreamError> for DecodeError {
+    fn from(e: BitstreamError) -> Self {
+        DecodeError::Bitstream(e)
+    }
+}
+
+/// How the decoder fills in a lost frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Concealment {
+    /// Repeat the previous reconstructed frame (the paper's "simple copy
+    /// scheme").
+    #[default]
+    CopyPrevious,
+    /// Extrapolate motion: rebuild the lost frame by re-applying each
+    /// macroblock's most recent motion vector to the reference — the
+    /// classic temporal-concealment upgrade the paper's §3.1.3 anticipates
+    /// ("we can easily adopt various error concealment schemes ... by
+    /// modifying the similarity factor"). Falls back to copy behaviour
+    /// when no motion history exists (e.g. after an I-frame).
+    MotionCopy,
+}
+
+/// Side information about one decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedInfo {
+    /// Temporal reference from the header (frame index mod 256).
+    pub temporal_ref: u8,
+    /// Frame coding type.
+    pub kind: FrameKind,
+    /// Quantizer from the header.
+    pub qp: Qp,
+    /// Decoded mode of every macroblock in raster order.
+    pub mb_modes: Vec<MbMode>,
+}
+
+/// The decoder.
+///
+/// # Example
+///
+/// ```rust
+/// use pbpair_codec::{Decoder, Encoder, EncoderConfig, NaturalPolicy};
+/// use pbpair_media::{metrics, synth::SyntheticSequence, VideoFormat};
+///
+/// # fn main() -> Result<(), pbpair_codec::DecodeError> {
+/// let mut enc = Encoder::new(EncoderConfig::default());
+/// let mut dec = Decoder::new(VideoFormat::QCIF);
+/// let mut policy = NaturalPolicy::new();
+/// let mut seq = SyntheticSequence::akiyo_class(1);
+/// let original = seq.next_frame();
+/// let encoded = enc.encode_frame(&original, &mut policy);
+/// let (decoded, _info) = dec.decode_frame(&encoded.data)?;
+/// assert!(metrics::psnr_y(&original, &decoded) > 28.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Decoder {
+    format: VideoFormat,
+    grid: MbGrid,
+    recon: Frame,
+    concealment: Concealment,
+    decoded_any: bool,
+    /// Motion vector of each macroblock in the most recent decoded frame
+    /// (zero for intra/skip) — the input to motion-copy concealment.
+    last_mvs: Vec<SubPelVector>,
+}
+
+impl Decoder {
+    /// Creates a decoder for `format` with copy-previous concealment.
+    pub fn new(format: VideoFormat) -> Self {
+        Decoder::with_concealment(format, Concealment::default())
+    }
+
+    /// Creates a decoder with an explicit concealment strategy.
+    pub fn with_concealment(format: VideoFormat, concealment: Concealment) -> Self {
+        let grid = MbGrid::new(format);
+        Decoder {
+            format,
+            recon: Frame::new(format),
+            concealment,
+            decoded_any: false,
+            last_mvs: vec![SubPelVector::ZERO; grid.len()],
+            grid,
+        }
+    }
+
+    /// The picture format this decoder expects.
+    pub fn format(&self) -> VideoFormat {
+        self.format
+    }
+
+    /// The most recent output frame (decoded or concealed).
+    pub fn last_frame(&self) -> &Frame {
+        &self.recon
+    }
+
+    /// Decodes one encoded frame and returns the reconstructed picture
+    /// plus header/mode side info.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncation or corruption; the
+    /// decoder's reference frame is left unchanged in that case, so the
+    /// caller can treat a corrupt frame exactly like a lost one.
+    pub fn decode_frame(&mut self, data: &[u8]) -> Result<(Frame, DecodedInfo), DecodeError> {
+        let mut r = BitReader::new(data);
+        if r.get_bits(PICTURE_START_CODE_LEN)? != PICTURE_START_CODE {
+            return Err(DecodeError::BadStartCode);
+        }
+        let temporal_ref = r.get_bits(8)? as u8;
+        let kind = if r.get_bit()? {
+            FrameKind::Inter
+        } else {
+            FrameKind::Intra
+        };
+        let raw_qp = r.get_bits(5)? as u8;
+        let qp = Qp::new(raw_qp).ok_or(DecodeError::BadQp(raw_qp))?;
+        let half_pel = r.get_bit()?;
+        let deblock = r.get_bit()?;
+        let stream_format = match r.get_bits(2)? {
+            0 => VideoFormat::SQCIF,
+            1 => VideoFormat::QCIF,
+            2 => VideoFormat::CIF,
+            _ => {
+                let cols = r.get_bits(8)? as usize;
+                let rows = r.get_bits(8)? as usize;
+                VideoFormat::custom(cols * 16, rows * 16).ok_or(DecodeError::Bitstream(
+                    BitstreamError::ValueOutOfRange {
+                        what: "custom format dimensions",
+                        value: (cols * rows) as i64,
+                    },
+                ))?
+            }
+        };
+        if stream_format != self.format {
+            return Err(DecodeError::FormatMismatch {
+                stream: stream_format,
+                decoder: self.format,
+            });
+        }
+
+        let mut new_recon = Frame::new(self.format);
+        let mut mb_modes = Vec::with_capacity(self.grid.len());
+        let mut mvs = vec![SubPelVector::ZERO; self.grid.len()];
+        for mb in self.grid.iter().collect::<Vec<_>>() {
+            let mode = match kind {
+                FrameKind::Intra => {
+                    self.decode_intra_mb(&mut r, qp, &mut new_recon, mb)?;
+                    MbMode::Intra
+                }
+                FrameKind::Inter => {
+                    let (mode, mv) = self.decode_p_mb(&mut r, qp, half_pel, &mut new_recon, mb)?;
+                    mvs[self.grid.flat_index(mb)] = mv;
+                    mode
+                }
+            };
+            mb_modes.push(mode);
+        }
+
+        if deblock {
+            crate::deblock::deblock_frame(&mut new_recon, qp);
+        }
+
+        self.recon = new_recon;
+        self.last_mvs = mvs;
+        self.decoded_any = true;
+        Ok((
+            self.recon.clone(),
+            DecodedInfo {
+                temporal_ref,
+                kind,
+                qp,
+                mb_modes,
+            },
+        ))
+    }
+
+    /// Produces the concealed output for a lost frame and keeps it as the
+    /// new reference (so subsequent inter frames predict from the
+    /// concealment, propagating the error exactly as the paper models).
+    pub fn conceal_lost_frame(&mut self) -> Frame {
+        match self.concealment {
+            // Copy-previous: the reference *is* the concealment, no work.
+            Concealment::CopyPrevious => self.recon.clone(),
+            Concealment::MotionCopy => {
+                let mut concealed = Frame::new(self.format);
+                let mut pred_y = [0u8; LUMA_BLOCK * LUMA_BLOCK];
+                let mut pred_cb = [0u8; CHROMA_BLOCK * CHROMA_BLOCK];
+                let mut pred_cr = [0u8; CHROMA_BLOCK * CHROMA_BLOCK];
+                for mb in self.grid.iter().collect::<Vec<_>>() {
+                    let mv = self.last_mvs[self.grid.flat_index(mb)];
+                    let (lx, ly) = mb.luma_origin();
+                    let (cx, cy) = mb.chroma_origin();
+                    predict_luma_subpel(self.recon.y(), mb, mv, &mut pred_y);
+                    predict_chroma_subpel(self.recon.cb(), mb, mv, &mut pred_cb);
+                    predict_chroma_subpel(self.recon.cr(), mb, mv, &mut pred_cr);
+                    store_pred(
+                        concealed.y_mut(),
+                        lx,
+                        ly,
+                        &pred_y,
+                        LUMA_BLOCK,
+                        0,
+                        0,
+                        LUMA_BLOCK,
+                    );
+                    store_pred(
+                        concealed.cb_mut(),
+                        cx,
+                        cy,
+                        &pred_cb,
+                        CHROMA_BLOCK,
+                        0,
+                        0,
+                        CHROMA_BLOCK,
+                    );
+                    store_pred(
+                        concealed.cr_mut(),
+                        cx,
+                        cy,
+                        &pred_cr,
+                        CHROMA_BLOCK,
+                        0,
+                        0,
+                        CHROMA_BLOCK,
+                    );
+                }
+                // The concealed frame becomes the reference; the motion
+                // history is retained so consecutive losses keep
+                // extrapolating the same field.
+                self.recon = concealed.clone();
+                concealed
+            }
+        }
+    }
+
+    fn decode_intra_mb(
+        &mut self,
+        r: &mut BitReader<'_>,
+        qp: Qp,
+        new_recon: &mut Frame,
+        mb: MbIndex,
+    ) -> Result<(), DecodeError> {
+        let (lx, ly) = mb.luma_origin();
+        let (cx, cy) = mb.chroma_origin();
+        let cbp = vlc::read_cbp(r)?;
+        for i in 0..6usize {
+            let dc = r.get_bits(8)? as i32;
+            let mut zig = if cbp & (1 << (5 - i)) != 0 {
+                read_coeff_block(r, 1)?
+            } else {
+                [0i32; 64]
+            };
+            zig[0] = dc;
+            let quantized = zigzag::unscan(&zig);
+            let coefs = dequantize_block(&quantized, qp, true);
+            let mut spatial = [0i32; 64];
+            dct::inverse(&coefs, &mut spatial);
+            let (dx, dy, plane) = match i {
+                0 => (lx, ly, new_recon.y_mut()),
+                1 => (lx + 8, ly, new_recon.y_mut()),
+                2 => (lx, ly + 8, new_recon.y_mut()),
+                3 => (lx + 8, ly + 8, new_recon.y_mut()),
+                4 => (cx, cy, new_recon.cb_mut()),
+                _ => (cx, cy, new_recon.cr_mut()),
+            };
+            store_block_clamped(plane, dx, dy, &spatial);
+        }
+        Ok(())
+    }
+
+    fn decode_p_mb(
+        &mut self,
+        r: &mut BitReader<'_>,
+        qp: Qp,
+        half_pel: bool,
+        new_recon: &mut Frame,
+        mb: MbIndex,
+    ) -> Result<(MbMode, SubPelVector), DecodeError> {
+        let (lx, ly) = mb.luma_origin();
+        let (cx, cy) = mb.chroma_origin();
+        if r.get_bit()? {
+            // COD = 1: skipped — copy colocated from the reference.
+            let mut pred_y = [0u8; LUMA_BLOCK * LUMA_BLOCK];
+            predict_luma(self.recon.y(), mb, MotionVector::ZERO, &mut pred_y);
+            let mut pred_cb = [0u8; CHROMA_BLOCK * CHROMA_BLOCK];
+            let mut pred_cr = [0u8; CHROMA_BLOCK * CHROMA_BLOCK];
+            predict_chroma(self.recon.cb(), mb, MotionVector::ZERO, &mut pred_cb);
+            predict_chroma(self.recon.cr(), mb, MotionVector::ZERO, &mut pred_cr);
+            store_pred(
+                new_recon.y_mut(),
+                lx,
+                ly,
+                &pred_y,
+                LUMA_BLOCK,
+                0,
+                0,
+                LUMA_BLOCK,
+            );
+            store_pred(
+                new_recon.cb_mut(),
+                cx,
+                cy,
+                &pred_cb,
+                CHROMA_BLOCK,
+                0,
+                0,
+                CHROMA_BLOCK,
+            );
+            store_pred(
+                new_recon.cr_mut(),
+                cx,
+                cy,
+                &pred_cr,
+                CHROMA_BLOCK,
+                0,
+                0,
+                CHROMA_BLOCK,
+            );
+            return Ok((MbMode::Skip, SubPelVector::ZERO));
+        }
+        if r.get_bit()? {
+            // Intra macroblock inside a P-frame.
+            self.decode_intra_mb(r, qp, new_recon, mb)?;
+            return Ok((MbMode::Intra, SubPelVector::ZERO));
+        }
+
+        let mvx = vlc::read_mvd(r)?;
+        let mvy = vlc::read_mvd(r)?;
+        let mv = if half_pel {
+            SubPelVector::from_half_units(mvx, mvy)
+        } else {
+            SubPelVector::integer(MotionVector::new(mvx, mvy))
+        };
+        let cbp = vlc::read_cbp(r)?;
+
+        let mut pred_y = [0u8; LUMA_BLOCK * LUMA_BLOCK];
+        predict_luma_subpel(self.recon.y(), mb, mv, &mut pred_y);
+        let mut pred_cb = [0u8; CHROMA_BLOCK * CHROMA_BLOCK];
+        let mut pred_cr = [0u8; CHROMA_BLOCK * CHROMA_BLOCK];
+        predict_chroma_subpel(self.recon.cb(), mb, mv, &mut pred_cb);
+        predict_chroma_subpel(self.recon.cr(), mb, mv, &mut pred_cr);
+
+        let sub = [(0usize, 0usize), (8, 0), (0, 8), (8, 8)];
+        #[allow(clippy::needless_range_loop)] // i indexes both cbp bits and sub[]
+        for i in 0..6usize {
+            let resid = if cbp & (1 << (5 - i)) != 0 {
+                let zig = read_coeff_block(r, 0)?;
+                let quantized = zigzag::unscan(&zig);
+                let coefs = dequantize_block(&quantized, qp, false);
+                let mut spatial = [0i32; 64];
+                dct::inverse(&coefs, &mut spatial);
+                spatial
+            } else {
+                [0i32; 64]
+            };
+            match i {
+                0..=3 => {
+                    let (sx, sy) = sub[i];
+                    store_pred_plus_residual(
+                        new_recon.y_mut(),
+                        lx + sx,
+                        ly + sy,
+                        &pred_y,
+                        LUMA_BLOCK,
+                        sx,
+                        sy,
+                        &resid,
+                    );
+                }
+                4 => store_pred_plus_residual(
+                    new_recon.cb_mut(),
+                    cx,
+                    cy,
+                    &pred_cb,
+                    CHROMA_BLOCK,
+                    0,
+                    0,
+                    &resid,
+                ),
+                _ => store_pred_plus_residual(
+                    new_recon.cr_mut(),
+                    cx,
+                    cy,
+                    &pred_cr,
+                    CHROMA_BLOCK,
+                    0,
+                    0,
+                    &resid,
+                ),
+            }
+        }
+        Ok((MbMode::Inter, mv))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{Encoder, EncoderConfig};
+    use crate::policy::NaturalPolicy;
+    use pbpair_media::metrics;
+    use pbpair_media::synth::SyntheticSequence;
+
+    #[test]
+    fn decoder_matches_encoder_reconstruction_bit_exactly() {
+        let mut enc = Encoder::new(EncoderConfig::default());
+        let mut dec = Decoder::new(VideoFormat::QCIF);
+        let mut policy = NaturalPolicy::new();
+        let mut seq = SyntheticSequence::foreman_class(9);
+        for _ in 0..6 {
+            let f = seq.next_frame();
+            let e = enc.encode_frame(&f, &mut policy);
+            let (decoded, info) = dec.decode_frame(&e.data).unwrap();
+            assert_eq!(&decoded, enc.reconstructed(), "drift at frame {}", e.index);
+            assert_eq!(info.kind, e.kind);
+            assert_eq!(info.mb_modes, e.mb_modes);
+            assert_eq!(info.temporal_ref as u64, e.index & 0xFF);
+        }
+    }
+
+    #[test]
+    fn decoded_quality_is_reasonable() {
+        let mut enc = Encoder::new(EncoderConfig::default());
+        let mut dec = Decoder::new(VideoFormat::QCIF);
+        let mut policy = NaturalPolicy::new();
+        let mut seq = SyntheticSequence::garden_class(10);
+        let mut last_psnr = 0.0;
+        for _ in 0..4 {
+            let f = seq.next_frame();
+            let e = enc.encode_frame(&f, &mut policy);
+            let (decoded, _) = dec.decode_frame(&e.data).unwrap();
+            last_psnr = metrics::psnr_y(&f, &decoded);
+        }
+        assert!(last_psnr > 26.0, "end-to-end PSNR too low: {last_psnr}");
+    }
+
+    #[test]
+    fn concealment_repeats_previous_frame() {
+        let mut enc = Encoder::new(EncoderConfig::default());
+        let mut dec = Decoder::new(VideoFormat::QCIF);
+        let mut policy = NaturalPolicy::new();
+        let mut seq = SyntheticSequence::akiyo_class(2);
+        let f0 = seq.next_frame();
+        let e0 = enc.encode_frame(&f0, &mut policy);
+        let (d0, _) = dec.decode_frame(&e0.data).unwrap();
+        let concealed = dec.conceal_lost_frame();
+        assert_eq!(concealed, d0);
+        assert_eq!(dec.last_frame(), &d0);
+    }
+
+    #[test]
+    fn error_propagates_through_p_frames_after_a_loss() {
+        // Encode 3 frames; decoder drops frame 1. Frame 2's prediction
+        // then mismatches, and quality must be worse than the loss-free
+        // path at frame 2.
+        let make = || {
+            let mut enc = Encoder::new(EncoderConfig::default());
+            let mut policy = NaturalPolicy::new();
+            let mut seq = SyntheticSequence::foreman_class(33);
+            let fs: Vec<_> = (0..3).map(|_| seq.next_frame()).collect();
+            let es: Vec<_> = fs
+                .iter()
+                .map(|f| enc.encode_frame(f, &mut policy))
+                .collect();
+            (fs, es)
+        };
+        let (fs, es) = make();
+
+        let mut clean = Decoder::new(VideoFormat::QCIF);
+        for e in &es {
+            let _ = clean.decode_frame(&e.data).unwrap();
+        }
+        let clean_last = clean.last_frame().clone();
+
+        let mut lossy = Decoder::new(VideoFormat::QCIF);
+        let _ = lossy.decode_frame(&es[0].data).unwrap();
+        let _ = lossy.conceal_lost_frame(); // frame 1 lost
+        let (lossy_last, _) = lossy.decode_frame(&es[2].data).unwrap();
+
+        let p_clean = metrics::psnr_y(&fs[2], &clean_last);
+        let p_lossy = metrics::psnr_y(&fs[2], &lossy_last);
+        assert!(
+            p_lossy < p_clean,
+            "loss must hurt quality: clean {p_clean} vs lossy {p_lossy}"
+        );
+    }
+
+    #[test]
+    fn motion_copy_beats_plain_copy_on_panning_content() {
+        // GARDEN-class content pans steadily; extrapolating the motion
+        // field must conceal a lost frame better than freezing.
+        let run = |concealment: Concealment| {
+            let mut enc = Encoder::new(EncoderConfig::default());
+            let mut dec = Decoder::with_concealment(VideoFormat::QCIF, concealment);
+            let mut policy = NaturalPolicy::new();
+            let mut seq = SyntheticSequence::garden_class(12);
+            let mut last_psnr = 0.0;
+            for i in 0..6 {
+                let f = seq.next_frame();
+                let e = enc.encode_frame(&f, &mut policy);
+                let shown = if i == 4 {
+                    dec.conceal_lost_frame()
+                } else {
+                    dec.decode_frame(&e.data).unwrap().0
+                };
+                if i == 4 {
+                    last_psnr = metrics::psnr_y(&f, &shown);
+                }
+            }
+            last_psnr
+        };
+        let copy = run(Concealment::CopyPrevious);
+        let motion = run(Concealment::MotionCopy);
+        assert!(
+            motion > copy + 0.5,
+            "motion-copy {motion} must beat copy {copy} on a pan"
+        );
+    }
+
+    #[test]
+    fn motion_copy_without_history_degenerates_to_copy() {
+        // After only an I-frame, the motion field is all-zero, so both
+        // concealments produce the same frame.
+        let mut enc = Encoder::new(EncoderConfig::default());
+        let mut policy = NaturalPolicy::new();
+        let mut seq = SyntheticSequence::akiyo_class(3);
+        let f0 = seq.next_frame();
+        let e0 = enc.encode_frame(&f0, &mut policy);
+        let mut a = Decoder::with_concealment(VideoFormat::QCIF, Concealment::CopyPrevious);
+        let mut b = Decoder::with_concealment(VideoFormat::QCIF, Concealment::MotionCopy);
+        let _ = a.decode_frame(&e0.data).unwrap();
+        let _ = b.decode_frame(&e0.data).unwrap();
+        assert_eq!(a.conceal_lost_frame(), b.conceal_lost_frame());
+    }
+
+    #[test]
+    fn truncated_data_is_rejected_and_reference_preserved() {
+        let mut enc = Encoder::new(EncoderConfig::default());
+        let mut dec = Decoder::new(VideoFormat::QCIF);
+        let mut policy = NaturalPolicy::new();
+        let mut seq = SyntheticSequence::foreman_class(5);
+        let e0 = enc.encode_frame(&seq.next_frame(), &mut policy);
+        let (d0, _) = dec.decode_frame(&e0.data).unwrap();
+        let e1 = enc.encode_frame(&seq.next_frame(), &mut policy);
+        let err = dec.decode_frame(&e1.data[..e1.data.len() / 2]);
+        assert!(err.is_err());
+        assert_eq!(dec.last_frame(), &d0, "reference must survive a bad frame");
+    }
+
+    #[test]
+    fn deblocked_streams_decode_bit_exactly_and_reduce_blockiness() {
+        let cfg = EncoderConfig {
+            deblock: true,
+            qp: crate::quant::Qp::new(16).unwrap(), // coarse: visible blocking
+            ..EncoderConfig::default()
+        };
+        let mut enc = Encoder::new(cfg);
+        let mut enc_plain = Encoder::new(EncoderConfig {
+            deblock: false,
+            ..cfg
+        });
+        let mut dec = Decoder::new(VideoFormat::QCIF);
+        let mut policy = NaturalPolicy::new();
+        let mut policy2 = NaturalPolicy::new();
+        let mut seq = SyntheticSequence::foreman_class(6);
+        for _ in 0..4 {
+            let f = seq.next_frame();
+            let e = enc.encode_frame(&f, &mut policy);
+            let _ = enc_plain.encode_frame(&f, &mut policy2);
+            let (decoded, _) = dec.decode_frame(&e.data).unwrap();
+            assert_eq!(&decoded, enc.reconstructed(), "deblock recon drift");
+        }
+        let filtered = crate::deblock::blockiness(enc.reconstructed().y());
+        let plain = crate::deblock::blockiness(enc_plain.reconstructed().y());
+        assert!(
+            filtered < plain,
+            "deblocking must reduce boundary steps: {filtered} vs {plain}"
+        );
+    }
+
+    #[test]
+    fn half_pel_streams_decode_bit_exactly() {
+        let cfg = EncoderConfig {
+            half_pel: true,
+            ..EncoderConfig::default()
+        };
+        let mut enc = Encoder::new(cfg);
+        let mut dec = Decoder::new(VideoFormat::QCIF);
+        let mut policy = NaturalPolicy::new();
+        let mut seq = SyntheticSequence::garden_class(14);
+        for _ in 0..5 {
+            let f = seq.next_frame();
+            let e = enc.encode_frame(&f, &mut policy);
+            let (decoded, _) = dec.decode_frame(&e.data).unwrap();
+            assert_eq!(&decoded, enc.reconstructed(), "half-pel recon drift");
+        }
+    }
+
+    #[test]
+    fn half_pel_improves_quality_on_sub_pel_motion() {
+        // GARDEN pans at 2.5 px/frame — an exact half-pel component.
+        // Half-pel prediction must improve loss-free PSNR at equal QP.
+        let run = |half_pel: bool| {
+            let cfg = EncoderConfig {
+                half_pel,
+                ..EncoderConfig::default()
+            };
+            let mut enc = Encoder::new(cfg);
+            let mut policy = NaturalPolicy::new();
+            let mut seq = SyntheticSequence::garden_class(5);
+            let mut psnr = 0.0;
+            let mut bits = 0u64;
+            for i in 0..8 {
+                let f = seq.next_frame();
+                let e = enc.encode_frame(&f, &mut policy);
+                bits += e.stats.bits;
+                if i >= 4 {
+                    psnr += metrics::psnr_y(&f, enc.reconstructed());
+                }
+            }
+            (psnr / 4.0, bits)
+        };
+        let (p_int, bits_int) = run(false);
+        let (p_half, bits_half) = run(true);
+        // Half-pel buys quality, bits, or both; require a clear win on
+        // the combined rate-distortion picture.
+        let better_quality = p_half > p_int + 0.3;
+        let fewer_bits = bits_half * 10 < bits_int * 95 / 10; // <95%
+        assert!(
+            better_quality || fewer_bits,
+            "half-pel must help: psnr {p_int}→{p_half}, bits {bits_int}→{bits_half}"
+        );
+    }
+
+    #[test]
+    fn garbage_start_code_is_rejected() {
+        let mut dec = Decoder::new(VideoFormat::QCIF);
+        let garbage = vec![0xFFu8; 100];
+        assert_eq!(
+            dec.decode_frame(&garbage).unwrap_err(),
+            DecodeError::BadStartCode
+        );
+    }
+
+    #[test]
+    fn format_mismatch_is_rejected_not_misparsed() {
+        // A CIF stream offered to a QCIF decoder must fail cleanly.
+        let cif_cfg = EncoderConfig {
+            format: VideoFormat::CIF,
+            ..EncoderConfig::default()
+        };
+        let mut enc = Encoder::new(cif_cfg);
+        let mut policy = NaturalPolicy::new();
+        let frame = pbpair_media::Frame::flat(VideoFormat::CIF, 100);
+        let e = enc.encode_frame(&frame, &mut policy);
+        let mut dec = Decoder::new(VideoFormat::QCIF);
+        match dec.decode_frame(&e.data) {
+            Err(DecodeError::FormatMismatch { stream, decoder }) => {
+                assert_eq!(stream, VideoFormat::CIF);
+                assert_eq!(decoder, VideoFormat::QCIF);
+            }
+            other => panic!("expected FormatMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_format_travels_in_the_header() {
+        let fmt = VideoFormat::custom(64, 48).unwrap();
+        let cfg = EncoderConfig {
+            format: fmt,
+            ..EncoderConfig::default()
+        };
+        let mut enc = Encoder::new(cfg);
+        let mut dec = Decoder::new(fmt);
+        let mut policy = NaturalPolicy::new();
+        let frame = pbpair_media::Frame::flat(fmt, 80);
+        let e = enc.encode_frame(&frame, &mut policy);
+        let (decoded, _) = dec.decode_frame(&e.data).unwrap();
+        assert_eq!(&decoded, enc.reconstructed());
+    }
+
+    #[test]
+    fn bad_qp_is_rejected() {
+        // Hand-build a header with QP = 0.
+        use crate::bitstream::BitWriter;
+        let mut w = BitWriter::new();
+        w.put_bits(PICTURE_START_CODE, PICTURE_START_CODE_LEN);
+        w.put_bits(0, 8);
+        w.put_bit(false);
+        w.put_bits(0, 5);
+        let mut dec = Decoder::new(VideoFormat::QCIF);
+        assert_eq!(
+            dec.decode_frame(&w.finish()).unwrap_err(),
+            DecodeError::BadQp(0)
+        );
+    }
+}

@@ -1,0 +1,741 @@
+//! The hybrid video encoder.
+//!
+//! Pipeline per P-frame macroblock (Figure 1 of the paper):
+//!
+//! 1. **pre-ME mode selection** — the policy may force intra and skip the
+//!    search entirely (PBPAIR's early decision);
+//! 2. **motion estimation** — biased cost search
+//!    (`SAD + policy.me_bias(mv)`);
+//! 3. **natural inter/intra test** — intra when
+//!    `SAD_mv > SAD_self + intra_bias` (the paper's
+//!    `SAD_mv − SAD_Th > SAD_self` test);
+//! 4. **post-ME override** — the policy may still force intra (AIR,
+//!    PGOP stride-back);
+//! 5. transform / quantize / entropy-code, plus an in-loop reconstruction
+//!    identical to the decoder's.
+//!
+//! All primitive operations are tallied in an [`OpCounts`], the input to
+//! the energy model.
+
+use crate::bitstream::BitWriter;
+use crate::block::{
+    load_block, residual_block, store_block_clamped, store_pred, store_pred_plus_residual,
+};
+use crate::blockcode::{block_is_coded, write_coeff_block};
+use crate::dct;
+use crate::mb::{FrameStats, MbMode, MotionVector, SubPelVector};
+use crate::mc::{predict_chroma_subpel, predict_luma_subpel, CHROMA_BLOCK, LUMA_BLOCK};
+use crate::me::{self, MeConfig};
+use crate::ops::OpCounts;
+use crate::policy::{
+    FrameContext, FrameKind, MbContext, MbOutcome, PostMeDecision, PreMeDecision, RefreshPolicy,
+};
+use crate::quant::{dequantize_block, quantize_block, Qp};
+use crate::vlc;
+use crate::zigzag;
+use pbpair_media::{Frame, MbGrid, MbIndex, VideoFormat};
+use serde::{Deserialize, Serialize};
+
+/// The 17-bit picture start code (16 zeros and a one, H.263 style).
+pub const PICTURE_START_CODE: u32 = 1;
+/// Bits in the picture start code.
+pub const PICTURE_START_CODE_LEN: u32 = 17;
+
+/// Encoder configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncoderConfig {
+    /// Picture format of every input frame.
+    pub format: VideoFormat,
+    /// Quantization parameter used for all frames.
+    pub qp: Qp,
+    /// Motion-search configuration.
+    pub me: MeConfig,
+    /// The paper's `SAD_Th`: inter is kept only while
+    /// `SAD_mv ≤ SAD_self + intra_bias`. Larger values favor inter.
+    pub intra_bias: u32,
+    /// Half-pixel motion precision (H.263's default). When set, the
+    /// integer search winner is refined over its 8 half-pel neighbours
+    /// and vectors travel in half-pel units. The flag is carried in every
+    /// picture header so the decoder follows automatically. The paper
+    /// experiments keep this off (integer precision) so refresh-scheme
+    /// comparisons stay on the configuration DESIGN.md documents.
+    pub half_pel: bool,
+    /// In-loop deblocking filter (see [`crate::deblock`]). Carried in the
+    /// picture header; off in all paper experiments.
+    pub deblock: bool,
+}
+
+impl Default for EncoderConfig {
+    /// QCIF, QP 8, ±15 three-step search, `SAD_Th` = 500 (the H.263 TMN
+    /// convention).
+    fn default() -> Self {
+        EncoderConfig {
+            format: VideoFormat::QCIF,
+            qp: Qp::default(),
+            me: MeConfig::default(),
+            intra_bias: 500,
+            half_pel: false,
+            deblock: false,
+        }
+    }
+}
+
+impl EncoderConfig {
+    /// The paper's configuration: like [`EncoderConfig::default`] but
+    /// with exhaustive ±15 full-search motion estimation, matching the
+    /// reference H.263 TMN encoder the paper builds on. This is what the
+    /// figure-regeneration experiments use; it makes ME ≈95% of the
+    /// encoding energy, the regime in which the paper's energy numbers
+    /// live.
+    pub fn paper() -> Self {
+        EncoderConfig {
+            me: MeConfig {
+                search_range: 15,
+                strategy: crate::me::SearchStrategy::Full,
+            },
+            ..EncoderConfig::default()
+        }
+    }
+}
+
+/// One encoded frame: the bitstream plus side statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncodedFrame {
+    /// 0-based frame index (also carried in the picture header mod 256).
+    pub index: u64,
+    /// Frame coding type.
+    pub kind: FrameKind,
+    /// The encoded bitstream, byte-aligned.
+    pub data: Vec<u8>,
+    /// Per-frame statistics.
+    pub stats: FrameStats,
+    /// Final mode of each macroblock in raster order (diagnostic side
+    /// info; not part of the bitstream).
+    pub mb_modes: Vec<MbMode>,
+}
+
+/// The encoder. Owns the reconstruction loop (its reference frame is the
+/// decoder's output for a loss-free channel, bit-exactly).
+///
+/// # Example
+///
+/// ```rust
+/// use pbpair_codec::{Encoder, EncoderConfig, NaturalPolicy};
+/// use pbpair_media::synth::SyntheticSequence;
+///
+/// let mut enc = Encoder::new(EncoderConfig::default());
+/// let mut policy = NaturalPolicy::new();
+/// let mut seq = SyntheticSequence::akiyo_class(1);
+/// let encoded = enc.encode_frame(&seq.next_frame(), &mut policy);
+/// assert!(!encoded.data.is_empty());
+/// assert_eq!(encoded.stats.total_mbs(), 99);
+/// ```
+#[derive(Debug)]
+pub struct Encoder {
+    cfg: EncoderConfig,
+    grid: MbGrid,
+    /// Reconstructed previous frame (the prediction reference).
+    recon: Frame,
+    /// Original previous frame (similarity measurements).
+    prev_original: Frame,
+    frame_index: u64,
+    ops: OpCounts,
+    /// ME searches performed in the frame currently being encoded.
+    frame_me_invocations: u32,
+}
+
+impl Encoder {
+    /// Creates an encoder; the first frame passed to
+    /// [`Encoder::encode_frame`] is always coded intra.
+    pub fn new(cfg: EncoderConfig) -> Self {
+        Encoder {
+            cfg,
+            grid: MbGrid::new(cfg.format),
+            recon: Frame::new(cfg.format),
+            prev_original: Frame::new(cfg.format),
+            frame_index: 0,
+            ops: OpCounts::new(),
+            frame_me_invocations: 0,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &EncoderConfig {
+        &self.cfg
+    }
+
+    /// Changes the quantizer for subsequent frames — the hook a rate
+    /// controller ([`crate::rate::RateController`]) drives. The QP is
+    /// carried per frame in the picture header, so the decoder follows
+    /// automatically.
+    pub fn set_qp(&mut self, qp: Qp) {
+        self.cfg.qp = qp;
+    }
+
+    /// Cumulative operation counts since construction (or the last
+    /// [`Encoder::take_ops`]).
+    pub fn ops(&self) -> &OpCounts {
+        &self.ops
+    }
+
+    /// Returns and resets the cumulative operation counts.
+    pub fn take_ops(&mut self) -> OpCounts {
+        std::mem::take(&mut self.ops)
+    }
+
+    /// The encoder's current reconstructed reference frame (what a
+    /// loss-free decoder would display for the last encoded frame).
+    pub fn reconstructed(&self) -> &Frame {
+        &self.recon
+    }
+
+    /// Index the next encoded frame will get.
+    pub fn next_frame_index(&self) -> u64 {
+        self.frame_index
+    }
+
+    /// Encodes one frame under the given refresh policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame`'s format differs from the configured format.
+    pub fn encode_frame(&mut self, frame: &Frame, policy: &mut dyn RefreshPolicy) -> EncodedFrame {
+        assert_eq!(
+            frame.format(),
+            self.cfg.format,
+            "frame format does not match encoder configuration"
+        );
+        let fctx = FrameContext {
+            frame_index: self.frame_index,
+            format: self.cfg.format,
+            mb_count: self.grid.len(),
+        };
+        let kind = if self.frame_index == 0 {
+            FrameKind::Intra
+        } else {
+            policy.begin_frame(&fctx)
+        };
+
+        let mut w = BitWriter::new();
+        w.put_bits(PICTURE_START_CODE, PICTURE_START_CODE_LEN);
+        w.put_bits((self.frame_index & 0xFF) as u32, 8);
+        w.put_bit(kind == FrameKind::Inter);
+        w.put_bits(self.cfg.qp.get() as u32, 5);
+        w.put_bit(self.cfg.half_pel);
+        w.put_bit(self.cfg.deblock);
+        // Source format: 2-bit code for the standard sizes, escape code 3
+        // followed by the dimensions in macroblock units. The decoder
+        // validates this against its configured format instead of
+        // silently mis-parsing a stream of the wrong size.
+        match self.cfg.format {
+            VideoFormat::SQCIF => w.put_bits(0, 2),
+            VideoFormat::QCIF => w.put_bits(1, 2),
+            VideoFormat::CIF => w.put_bits(2, 2),
+            custom => {
+                w.put_bits(3, 2);
+                w.put_bits(custom.mb_cols() as u32, 8);
+                w.put_bits(custom.mb_rows() as u32, 8);
+            }
+        }
+
+        let mut new_recon = Frame::new(self.cfg.format);
+        let mut stats = FrameStats::default();
+        let mut mb_modes = Vec::with_capacity(self.grid.len());
+
+        for mb in self.grid.iter().collect::<Vec<_>>() {
+            let mode = match kind {
+                FrameKind::Intra => {
+                    self.code_intra_mb(&mut w, frame, &mut new_recon, mb);
+                    // Policies observe I-frame macroblocks too (GOP resets
+                    // its cycle; PBPAIR refreshes its matrix). The
+                    // colocated SAD is computed as for P-frames; for frame
+                    // 0 the previous original is black, so similarity-based
+                    // policies correctly see "nothing to conceal from".
+                    let (ox, oy) = mb.luma_origin();
+                    let colocated_sad = frame.y().sad_colocated(
+                        self.prev_original.y(),
+                        ox,
+                        oy,
+                        LUMA_BLOCK,
+                        LUMA_BLOCK,
+                    );
+                    self.ops.sad_ops += 256;
+                    policy.mb_coded(
+                        &fctx,
+                        &MbOutcome {
+                            mb,
+                            mode: MbMode::Intra,
+                            mv: MotionVector::ZERO,
+                            sad_mv: None,
+                            me_performed: false,
+                            colocated_sad,
+                        },
+                    );
+                    MbMode::Intra
+                }
+                FrameKind::Inter => {
+                    self.code_p_mb(&mut w, frame, &mut new_recon, mb, policy, &fctx)
+                }
+            };
+            match mode {
+                MbMode::Intra => stats.intra_mbs += 1,
+                MbMode::Inter => stats.inter_mbs += 1,
+                MbMode::Skip => stats.skip_mbs += 1,
+            }
+            mb_modes.push(mode);
+        }
+
+        if self.cfg.deblock {
+            crate::deblock::deblock_frame(&mut new_recon, self.cfg.qp);
+        }
+
+        stats.bits = w.bit_len();
+        stats.me_invocations = self.frame_me_invocations;
+        self.frame_me_invocations = 0;
+
+        let data = w.finish();
+        self.ops.frames += 1;
+        self.ops.intra_mbs += stats.intra_mbs as u64;
+        self.ops.inter_mbs += stats.inter_mbs as u64;
+        self.ops.skip_mbs += stats.skip_mbs as u64;
+        self.ops.bits_emitted += stats.bits;
+
+        policy.end_frame(&fctx, &stats);
+
+        self.recon = new_recon;
+        self.prev_original = frame.clone();
+        let index = self.frame_index;
+        self.frame_index += 1;
+
+        EncodedFrame {
+            index,
+            kind,
+            data,
+            stats,
+            mb_modes,
+        }
+    }
+}
+
+// The per-frame ME counter lives on the struct to avoid threading it
+// through every call; it is reset at each frame end.
+impl Encoder {
+    fn code_p_mb(
+        &mut self,
+        w: &mut BitWriter,
+        frame: &Frame,
+        new_recon: &mut Frame,
+        mb: MbIndex,
+        policy: &mut dyn RefreshPolicy,
+        fctx: &FrameContext,
+    ) -> MbMode {
+        let (ox, oy) = mb.luma_origin();
+        // Content-similarity measurement (SAD against the colocated MB of
+        // the previous original frame); one 256-op SAD, charged uniformly.
+        let colocated_sad =
+            frame
+                .y()
+                .sad_colocated(self.prev_original.y(), ox, oy, LUMA_BLOCK, LUMA_BLOCK);
+        self.ops.sad_ops += 256;
+
+        let ctx = MbContext {
+            frame_index: self.frame_index,
+            mb,
+            cur_luma: frame.y(),
+            ref_luma: self.recon.y(),
+            colocated_sad,
+        };
+
+        let pre = policy.pre_me_mode(&ctx);
+        let (mode, mv, sad_mv, me_performed) = if pre == PreMeDecision::ForceIntra {
+            (MbMode::Intra, SubPelVector::ZERO, None, false)
+        } else {
+            let me_result = me::search(frame.y(), self.recon.y(), mb, self.cfg.me, &mut |mv| {
+                policy.me_bias(&ctx, mv)
+            });
+            self.ops.me_invocations += 1;
+            self.frame_me_invocations += 1;
+            self.ops.sad_candidates += me_result.candidates as u64;
+            self.ops.sad_ops += me_result.sad_ops;
+
+            let sad_self = me::sad_self(frame.y(), mb);
+            self.ops.sad_ops += 512; // mean + deviation pass
+            let natural_intra = me_result.sad > sad_self + self.cfg.intra_bias as u64;
+            let post = policy.post_me_mode(&ctx, &me_result);
+            if natural_intra || post == PostMeDecision::ForceIntra {
+                (MbMode::Intra, SubPelVector::ZERO, Some(me_result.sad), true)
+            } else if self.cfg.half_pel {
+                let refined =
+                    me::refine_half_pel(frame.y(), self.recon.y(), mb, me_result.mv, me_result.sad);
+                self.ops.sad_ops += refined.sad_ops;
+                (MbMode::Inter, refined.mv, Some(refined.sad), true)
+            } else {
+                (
+                    MbMode::Inter,
+                    SubPelVector::integer(me_result.mv),
+                    Some(me_result.sad),
+                    true,
+                )
+            }
+        };
+
+        let final_mode = match mode {
+            MbMode::Intra => {
+                w.put_bit(false); // COD = 0: coded
+                w.put_bit(true); // intra
+                self.code_intra_mb(w, frame, new_recon, mb);
+                MbMode::Intra
+            }
+            _ => self.code_inter_mb(w, frame, new_recon, mb, mv),
+        };
+
+        policy.mb_coded(
+            fctx,
+            &MbOutcome {
+                mb,
+                mode: final_mode,
+                mv: if final_mode == MbMode::Inter {
+                    mv.int
+                } else {
+                    MotionVector::ZERO
+                },
+                sad_mv,
+                me_performed,
+                colocated_sad,
+            },
+        );
+        final_mode
+    }
+
+    /// Codes one intra macroblock (shared by I-frames and forced-intra MBs
+    /// of P-frames; the caller writes any COD/mode bits first).
+    fn code_intra_mb(
+        &mut self,
+        w: &mut BitWriter,
+        frame: &Frame,
+        new_recon: &mut Frame,
+        mb: MbIndex,
+    ) {
+        let (lx, ly) = mb.luma_origin();
+        let (cx, cy) = mb.chroma_origin();
+        // Block order: Y0 Y1 Y2 Y3 (raster 8×8 quadrants), Cb, Cr.
+        let mut levels: Vec<[i32; 64]> = Vec::with_capacity(6);
+        let mut cbp = 0u8;
+        for (i, (px, py, plane)) in [
+            (lx, ly, frame.y()),
+            (lx + 8, ly, frame.y()),
+            (lx, ly + 8, frame.y()),
+            (lx + 8, ly + 8, frame.y()),
+            (cx, cy, frame.cb()),
+            (cx, cy, frame.cr()),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let spatial = load_block(plane, px, py);
+            let mut freq = [0i32; 64];
+            dct::forward(&spatial, &mut freq);
+            let quantized = quantize_block(&freq, self.cfg.qp, true);
+            let zig = zigzag::scan(&quantized);
+            if block_is_coded(&zig, 1) {
+                cbp |= 1 << (5 - i);
+            }
+            levels.push(zig);
+            self.ops.dct_blocks += 1;
+            self.ops.quant_blocks += 1;
+        }
+
+        vlc::write_cbp(w, cbp);
+        for (i, zig) in levels.iter().enumerate() {
+            w.put_bits(zig[0].clamp(0, 255) as u32, 8); // intra DC carrier
+            if cbp & (1 << (5 - i)) != 0 {
+                write_coeff_block(w, zig, 1);
+            }
+        }
+
+        // Reconstruction (identical to the decoder).
+        for (i, zig) in levels.iter().enumerate() {
+            let quantized = zigzag::unscan(zig);
+            let coefs = dequantize_block(&quantized, self.cfg.qp, true);
+            let mut spatial = [0i32; 64];
+            dct::inverse(&coefs, &mut spatial);
+            self.ops.dequant_blocks += 1;
+            self.ops.idct_blocks += 1;
+            let (dx, dy, plane) = match i {
+                0 => (lx, ly, new_recon.y_mut()),
+                1 => (lx + 8, ly, new_recon.y_mut()),
+                2 => (lx, ly + 8, new_recon.y_mut()),
+                3 => (lx + 8, ly + 8, new_recon.y_mut()),
+                4 => (cx, cy, new_recon.cb_mut()),
+                _ => (cx, cy, new_recon.cr_mut()),
+            };
+            store_block_clamped(plane, dx, dy, &spatial);
+        }
+    }
+
+    /// Codes one inter macroblock, with automatic demotion to skip when
+    /// the vector is zero and every block quantizes to nothing. Returns
+    /// the final mode ([`MbMode::Inter`] or [`MbMode::Skip`]).
+    fn code_inter_mb(
+        &mut self,
+        w: &mut BitWriter,
+        frame: &Frame,
+        new_recon: &mut Frame,
+        mb: MbIndex,
+        mv: SubPelVector,
+    ) -> MbMode {
+        let (lx, ly) = mb.luma_origin();
+        let (cx, cy) = mb.chroma_origin();
+
+        // Predictions.
+        let mut pred_y = [0u8; LUMA_BLOCK * LUMA_BLOCK];
+        predict_luma_subpel(self.recon.y(), mb, mv, &mut pred_y);
+        let mut pred_cb = [0u8; CHROMA_BLOCK * CHROMA_BLOCK];
+        let mut pred_cr = [0u8; CHROMA_BLOCK * CHROMA_BLOCK];
+        predict_chroma_subpel(self.recon.cb(), mb, mv, &mut pred_cb);
+        predict_chroma_subpel(self.recon.cr(), mb, mv, &mut pred_cr);
+        self.ops.mc_luma_blocks += 1;
+        self.ops.mc_chroma_blocks += 2;
+
+        // Residual transform per block.
+        let sub = [(0usize, 0usize), (8, 0), (0, 8), (8, 8)];
+        let mut levels: Vec<[i32; 64]> = Vec::with_capacity(6);
+        let mut cbp = 0u8;
+        for (i, &(sx, sy)) in sub.iter().enumerate() {
+            let resid = residual_block(frame.y(), lx + sx, ly + sy, &pred_y, LUMA_BLOCK, sx, sy);
+            let mut freq = [0i32; 64];
+            dct::forward(&resid, &mut freq);
+            let quantized = quantize_block(&freq, self.cfg.qp, false);
+            let zig = zigzag::scan(&quantized);
+            if block_is_coded(&zig, 0) {
+                cbp |= 1 << (5 - i);
+            }
+            levels.push(zig);
+            self.ops.dct_blocks += 1;
+            self.ops.quant_blocks += 1;
+        }
+        for (i, (plane, pred)) in [(frame.cb(), &pred_cb), (frame.cr(), &pred_cr)]
+            .into_iter()
+            .enumerate()
+        {
+            let resid = residual_block(plane, cx, cy, pred, CHROMA_BLOCK, 0, 0);
+            let mut freq = [0i32; 64];
+            dct::forward(&resid, &mut freq);
+            let quantized = quantize_block(&freq, self.cfg.qp, false);
+            let zig = zigzag::scan(&quantized);
+            if block_is_coded(&zig, 0) {
+                cbp |= 1 << (1 - i);
+            }
+            levels.push(zig);
+            self.ops.dct_blocks += 1;
+            self.ops.quant_blocks += 1;
+        }
+
+        if mv.is_zero() && cbp == 0 {
+            // Skip: single COD bit, reconstruction = colocated copy.
+            w.put_bit(true);
+            store_pred(
+                new_recon.y_mut(),
+                lx,
+                ly,
+                &pred_y,
+                LUMA_BLOCK,
+                0,
+                0,
+                LUMA_BLOCK,
+            );
+            store_pred(
+                new_recon.cb_mut(),
+                cx,
+                cy,
+                &pred_cb,
+                CHROMA_BLOCK,
+                0,
+                0,
+                CHROMA_BLOCK,
+            );
+            store_pred(
+                new_recon.cr_mut(),
+                cx,
+                cy,
+                &pred_cr,
+                CHROMA_BLOCK,
+                0,
+                0,
+                CHROMA_BLOCK,
+            );
+            return MbMode::Skip;
+        }
+
+        w.put_bit(false); // COD = 0
+        w.put_bit(false); // inter
+        if self.cfg.half_pel {
+            let (hx, hy) = mv.to_half_units();
+            vlc::write_mvd(w, hx);
+            vlc::write_mvd(w, hy);
+        } else {
+            vlc::write_mvd(w, mv.int.x);
+            vlc::write_mvd(w, mv.int.y);
+        }
+        vlc::write_cbp(w, cbp);
+        for (i, zig) in levels.iter().enumerate() {
+            if cbp & (1 << (5 - i)) != 0 {
+                write_coeff_block(w, zig, 0);
+            }
+        }
+
+        // Reconstruction.
+        for (i, zig) in levels.iter().enumerate() {
+            let coded = cbp & (1 << (5 - i)) != 0;
+            let resid = if coded {
+                let quantized = zigzag::unscan(zig);
+                let coefs = dequantize_block(&quantized, self.cfg.qp, false);
+                let mut spatial = [0i32; 64];
+                dct::inverse(&coefs, &mut spatial);
+                self.ops.dequant_blocks += 1;
+                self.ops.idct_blocks += 1;
+                spatial
+            } else {
+                [0i32; 64]
+            };
+            match i {
+                0..=3 => {
+                    let (sx, sy) = sub[i];
+                    store_pred_plus_residual(
+                        new_recon.y_mut(),
+                        lx + sx,
+                        ly + sy,
+                        &pred_y,
+                        LUMA_BLOCK,
+                        sx,
+                        sy,
+                        &resid,
+                    );
+                }
+                4 => store_pred_plus_residual(
+                    new_recon.cb_mut(),
+                    cx,
+                    cy,
+                    &pred_cb,
+                    CHROMA_BLOCK,
+                    0,
+                    0,
+                    &resid,
+                ),
+                _ => store_pred_plus_residual(
+                    new_recon.cr_mut(),
+                    cx,
+                    cy,
+                    &pred_cr,
+                    CHROMA_BLOCK,
+                    0,
+                    0,
+                    &resid,
+                ),
+            }
+        }
+        MbMode::Inter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::NaturalPolicy;
+    use pbpair_media::metrics;
+    use pbpair_media::synth::SyntheticSequence;
+
+    fn encode_n(n: usize, seed: u64) -> (Encoder, Vec<EncodedFrame>, Vec<Frame>) {
+        let mut enc = Encoder::new(EncoderConfig::default());
+        let mut policy = NaturalPolicy::new();
+        let mut seq = SyntheticSequence::foreman_class(seed);
+        let mut encoded = Vec::new();
+        let mut originals = Vec::new();
+        for _ in 0..n {
+            let f = seq.next_frame();
+            encoded.push(enc.encode_frame(&f, &mut policy));
+            originals.push(f);
+        }
+        (enc, encoded, originals)
+    }
+
+    #[test]
+    fn first_frame_is_always_intra() {
+        let (_, encoded, _) = encode_n(2, 1);
+        assert_eq!(encoded[0].kind, FrameKind::Intra);
+        assert_eq!(encoded[0].stats.intra_mbs, 99);
+        assert_eq!(encoded[1].kind, FrameKind::Inter);
+    }
+
+    #[test]
+    fn reconstruction_tracks_the_original() {
+        let (enc, _, originals) = encode_n(5, 2);
+        let p = metrics::psnr_y(originals.last().unwrap(), enc.reconstructed());
+        assert!(p > 28.0, "encoder reconstruction PSNR too low: {p}");
+    }
+
+    #[test]
+    fn p_frames_are_much_smaller_than_i_frames() {
+        let (_, encoded, _) = encode_n(4, 3);
+        let i_bits = encoded[0].stats.bits;
+        let p_bits = encoded[2].stats.bits;
+        assert!(
+            p_bits * 2 < i_bits,
+            "P-frame ({p_bits} bits) should be well under the I-frame ({i_bits} bits)"
+        );
+    }
+
+    #[test]
+    fn ops_are_accounted() {
+        let (enc, encoded, _) = encode_n(3, 4);
+        let ops = enc.ops();
+        assert_eq!(ops.frames, 3);
+        assert_eq!(ops.total_mbs(), 3 * 99);
+        // I-frame has no ME; P-frames search for non-forced MBs.
+        assert!(ops.me_invocations > 0);
+        assert!(ops.me_invocations <= 2 * 99);
+        assert!(ops.sad_ops > 0);
+        assert_eq!(
+            ops.bits_emitted,
+            encoded.iter().map(|e| e.stats.bits).sum::<u64>()
+        );
+        // 6 blocks per coded MB are transformed (skip MBs transform too
+        // before demotion).
+        assert!(ops.dct_blocks >= (ops.intra_mbs + ops.inter_mbs) * 6);
+    }
+
+    #[test]
+    fn mb_modes_match_stats() {
+        let (_, encoded, _) = encode_n(3, 5);
+        for e in &encoded {
+            let intra = e.mb_modes.iter().filter(|m| **m == MbMode::Intra).count() as u32;
+            let inter = e.mb_modes.iter().filter(|m| **m == MbMode::Inter).count() as u32;
+            let skip = e.mb_modes.iter().filter(|m| **m == MbMode::Skip).count() as u32;
+            assert_eq!(intra, e.stats.intra_mbs);
+            assert_eq!(inter, e.stats.inter_mbs);
+            assert_eq!(skip, e.stats.skip_mbs);
+        }
+    }
+
+    #[test]
+    fn static_content_produces_skip_mbs() {
+        // A perfectly static source (flat frames) must devolve to skip
+        // macroblocks after the first frame.
+        let mut enc = Encoder::new(EncoderConfig::default());
+        let mut policy = NaturalPolicy::new();
+        let flat = Frame::flat(VideoFormat::QCIF, 90);
+        let _ = enc.encode_frame(&flat, &mut policy);
+        let e = enc.encode_frame(&flat, &mut policy);
+        assert_eq!(e.stats.skip_mbs, 99, "static frame should fully skip");
+        assert!(e.stats.bits < 200, "a fully skipped frame is ~1 bit/MB");
+    }
+
+    #[test]
+    #[should_panic(expected = "format")]
+    fn wrong_format_panics() {
+        let mut enc = Encoder::new(EncoderConfig::default());
+        let mut policy = NaturalPolicy::new();
+        let wrong = Frame::new(VideoFormat::CIF);
+        let _ = enc.encode_frame(&wrong, &mut policy);
+    }
+}

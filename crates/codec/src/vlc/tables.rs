@@ -1,0 +1,155 @@
+//! Static frequency models and the lazily-built shared codebooks.
+//!
+//! Weights follow the qualitative statistics that shaped the H.263 tables:
+//! coefficient events decay geometrically in RUN and LEVEL and LAST events
+//! are rarer than non-LAST; motion-vector components decay geometrically in
+//! magnitude with 0 most likely; coded block patterns favor "all luma, no
+//! chroma" and "nothing coded". The exact constants only shape code
+//! lengths — correctness needs only prefix-freeness, which the canonical
+//! builder guarantees.
+
+use super::huffman::Codebook;
+use super::{TCOEF_LEVEL_MAX, TCOEF_RUN_MAX};
+use std::sync::OnceLock;
+
+/// Symbol id of the TCOEF escape codeword.
+pub const TCOEF_ESCAPE: usize = 0;
+/// Symbol id of the MVD escape codeword.
+pub const MVD_ESCAPE: usize = 0;
+
+const RUNS: usize = TCOEF_RUN_MAX as usize + 1; // 15
+const LEVELS: usize = TCOEF_LEVEL_MAX as usize; // 8
+
+/// Maps a regular (last, run, |level|) event to its symbol id (1-based;
+/// 0 is the escape).
+pub fn tcoef_symbol(last: bool, run: u8, mag: i16) -> usize {
+    debug_assert!((run as usize) < RUNS);
+    debug_assert!(mag >= 1 && (mag as usize) <= LEVELS);
+    1 + ((last as usize * RUNS) + run as usize) * LEVELS + (mag as usize - 1)
+}
+
+/// Inverse of [`tcoef_symbol`].
+pub fn tcoef_unsymbol(sym: usize) -> (bool, u8, i16) {
+    debug_assert!(sym >= 1);
+    let s = sym - 1;
+    let mag = (s % LEVELS) as i16 + 1;
+    let rest = s / LEVELS;
+    let run = (rest % RUNS) as u8;
+    let last = rest / RUNS == 1;
+    (last, run, mag)
+}
+
+/// The shared TCOEF codebook (escape + 2·15·8 regular events).
+pub fn tcoef_codebook() -> &'static Codebook {
+    static BOOK: OnceLock<Codebook> = OnceLock::new();
+    BOOK.get_or_init(|| {
+        let mut weights = Vec::with_capacity(1 + 2 * RUNS * LEVELS);
+        // Escape: comparable to a mid-rarity event so its code stays ~10 bits.
+        weights.push(3_000_000u64);
+        for last in [false, true] {
+            for run in 0..RUNS {
+                for level in 1..=LEVELS {
+                    let w = 4.0e12
+                        * 0.72f64.powi(run as i32)
+                        * 0.40f64.powi(level as i32 - 1)
+                        * if last { 0.12 } else { 1.0 };
+                    weights.push((w as u64).max(1_000));
+                }
+            }
+        }
+        Codebook::from_weights(&weights)
+    })
+}
+
+/// Maps an MVD component in `-16..=16` to its symbol id.
+pub fn mvd_symbol(v: i16) -> usize {
+    debug_assert!((-16..=16).contains(&v));
+    (v + 16) as usize + 1
+}
+
+/// Inverse of [`mvd_symbol`].
+pub fn mvd_unsymbol(sym: usize) -> i16 {
+    debug_assert!(sym >= 1);
+    sym as i16 - 1 - 16
+}
+
+/// The shared motion-vector-component codebook (escape + −16..=16).
+pub fn mvd_codebook() -> &'static Codebook {
+    static BOOK: OnceLock<Codebook> = OnceLock::new();
+    BOOK.get_or_init(|| {
+        let mut weights = Vec::with_capacity(34);
+        weights.push(40u64); // escape: rarest
+        for v in -16i32..=16 {
+            let w = 1.0e9 * 0.60f64.powi(v.abs());
+            weights.push((w as u64).max(50));
+        }
+        Codebook::from_weights(&weights)
+    })
+}
+
+/// The shared coded-block-pattern codebook (64 patterns).
+pub fn cbp_codebook() -> &'static Codebook {
+    static BOOK: OnceLock<Codebook> = OnceLock::new();
+    BOOK.get_or_init(|| {
+        let mut weights = Vec::with_capacity(64);
+        for cbp in 0u32..64 {
+            let ones = cbp.count_ones() as i32;
+            let zeros = 6 - ones;
+            // Mixture: mass near "everything coded" and near "nothing
+            // coded", the two regimes of low-QP inter coding.
+            let dense = 1.0e9 * 0.55f64.powi(zeros);
+            let sparse = 0.8e9 * 0.45f64.powi(ones);
+            weights.push((dense + sparse) as u64 + 1);
+        }
+        Codebook::from_weights(&weights)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcoef_symbol_mapping_roundtrips() {
+        for last in [false, true] {
+            for run in 0..=TCOEF_RUN_MAX {
+                for mag in 1..=TCOEF_LEVEL_MAX {
+                    let sym = tcoef_symbol(last, run, mag);
+                    assert!((1..=2 * RUNS * LEVELS).contains(&sym));
+                    assert_eq!(tcoef_unsymbol(sym), (last, run, mag));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mvd_symbol_mapping_roundtrips() {
+        for v in -16i16..=16 {
+            assert_eq!(mvd_unsymbol(mvd_symbol(v)), v);
+        }
+    }
+
+    #[test]
+    fn codebooks_have_expected_sizes() {
+        assert_eq!(tcoef_codebook().len(), 1 + 2 * RUNS * LEVELS);
+        assert_eq!(mvd_codebook().len(), 34);
+        assert_eq!(cbp_codebook().len(), 64);
+    }
+
+    #[test]
+    fn codebooks_fit_the_length_budget() {
+        assert!(tcoef_codebook().max_code_len() <= 28);
+        assert!(mvd_codebook().max_code_len() <= 28);
+        assert!(cbp_codebook().max_code_len() <= 28);
+    }
+
+    #[test]
+    fn all_luma_cbp_is_short() {
+        let book = cbp_codebook();
+        let all = book.code_len(0b111111);
+        let none = book.code_len(0b000000);
+        let odd = book.code_len(0b010101);
+        assert!(all <= odd);
+        assert!(none <= odd);
+    }
+}

@@ -1,0 +1,70 @@
+//! Zigzag scan order for 8×8 coefficient blocks.
+//!
+//! The scan orders coefficients from low to high spatial frequency so the
+//! run-length (LAST, RUN, LEVEL) events see long zero runs at the tail.
+
+use crate::dct::BLOCK_LEN;
+
+/// Natural (row-major) index of the n-th coefficient in zigzag order —
+/// the standard JPEG/H.263 scan.
+pub const ZIGZAG: [usize; BLOCK_LEN] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Reorders a natural-order block into zigzag order.
+pub fn scan(natural: &[i32; BLOCK_LEN]) -> [i32; BLOCK_LEN] {
+    std::array::from_fn(|i| natural[ZIGZAG[i]])
+}
+
+/// Reorders a zigzag-order block back into natural order.
+pub fn unscan(zig: &[i32; BLOCK_LEN]) -> [i32; BLOCK_LEN] {
+    let mut out = [0i32; BLOCK_LEN];
+    for (i, &v) in zig.iter().enumerate() {
+        out[ZIGZAG[i]] = v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; BLOCK_LEN];
+        for &i in &ZIGZAG {
+            assert!(i < BLOCK_LEN);
+            assert!(!seen[i], "index {i} repeated");
+            seen[i] = true;
+        }
+    }
+
+    #[test]
+    fn scan_unscan_roundtrip() {
+        let natural: [i32; BLOCK_LEN] = std::array::from_fn(|i| i as i32 * 3 - 50);
+        assert_eq!(unscan(&scan(&natural)), natural);
+    }
+
+    #[test]
+    fn first_entries_follow_the_diagonal() {
+        // 0, then (0,1), (1,0), (2,0), (1,1), (0,2)...
+        assert_eq!(&ZIGZAG[..6], &[0, 1, 8, 16, 9, 2]);
+        assert_eq!(ZIGZAG[63], 63);
+    }
+
+    #[test]
+    fn scan_moves_low_frequencies_first() {
+        // A block with energy only in the top-left 2x2 must be entirely
+        // within the first 5 zigzag positions.
+        let mut natural = [0i32; BLOCK_LEN];
+        natural[0] = 5;
+        natural[1] = 4;
+        natural[8] = 3;
+        natural[9] = 2;
+        let z = scan(&natural);
+        assert!(z[..5].iter().filter(|&&v| v != 0).count() == 4);
+        assert!(z[5..].iter().all(|&v| v == 0));
+    }
+}

@@ -1,0 +1,71 @@
+//! Robustness fuzzing: the decoder must reject arbitrary garbage and
+//! arbitrarily truncated/corrupted valid streams with an `Err` — never a
+//! panic, never an out-of-bounds access. This is what "erroneous data
+//! streams" (paper §2) actually look like to a receiver.
+
+use pbpair_codec::{Decoder, Encoder, EncoderConfig, NaturalPolicy};
+use pbpair_media::synth::SyntheticSequence;
+use pbpair_media::VideoFormat;
+use proptest::prelude::*;
+
+/// A valid two-frame stream to mutate.
+fn valid_frames() -> Vec<Vec<u8>> {
+    let mut enc = Encoder::new(EncoderConfig::default());
+    let mut policy = NaturalPolicy::new();
+    let mut seq = SyntheticSequence::foreman_class(8);
+    (0..2)
+        .map(|_| enc.encode_frame(&seq.next_frame(), &mut policy).data)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_bytes_never_panic_the_decoder(data in prop::collection::vec(any::<u8>(), 0..4000)) {
+        let mut dec = Decoder::new(VideoFormat::QCIF);
+        // Any result is fine; panicking or hanging is not.
+        let _ = dec.decode_frame(&data);
+    }
+
+    #[test]
+    fn truncated_valid_streams_never_panic(cut in 0usize..10_000) {
+        let frames = valid_frames();
+        let data = &frames[0];
+        let cut = cut.min(data.len());
+        let mut dec = Decoder::new(VideoFormat::QCIF);
+        let _ = dec.decode_frame(&data[..cut]);
+        // The decoder must still work on the intact stream afterwards.
+        let (frame, _) = dec.decode_frame(data).expect("intact stream decodes");
+        prop_assert_eq!(frame.format(), VideoFormat::QCIF);
+    }
+
+    #[test]
+    fn bit_flips_never_panic(
+        byte_idx in 0usize..10_000,
+        bit in 0u8..8
+    ) {
+        let frames = valid_frames();
+        for data in &frames {
+            let mut corrupted = data.clone();
+            let idx = byte_idx % corrupted.len();
+            corrupted[idx] ^= 1 << bit;
+            let mut dec = Decoder::new(VideoFormat::QCIF);
+            // A flipped bit may still decode (to a wrong picture) or
+            // error; both are acceptable. No panic, no OOB.
+            let _ = dec.decode_frame(&corrupted);
+        }
+    }
+
+    #[test]
+    fn byte_deletions_never_panic(at in 0usize..10_000) {
+        let frames = valid_frames();
+        let data = &frames[1];
+        let at = at % data.len();
+        let mut corrupted = data.clone();
+        corrupted.remove(at);
+        let mut dec = Decoder::new(VideoFormat::QCIF);
+        let _ = dec.decode_frame(&frames[0]);
+        let _ = dec.decode_frame(&corrupted);
+    }
+}

@@ -1,0 +1,232 @@
+//! Property-based tests of the codec's serialization and transform
+//! layers: every stage must roundtrip (or bound its error) for *all*
+//! inputs, not just the ones unit tests enumerate.
+
+use pbpair_codec::bitstream::{BitReader, BitWriter};
+use pbpair_codec::blockcode::{block_is_coded, read_coeff_block, write_coeff_block};
+use pbpair_codec::dct;
+use pbpair_codec::quant::{dequantize_ac, quantize_ac, Qp};
+use pbpair_codec::vlc::{self, TcoefEvent};
+use pbpair_codec::zigzag;
+use pbpair_codec::{Decoder, Encoder, EncoderConfig, MeConfig, NaturalPolicy, SearchStrategy};
+use pbpair_media::VideoFormat;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bitstream_mixed_field_roundtrip(
+        fields in prop::collection::vec((0u32..=u32::MAX, 1u32..=32), 1..200)
+    ) {
+        let mut w = BitWriter::new();
+        let mut expect = Vec::new();
+        for (value, n) in fields {
+            let masked = if n == 32 { value } else { value & ((1u32 << n) - 1) };
+            w.put_bits(masked, n);
+            expect.push((masked, n));
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for (value, n) in expect {
+            prop_assert_eq!(r.get_bits(n).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn exp_golomb_roundtrip(values in prop::collection::vec(any::<u32>(), 1..100)) {
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.put_ue(v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            prop_assert_eq!(r.get_ue().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn signed_exp_golomb_roundtrip(values in prop::collection::vec(any::<i32>(), 1..100)) {
+        // se(v) maps i32 through u32 zigzag; i32::MIN maps to u32::MAX.
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.put_se(v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            prop_assert_eq!(r.get_se().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn tcoef_event_roundtrip(
+        last in any::<bool>(),
+        run in 0u8..=62,
+        level in prop::sample::select(
+            (-2048i16..=2048).filter(|&l| l != 0).collect::<Vec<_>>()
+        )
+    ) {
+        let ev = TcoefEvent { last, run, level };
+        let mut w = BitWriter::new();
+        vlc::write_tcoef(&mut w, ev);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        prop_assert_eq!(vlc::read_tcoef(&mut r).unwrap(), ev);
+    }
+
+    #[test]
+    fn mvd_roundtrip(values in prop::collection::vec(-512i16..=512, 1..64)) {
+        let mut w = BitWriter::new();
+        for &v in &values {
+            vlc::write_mvd(&mut w, v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            prop_assert_eq!(vlc::read_mvd(&mut r).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn coeff_block_roundtrip(
+        levels in prop::collection::vec(-300i32..=300, 64),
+        first in 0usize..2
+    ) {
+        let mut zig = [0i32; 64];
+        zig.copy_from_slice(&levels);
+        // Zero out the skipped prefix so comparison is meaningful.
+        for c in zig.iter_mut().take(first) {
+            *c = 0;
+        }
+        prop_assume!(block_is_coded(&zig, first));
+        let mut w = BitWriter::new();
+        write_coeff_block(&mut w, &zig, first);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        prop_assert_eq!(read_coeff_block(&mut r, first).unwrap(), zig);
+    }
+
+    #[test]
+    fn zigzag_is_involutive(levels in prop::collection::vec(any::<i32>(), 64)) {
+        let mut natural = [0i32; 64];
+        natural.copy_from_slice(&levels);
+        prop_assert_eq!(zigzag::unscan(&zigzag::scan(&natural)), natural);
+    }
+
+    #[test]
+    fn dct_roundtrip_error_is_bounded(samples in prop::collection::vec(-255i32..=255, 64)) {
+        let mut block = [0i32; 64];
+        block.copy_from_slice(&samples);
+        let mut freq = [0i32; 64];
+        let mut back = [0i32; 64];
+        dct::forward(&block, &mut freq);
+        dct::inverse(&freq, &mut back);
+        for i in 0..64 {
+            prop_assert!(
+                (block[i] - back[i]).abs() <= 2,
+                "sample {} off by {}",
+                i,
+                (block[i] - back[i]).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn quantizer_error_is_bounded_in_representable_range(
+        qp_raw in 1u8..=31,
+        coef in -6000i32..=6000
+    ) {
+        let qp = Qp::new(qp_raw).unwrap();
+        let representable = 2 * qp_raw as i32 * 120;
+        prop_assume!(coef.abs() <= representable);
+        let rec = dequantize_ac(quantize_ac(coef, qp), qp);
+        let bound = 2 * qp_raw as i32 + qp_raw as i32 / 2 + 1;
+        prop_assert!((coef - rec).abs() <= bound);
+    }
+
+    #[test]
+    fn encoder_decoder_agree_for_any_configuration(
+        qp_raw in 1u8..=31,
+        seed in any::<u64>(),
+        half_pel in any::<bool>(),
+        three_step in any::<bool>(),
+        range in 3u8..=15
+    ) {
+        // Whole-codec property: for any quantizer, search strategy,
+        // precision and content seed, the decoder reproduces the
+        // encoder's reconstruction bit-exactly over a short clip.
+        let cfg = EncoderConfig {
+            qp: pbpair_codec::Qp::new(qp_raw).unwrap(),
+            half_pel,
+            me: MeConfig {
+                search_range: range,
+                strategy: if three_step {
+                    SearchStrategy::ThreeStep
+                } else {
+                    SearchStrategy::Full
+                },
+            },
+            ..EncoderConfig::default()
+        };
+        let mut enc = Encoder::new(cfg);
+        let mut dec = Decoder::new(VideoFormat::QCIF);
+        let mut policy = NaturalPolicy::new();
+        let mut seq = pbpair_media::synth::SyntheticSequence::foreman_class(seed);
+        for _ in 0..2 {
+            let f = seq.next_frame();
+            let e = enc.encode_frame(&f, &mut policy);
+            let (decoded, info) = dec.decode_frame(&e.data).unwrap();
+            prop_assert_eq!(&decoded, enc.reconstructed());
+            prop_assert_eq!(info.qp.get(), qp_raw);
+        }
+    }
+
+    #[test]
+    fn subpel_half_unit_representation_roundtrips(hx in -64i16..=64, hy in -64i16..=64) {
+        use pbpair_codec::mb::SubPelVector;
+        let v = SubPelVector::from_half_units(hx, hy);
+        prop_assert_eq!(v.to_half_units(), (hx, hy));
+        // Integer part is the floor of half-units / 2.
+        prop_assert_eq!(v.int.x, hx.div_euclid(2));
+        prop_assert_eq!(v.int.y, hy.div_euclid(2));
+    }
+
+    #[test]
+    fn deblock_changes_are_bounded_by_strength(
+        seed in any::<u64>(),
+        s in 1i32..=15
+    ) {
+        use pbpair_codec::deblock::filter_plane;
+        use pbpair_media::Plane;
+        let mut rng = seed;
+        let mut next = || {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (rng >> 56) as u8
+        };
+        let original = Plane::from_fn(32, 32, |_, _| next());
+        let mut filtered = original.clone();
+        filter_plane(&mut filtered, s);
+        // A pixel adjacent to both a horizontal and a vertical boundary is
+        // filtered by both passes, so the worst case is 2·s.
+        for (a, b) in original.samples().iter().zip(filtered.samples()) {
+            prop_assert!(
+                (*a as i32 - *b as i32).abs() <= 2 * s,
+                "sample moved {} with strength {}",
+                (*a as i32 - *b as i32).abs(),
+                s
+            );
+        }
+    }
+
+    #[test]
+    fn quantizer_preserves_sign(qp_raw in 1u8..=31, coef in -6000i32..=6000) {
+        let qp = Qp::new(qp_raw).unwrap();
+        let level = quantize_ac(coef, qp);
+        if level != 0 {
+            prop_assert_eq!(level.signum(), coef.signum());
+            prop_assert_eq!(dequantize_ac(level, qp).signum(), coef.signum());
+        }
+    }
+}

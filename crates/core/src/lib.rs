@@ -1,0 +1,50 @@
+//! PBPAIR — Probability Based Power Aware Intra Refresh — and the
+//! baseline error-resilient coding schemes it is evaluated against.
+//!
+//! This crate is the reproduction of the primary contribution of
+//! *"Probability Based Power Aware Error Resilient Coding"* (Kim, Oh,
+//! Dutt, Nicolau, Venkatasubramanian — ICDCS 2005):
+//!
+//! * [`correctness`] — the per-macroblock probability-of-correctness
+//!   matrix `C^k` and its update rules (the paper's Equations 1–3),
+//! * [`PbpairPolicy`] — the PBPAIR encoder policy: threshold-based mode
+//!   selection *before* motion estimation (the energy saving) and a
+//!   σ-aware motion search (the resilience gain),
+//! * [`schemes`] — the NO / GOP-N / AIR-N / PGOP-N baselines from the
+//!   paper's Section 2, all as [`pbpair_codec::RefreshPolicy`]
+//!   implementations over the same codec,
+//! * [`adapt`] — the §3.2 power-aware extension: controllers that move
+//!   `Intra_Th` with network feedback and energy budgets.
+//!
+//! # Example: encode under PBPAIR and watch the energy win
+//!
+//! ```rust
+//! use pbpair::{schemes::NoPolicy, PbpairConfig, PbpairPolicy};
+//! use pbpair_codec::{Encoder, EncoderConfig};
+//! use pbpair_media::{synth::SyntheticSequence, VideoFormat};
+//!
+//! # fn main() -> Result<(), String> {
+//! let run = |policy: &mut dyn pbpair_codec::RefreshPolicy| {
+//!     let mut enc = Encoder::new(EncoderConfig::default());
+//!     let mut seq = SyntheticSequence::foreman_class(7);
+//!     for _ in 0..10 {
+//!         let _ = enc.encode_frame(&seq.next_frame(), policy);
+//!     }
+//!     enc.take_ops().sad_ops
+//! };
+//! let mut no = NoPolicy::new();
+//! let mut pb = PbpairPolicy::new(VideoFormat::QCIF, PbpairConfig::default())?;
+//! let (sad_no, sad_pb) = (run(&mut no), run(&mut pb));
+//! assert!(sad_pb < sad_no, "PBPAIR skips motion-estimation work");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod adapt;
+pub mod correctness;
+mod pbpair;
+pub mod schemes;
+
+pub use correctness::{CorrectnessMatrix, SimilarityModel};
+pub use pbpair::{PbpairConfig, PbpairPolicy, SimilarityInput};
+pub use schemes::{build_policy, AirPolicy, GopPolicy, NoPolicy, PgopPolicy, SchemeSpec};

@@ -1,0 +1,169 @@
+//! Ablation policies: PBPAIR with individual design choices disabled.
+//!
+//! DESIGN.md calls out the paper's two load-bearing design decisions;
+//! these policies isolate them so the benches can price each:
+//!
+//! 1. **Early (pre-ME) mode decision** — [`LatePbpairPolicy`] moves the
+//!    `σ < Intra_Th` test *after* motion estimation. The refresh pattern
+//!    (and therefore resilience) is identical to PBPAIR's, but every
+//!    macroblock pays for its search — exactly AIR's cost structure. The
+//!    energy delta between `PbpairPolicy` and `LatePbpairPolicy` *is* the
+//!    paper's energy contribution.
+//! 2. **σ-aware motion search** — disabled by `PbpairConfig { lambda:
+//!    0.0, .. }` on the normal policy (no separate type needed).
+//! 3. **Similarity factor** — disabled by `PbpairConfig { similarity:
+//!    SimilarityModel::None, .. }` (the paper's Equation 3).
+
+use crate::correctness::CorrectnessMatrix;
+use crate::pbpair::PbpairConfig;
+use pbpair_codec::{
+    FrameContext, FrameKind, FrameStats, MbContext, MbMode, MbOutcome, MeResult, MotionVector,
+    PostMeDecision, RefreshPolicy,
+};
+use pbpair_media::VideoFormat;
+
+/// PBPAIR with the mode decision moved after motion estimation (ablation
+/// of the paper's early-decision energy optimization).
+#[derive(Debug, Clone)]
+pub struct LatePbpairPolicy {
+    cfg: PbpairConfig,
+    matrix: CorrectnessMatrix,
+}
+
+impl LatePbpairPolicy {
+    /// Creates the ablated policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid.
+    pub fn new(format: VideoFormat, cfg: PbpairConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        Ok(LatePbpairPolicy {
+            matrix: CorrectnessMatrix::new(format, cfg.similarity),
+            cfg,
+        })
+    }
+
+    /// Read access to the correctness matrix.
+    pub fn matrix(&self) -> &CorrectnessMatrix {
+        &self.matrix
+    }
+}
+
+impl RefreshPolicy for LatePbpairPolicy {
+    fn begin_frame(&mut self, _ctx: &FrameContext) -> FrameKind {
+        FrameKind::Inter
+    }
+
+    // NOTE: no `pre_me_mode` override — the search always runs.
+
+    fn me_bias(&mut self, ctx: &MbContext<'_>, mv: MotionVector) -> i64 {
+        if self.cfg.lambda == 0.0 {
+            return 0;
+        }
+        let (ox, oy) = ctx.mb.luma_origin();
+        let sigma_ref = self
+            .matrix
+            .sigma_of_region(ox as isize + mv.x as isize, oy as isize + mv.y as isize);
+        (self.cfg.lambda * (1.0 - sigma_ref) * self.cfg.penalty_scale) as i64
+    }
+
+    fn post_me_mode(&mut self, ctx: &MbContext<'_>, _me: &MeResult) -> PostMeDecision {
+        // Same dithered threshold as the early-decision policy so the
+        // refresh patterns stay comparable (the ablation isolates *when*
+        // the decision happens, not *what* it decides).
+        if self.matrix.sigma(ctx.mb)
+            < crate::pbpair::dithered_threshold(
+                self.cfg.intra_th,
+                self.cfg.threshold_jitter,
+                self.matrix.grid().flat_index(ctx.mb),
+            )
+        {
+            PostMeDecision::ForceIntra
+        } else {
+            PostMeDecision::Keep
+        }
+    }
+
+    fn mb_coded(&mut self, _ctx: &FrameContext, outcome: &MbOutcome) {
+        match outcome.mode {
+            MbMode::Intra => {
+                self.matrix
+                    .update_intra(outcome.mb, outcome.colocated_sad, self.cfg.plr)
+            }
+            MbMode::Inter | MbMode::Skip => self.matrix.update_inter(
+                outcome.mb,
+                outcome.mv,
+                outcome.colocated_sad,
+                self.cfg.plr,
+            ),
+        }
+    }
+
+    fn end_frame(&mut self, _ctx: &FrameContext, _stats: &FrameStats) {
+        self.matrix.commit_frame();
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "PBPAIR-late(th={:.2},plr={:.2})",
+            self.cfg.intra_th, self.cfg.plr
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbpair_codec::{Encoder, EncoderConfig};
+    use pbpair_media::synth::SyntheticSequence;
+
+    fn encode(policy: &mut dyn RefreshPolicy, frames: usize) -> (pbpair_codec::OpCounts, Vec<u32>) {
+        let mut enc = Encoder::new(EncoderConfig::default());
+        let mut seq = SyntheticSequence::foreman_class(11);
+        let mut intra = Vec::new();
+        for _ in 0..frames {
+            let e = enc.encode_frame(&seq.next_frame(), policy);
+            intra.push(e.stats.intra_mbs);
+        }
+        (enc.take_ops(), intra)
+    }
+
+    #[test]
+    fn late_decision_refreshes_like_pbpair_but_always_searches() {
+        let cfg = PbpairConfig {
+            intra_th: 0.93,
+            ..PbpairConfig::default()
+        };
+        let mut early = crate::PbpairPolicy::new(VideoFormat::QCIF, cfg).unwrap();
+        let mut late = LatePbpairPolicy::new(VideoFormat::QCIF, cfg).unwrap();
+        let (ops_early, intra_early) = encode(&mut early, 12);
+        let (ops_late, intra_late) = encode(&mut late, 12);
+
+        // Same correctness dynamics → (nearly) identical refresh counts.
+        // Small divergence is possible because the σ-aware bias can pick
+        // different vectors once reconstructions drift, but the totals
+        // must be close.
+        let total_early: u32 = intra_early.iter().sum();
+        let total_late: u32 = intra_late.iter().sum();
+        let diff = total_early.abs_diff(total_late) as f64;
+        assert!(
+            diff / total_early.max(1) as f64 <= 0.25,
+            "refresh counts diverge: early {total_early} vs late {total_late}"
+        );
+
+        // The ablation: the late variant searches every P-frame MB.
+        assert_eq!(ops_late.me_invocations, 11 * 99);
+        assert!(
+            ops_early.me_invocations < ops_late.me_invocations,
+            "early decision must skip searches"
+        );
+        assert!(ops_early.sad_ops < ops_late.sad_ops);
+    }
+
+    #[test]
+    fn label_marks_the_ablation() {
+        let p = LatePbpairPolicy::new(VideoFormat::QCIF, PbpairConfig::default()).unwrap();
+        assert!(p.label().starts_with("PBPAIR-late"));
+    }
+}

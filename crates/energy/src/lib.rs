@@ -1,0 +1,31 @@
+//! Operation-accounting energy model for the PBPAIR reproduction.
+//!
+//! The paper measures encoding energy by sampling the voltage drop across
+//! a sense resistor on battery-less PDAs. This crate substitutes a model:
+//! the codec reports what it *did* ([`pbpair_codec::OpCounts`]) and
+//! per-device cost profiles ([`profile`]) convert that into Joules
+//! ([`model`]), preserving the between-scheme energy ratios the paper's
+//! headline result is about. A [`Battery`] tracker supports the §3.2
+//! residual-energy adaptation scenario.
+//!
+//! # Example
+//!
+//! ```rust
+//! use pbpair_energy::{EnergyModel, IPAQ_H5555, ZAURUS_SL5600};
+//! use pbpair_codec::OpCounts;
+//!
+//! let ops = OpCounts { sad_ops: 800_000, dct_blocks: 594, ..OpCounts::default() };
+//! let ipaq = EnergyModel::new(IPAQ_H5555).encoding_energy(&ops);
+//! let zaurus = EnergyModel::new(ZAURUS_SL5600).encoding_energy(&ops);
+//! assert!(ipaq.get() > 0.0 && zaurus.get() > 0.0);
+//! ```
+
+pub mod battery;
+pub mod dvs;
+pub mod model;
+pub mod profile;
+
+pub use battery::Battery;
+pub use dvs::{DvfsGovernor, DvfsLevel, XSCALE_LEVELS};
+pub use model::{EnergyBreakdown, EnergyModel, Joules};
+pub use profile::{DeviceProfile, IPAQ_H5555, ZAURUS_SL5600};

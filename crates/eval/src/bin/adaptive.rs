@@ -1,0 +1,37 @@
+//! Regenerates the §3.2 extension experiment: PBPAIR with receiver PLR
+//! feedback (window estimator → `α` update + closed-form `Intra_Th`
+//! compensation) vs a static configuration, over a calm→burst→calm loss
+//! schedule.
+//!
+//! Usage: `cargo run --release -p pbpair-eval --bin adaptive`
+
+use pbpair_eval::experiments::adaptive::{run_adaptive, LossSchedule};
+use pbpair_eval::experiments::frames_from_env;
+
+fn main() {
+    let frames = frames_from_env(300);
+    let schedule = LossSchedule::calm_burst_calm(frames as u64);
+    eprintln!("adaptive: {frames} frames, loss schedule 2% → 25% → 5%");
+    match run_adaptive(frames, &schedule) {
+        Ok(report) => {
+            println!("{}", report.table());
+            // Print the trajectories every 10 frames so the adaptation is
+            // visible in text.
+            println!("## trajectories (every 10th frame)");
+            println!("frame  th(static)  th(quality)  th(bitrate)  plr-estimate");
+            for f in (0..report.frames).step_by(10) {
+                println!(
+                    "{f:>5}  {:>10.3}  {:>11.3}  {:>11.3}  {:>12.3}",
+                    report.fixed.th_trace[f],
+                    report.quality_priority.th_trace[f],
+                    report.bitrate_priority.th_trace[f],
+                    report.bitrate_priority.plr_trace[f]
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("adaptive failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

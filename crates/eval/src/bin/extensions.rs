@@ -1,0 +1,44 @@
+//! Regenerates the §5 future-work extension experiments: FEC
+//! cooperation, concealment cooperation, and DVS/DFS cooperation.
+//!
+//! Usage: `cargo run --release -p pbpair-eval --bin extensions`
+
+use pbpair_eval::experiments::extensions::{
+    concealment_table, congestion_table, dvs_table, fec_table, run_concealment, run_congestion,
+    run_dvs, run_fec,
+};
+use pbpair_eval::experiments::frames_from_env;
+
+fn main() {
+    let frames = frames_from_env(150);
+
+    match run_fec(frames, 0.05, 120) {
+        Ok(rows) => println!("{}", fec_table(&rows, frames, 0.05)),
+        Err(e) => {
+            eprintln!("fec experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    match run_concealment(frames, 0.15) {
+        Ok(rows) => println!("{}", concealment_table(&rows, frames, 0.15)),
+        Err(e) => {
+            eprintln!("concealment experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    match run_congestion(frames, 15.0) {
+        Ok(rows) => println!("{}", congestion_table(&rows, frames, 15.0)),
+        Err(e) => {
+            eprintln!("congestion experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    let dvs_frames = frames.min(60); // full-search frames are expensive
+    match run_dvs(dvs_frames, 5.0) {
+        Ok(rows) => println!("{}", dvs_table(&rows, dvs_frames, 5.0)),
+        Err(e) => {
+            eprintln!("dvs experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

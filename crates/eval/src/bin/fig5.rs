@@ -1,0 +1,42 @@
+//! Regenerates Figure 5: NO / PBPAIR / PGOP-3 / GOP-3 / AIR-24 on the
+//! foreman/akiyo/garden workloads at PLR = 10% — average PSNR, bad
+//! pixels, encoded size, and encoding energy on both PDAs.
+//!
+//! Usage: `cargo run --release -p pbpair-eval --bin fig5`
+//! (`PBPAIR_FRAMES=60` for a quick pass.)
+
+use pbpair_eval::experiments::fig5::{run_fig5, Fig5Options};
+use pbpair_eval::experiments::frames_from_env;
+use pbpair_eval::report::fmt_f;
+
+fn main() {
+    let frames = frames_from_env(300);
+    let opts = Fig5Options {
+        frames,
+        calibration_frames: frames.min(90),
+        ..Fig5Options::default()
+    };
+    eprintln!(
+        "fig5: {} frames/sequence, PLR {:.0}% (uniform frame discard)",
+        opts.frames,
+        opts.plr * 100.0
+    );
+    match run_fig5(opts) {
+        Ok(report) => {
+            for (seq, th) in &report.calibrated_th {
+                println!(
+                    "calibrated Intra_Th for {seq}: {} (size-matched to PGOP-3)",
+                    fmt_f(*th, 4)
+                );
+            }
+            println!();
+            for t in report.tables() {
+                println!("{t}");
+            }
+        }
+        Err(e) => {
+            eprintln!("fig5 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

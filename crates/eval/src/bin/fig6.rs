@@ -1,0 +1,31 @@
+//! Regenerates Figure 6: per-frame PSNR and frame-size series for PBPAIR
+//! vs PGOP-1 / GOP-8 / AIR-10 under seven scripted loss events (e7 hits a
+//! GOP-8 I-frame), foreman, 50 frames.
+//!
+//! Usage: `cargo run --release -p pbpair-eval --bin fig6`
+
+use pbpair_eval::experiments::fig6::{run_fig6, Fig6Options};
+use pbpair_eval::report::fmt_f;
+
+fn main() {
+    let opts = Fig6Options::default();
+    eprintln!(
+        "fig6: {} frames, loss events at {:?}",
+        opts.frames, opts.loss_events
+    );
+    match run_fig6(opts) {
+        Ok(report) => {
+            println!(
+                "calibrated Intra_Th: {} (size-matched to AIR-10)\n",
+                fmt_f(report.calibrated_th, 4)
+            );
+            println!("{}", report.psnr_table());
+            println!("{}", report.size_table());
+            println!("{}", report.recovery_table());
+        }
+        Err(e) => {
+            eprintln!("fig6 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates the headline claim: PBPAIR's encoding-energy reduction vs
+//! AIR-24 / GOP-3 / PGOP-3 at matched compression (paper: 34% / 24% /
+//! 17%), on both PDA profiles.
+//!
+//! Usage: `cargo run --release -p pbpair-eval --bin headline`
+
+use pbpair_eval::experiments::fig5::Fig5Options;
+use pbpair_eval::experiments::frames_from_env;
+use pbpair_eval::experiments::headline::run_headline;
+
+fn main() {
+    let frames = frames_from_env(300);
+    let opts = Fig5Options {
+        frames,
+        calibration_frames: frames.min(90),
+        ..Fig5Options::default()
+    };
+    eprintln!("headline: deriving energy reductions from a {frames}-frame Figure-5 run");
+    match run_headline(opts) {
+        Ok(report) => println!("{}", report.table()),
+        Err(e) => {
+            eprintln!("headline failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

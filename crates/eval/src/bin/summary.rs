@@ -1,0 +1,151 @@
+//! One-page digest: runs every experiment at reduced scale and prints the
+//! headline numbers side by side with the paper's claims — the quickest
+//! way to check the whole reproduction is alive.
+//!
+//! Usage: `cargo run --release -p pbpair-eval --bin summary`
+//! (`PBPAIR_FRAMES` scales it; default 60 frames per cell.)
+
+use pbpair_eval::experiments::adaptive::{run_adaptive, LossSchedule};
+use pbpair_eval::experiments::extensions::{run_congestion, run_dvs, run_fec};
+use pbpair_eval::experiments::fig5::Fig5Options;
+use pbpair_eval::experiments::fig6::{run_fig6, Fig6Options};
+use pbpair_eval::experiments::frames_from_env;
+use pbpair_eval::experiments::headline::run_headline;
+use pbpair_eval::report::{fmt_f, fmt_pct, Table};
+
+fn main() {
+    let frames = frames_from_env(60);
+    eprintln!("summary: {frames} frames per cell (PBPAIR_FRAMES to change)\n");
+    let mut digest = Table::new("PBPAIR reproduction digest (reduced scale)");
+    digest.set_headers(["claim", "paper", "measured"]);
+
+    // Headline energy reductions (drives a Figure-5 run).
+    match run_headline(Fig5Options::quick(frames)) {
+        Ok(report) => {
+            let row = &report.rows[0];
+            digest.add_row([
+                "encoding energy saved vs AIR-24".to_string(),
+                "34%".to_string(),
+                fmt_pct(row.vs_air),
+            ]);
+            digest.add_row([
+                "… vs GOP-3".to_string(),
+                "24%".to_string(),
+                fmt_pct(row.vs_gop),
+            ]);
+            digest.add_row([
+                "… vs PGOP-3".to_string(),
+                "17%".to_string(),
+                fmt_pct(row.vs_pgop),
+            ]);
+            let fig5 = &report.fig5;
+            let psnr_gap = |scheme: &str| -> f64 {
+                fig5.cells
+                    .iter()
+                    .filter(|c| c.scheme == scheme)
+                    .map(|c| c.avg_psnr)
+                    .sum::<f64>()
+                    / 3.0
+            };
+            digest.add_row([
+                "PSNR at matched size: PBPAIR − PGOP-3 (dB)".to_string(),
+                "≈0".to_string(),
+                fmt_f(psnr_gap("PBPAIR") - psnr_gap("PGOP-3"), 2),
+            ]);
+        }
+        Err(e) => eprintln!("headline failed: {e}"),
+    }
+
+    // Figure 6: recovery ordering.
+    match run_fig6(Fig6Options {
+        frames: frames.min(50),
+        ..Fig6Options::default()
+    }) {
+        Ok(report) => {
+            let mean = |i: usize| report.mean_recovery(i);
+            digest.add_row([
+                "mean recovery: PBPAIR ≤ AIR-10 (frames)".to_string(),
+                "faster".to_string(),
+                format!("{} vs {}", fmt_f(mean(0), 1), fmt_f(mean(3), 1)),
+            ]);
+            digest.add_row([
+                "GOP-8 worst mean recovery (I-frame loss)".to_string(),
+                "worst case N frames".to_string(),
+                fmt_f(mean(2), 1),
+            ]);
+            let gop = &report.series[2];
+            let spike =
+                gop.frame_bytes[9] as f64 / gop.frame_bytes[1..9].iter().sum::<u64>() as f64 * 8.0;
+            digest.add_row([
+                "GOP I-frame size spike over its P-frames".to_string(),
+                "~5–6×".to_string(),
+                format!("{}×", fmt_f(spike, 1)),
+            ]);
+        }
+        Err(e) => eprintln!("fig6 failed: {e}"),
+    }
+
+    // §3.2 adaptation.
+    match run_adaptive(frames, &LossSchedule::calm_burst_calm(frames as u64)) {
+        Ok(report) => {
+            digest.add_row([
+                "quality-priority adaptation bits vs static".to_string(),
+                "lower".to_string(),
+                format!(
+                    "{} vs {} KB",
+                    report.quality_priority.total_bytes / 1024,
+                    report.fixed.total_bytes / 1024
+                ),
+            ]);
+        }
+        Err(e) => eprintln!("adaptive failed: {e}"),
+    }
+
+    // §5 extensions.
+    match run_fec(frames.min(60), 0.05, 120) {
+        Ok(rows) => {
+            digest.add_row([
+                "frames usable with XOR FEC k=4 (5% pkt loss)".to_string(),
+                "—".to_string(),
+                format!(
+                    "{} vs {} without",
+                    rows[1].frames_usable, rows[0].frames_usable
+                ),
+            ]);
+        }
+        Err(e) => eprintln!("fec failed: {e}"),
+    }
+    match run_congestion(frames.min(60), 15.0) {
+        Ok(rows) => {
+            let gop = rows.iter().find(|r| r.scheme == "GOP-8").unwrap();
+            let pb = rows.iter().find(|r| r.scheme == "PBPAIR capped").unwrap();
+            digest.add_row([
+                "peak link delay: GOP-8 vs capped PBPAIR (ms)".to_string(),
+                "GOP congests".to_string(),
+                format!(
+                    "{} vs {}",
+                    fmt_f(gop.max_delay_ms, 0),
+                    fmt_f(pb.max_delay_ms, 0)
+                ),
+            ]);
+        }
+        Err(e) => eprintln!("congestion failed: {e}"),
+    }
+    match run_dvs(frames.min(24), 5.0) {
+        Ok(rows) => {
+            digest.add_row([
+                "DVS gain: PBPAIR vs NO".to_string(),
+                "amplified".to_string(),
+                format!(
+                    "{} vs {}",
+                    fmt_pct(rows[1].dvs_gain),
+                    fmt_pct(rows[0].dvs_gain)
+                ),
+            ]);
+        }
+        Err(e) => eprintln!("dvs failed: {e}"),
+    }
+
+    println!("{digest}");
+    println!("Full-scale numbers and analysis: EXPERIMENTS.md");
+}

@@ -1,0 +1,19 @@
+//! Regenerates the §4.3 trade-off: intra-MB count, encoded size, and
+//! energy across the full `Intra_Th` range, including the boundary
+//! behaviours (`Th → 0`: no resilience; `Th → 1`: all intra).
+//!
+//! Usage: `cargo run --release -p pbpair-eval --bin sweep_intra_th`
+
+use pbpair_eval::experiments::frames_from_env;
+use pbpair_eval::experiments::sweeps::sweep_intra_th;
+
+fn main() {
+    let frames = frames_from_env(150);
+    match sweep_intra_th(frames, 0.10) {
+        Ok(report) => println!("{}", report.table()),
+        Err(e) => {
+            eprintln!("sweep_intra_th failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates the §4.4 trade-off: PSNR and bad pixels across the
+//! (PLR × `Intra_Th`) grid — higher thresholds buy quality under loss.
+//!
+//! Usage: `cargo run --release -p pbpair-eval --bin sweep_plr`
+
+use pbpair_eval::experiments::frames_from_env;
+use pbpair_eval::experiments::sweeps::sweep_plr_grid;
+
+fn main() {
+    let frames = frames_from_env(150);
+    match sweep_plr_grid(frames) {
+        Ok(report) => println!("{}", report.table()),
+        Err(e) => {
+            eprintln!("sweep_plr failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Plain-text table rendering for the experiment harnesses.
+//!
+//! Every figure binary prints the same rows/series the paper reports;
+//! [`Table`] keeps that output aligned and diff-friendly so
+//! EXPERIMENTS.md can embed it verbatim.
+
+use std::fmt;
+
+/// A fixed-width text table.
+///
+/// # Example
+///
+/// ```rust
+/// use pbpair_eval::report::Table;
+///
+/// let mut t = Table::new("Average PSNR (dB), PLR = 10%");
+/// t.set_headers(["scheme", "foreman", "akiyo", "garden"]);
+/// t.add_row(["PBPAIR", "29.1", "35.2", "24.8"]);
+/// let text = t.to_string();
+/// assert!(text.contains("PBPAIR"));
+/// assert!(text.contains("foreman"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title line.
+    pub fn new(title: impl Into<String>) -> Self {
+        Table {
+            title: title.into(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the header row.
+    pub fn set_headers<I, S>(&mut self, headers: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if headers are set and the row width differs.
+    pub fn add_row<I, S>(&mut self, row: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert!(
+            self.headers.is_empty() || row.len() == self.headers.len(),
+            "row width {} does not match header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        if !self.headers.is_empty() {
+            write_row(f, &self.headers, &widths)?;
+            let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+            write_row(f, &rule, &widths)?;
+        }
+        for row in &self.rows {
+            write_row(f, row, &widths)?;
+        }
+        Ok(())
+    }
+}
+
+fn write_row(f: &mut fmt::Formatter<'_>, cells: &[String], widths: &[usize]) -> fmt::Result {
+    let mut line = String::new();
+    for (i, w) in widths.iter().enumerate() {
+        let cell = cells.get(i).map(String::as_str).unwrap_or("");
+        if i == 0 {
+            line.push_str(&format!("{cell:<w$}"));
+        } else {
+            line.push_str(&format!("  {cell:>w$}"));
+        }
+    }
+    writeln!(f, "{}", line.trim_end())
+}
+
+/// Formats a float with the given precision (helper for table cells).
+pub fn fmt_f(v: f64, prec: usize) -> String {
+    if v.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{v:.prec$}")
+    }
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("T");
+        t.set_headers(["a", "long-header", "b"]);
+        t.add_row(["x", "1", "22222"]);
+        t.add_row(["yyyy", "333", "4"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "## T");
+        // All data lines share the same width-per-column alignment:
+        assert!(lines[1].contains("long-header"));
+        assert!(lines[2].starts_with('-'));
+        assert!(lines[3].starts_with("x   "));
+    }
+
+    #[test]
+    fn headerless_table_renders() {
+        let mut t = Table::new("no headers");
+        t.add_row(["1", "2"]);
+        assert!(t.to_string().contains('2'));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("T");
+        t.set_headers(["a", "b"]);
+        t.add_row(["only-one"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_f(f64::NAN, 2), "n/a");
+        assert_eq!(fmt_pct(0.345), "34.5%");
+    }
+}

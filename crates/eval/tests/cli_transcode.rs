@@ -1,0 +1,116 @@
+//! End-to-end tests of the `transcode` command-line binary: argument
+//! parsing, the synthetic and Y4M input paths, the output file, and the
+//! failure modes a user will actually hit.
+
+use std::process::Command;
+
+fn transcode() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_transcode"))
+}
+
+#[test]
+fn synthetic_roundtrip_writes_a_playable_y4m() {
+    let out = std::env::temp_dir().join(format!("pbpair_cli_{}.y4m", std::process::id()));
+    let output = transcode()
+        .args([
+            "--synth",
+            "akiyo",
+            "--scheme",
+            "pbpair",
+            "--plr",
+            "0.1",
+            "--frames",
+            "12",
+            "--output",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("PBPAIR"), "{stdout}");
+    assert!(stdout.contains("avg PSNR"), "{stdout}");
+
+    // The output must be a parseable Y4M with 12 QCIF frames.
+    let bytes = std::fs::read(&out).unwrap();
+    let mut reader =
+        pbpair_media::y4m::Y4mReader::new(std::io::Cursor::new(bytes)).expect("valid y4m");
+    use pbpair_media::synth::FrameSource;
+    assert_eq!(reader.format(), pbpair_media::VideoFormat::QCIF);
+    let mut n = 0;
+    while reader.try_next_frame().is_some() {
+        n += 1;
+    }
+    assert_eq!(n, 12);
+    let _ = std::fs::remove_file(&out);
+}
+
+#[test]
+fn y4m_input_path_works() {
+    // Produce a tiny clip with the library, feed it back through the CLI.
+    use pbpair_media::synth::SyntheticSequence;
+    use pbpair_media::y4m::Y4mWriter;
+    let input = std::env::temp_dir().join(format!("pbpair_cli_in_{}.y4m", std::process::id()));
+    {
+        let file = std::fs::File::create(&input).unwrap();
+        let mut w = Y4mWriter::new(
+            std::io::BufWriter::new(file),
+            pbpair_media::VideoFormat::QCIF,
+            30,
+        )
+        .unwrap();
+        let mut seq = SyntheticSequence::garden_class(9);
+        for _ in 0..6 {
+            w.write_frame(&seq.next_frame()).unwrap();
+        }
+        use std::io::Write as _;
+        w.finish().unwrap().flush().unwrap();
+    }
+    let output = transcode()
+        .args([
+            "--input",
+            input.to_str().unwrap(),
+            "--scheme",
+            "gop-3",
+            "--frames",
+            "6",
+            "--plr",
+            "0",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("GOP-3"), "{stdout}");
+    assert!(stdout.contains("frames lost       : 0"), "{stdout}");
+    let _ = std::fs::remove_file(&input);
+}
+
+#[test]
+fn bad_arguments_exit_nonzero_with_usage() {
+    let output = transcode()
+        .args(["--scheme", "nonsense-42"])
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("usage:"));
+}
+
+#[test]
+fn missing_input_file_reports_cleanly() {
+    let output = transcode()
+        .args(["--input", "/definitely/not/here.y4m"])
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("cannot open"), "{stderr}");
+}

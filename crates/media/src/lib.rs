@@ -1,0 +1,40 @@
+//! Video primitives, synthetic workloads, and quality metrics for the PBPAIR
+//! reproduction.
+//!
+//! This crate is the lowest layer of the workspace: it knows nothing about
+//! coding or networks. It provides
+//!
+//! * [`Plane`] and [`Frame`] — 8-bit luma/chroma storage in YUV 4:2:0,
+//! * [`VideoFormat`] — QCIF/CIF geometry and the 16×16 macroblock grid,
+//! * [`synth`] — seeded procedural QCIF sequences that stand in for the
+//!   FOREMAN / AKIYO / GARDEN clips used by the paper (same motion classes,
+//!   deterministic),
+//! * [`y4m`] — a minimal YUV4MPEG2 reader/writer so real clips can be used,
+//! * [`metrics`] — PSNR and the paper's bad-pixel counter.
+//!
+//! # Example
+//!
+//! ```rust
+//! use pbpair_media::{synth::SyntheticSequence, metrics, VideoFormat};
+//!
+//! let mut seq = SyntheticSequence::foreman_class(7);
+//! let a = seq.next_frame();
+//! let b = seq.next_frame();
+//! assert_eq!(a.format(), VideoFormat::QCIF);
+//! // Consecutive frames of a moderate-motion clip are similar but not equal.
+//! let psnr = metrics::psnr_y(&a, &b);
+//! assert!(psnr > 15.0 && psnr < 60.0);
+//! ```
+
+pub mod format;
+pub mod frame;
+pub mod mbgrid;
+pub mod metrics;
+pub mod plane;
+pub mod synth;
+pub mod y4m;
+
+pub use format::VideoFormat;
+pub use frame::Frame;
+pub use mbgrid::{MbGrid, MbIndex};
+pub use plane::Plane;

@@ -1,0 +1,99 @@
+//! Property-based tests of the media primitives.
+
+use pbpair_media::{metrics, MbGrid, Plane, VideoFormat};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn plane_block_copy_paste_roundtrip(
+        seed in any::<u64>(),
+        x in 0usize..160,
+        y in 0usize..128
+    ) {
+        // Paste an 8x8 block fully inside a QCIF plane and read it back.
+        let x = x.min(176 - 8);
+        let y = y.min(144 - 8);
+        let mut rng = seed;
+        let mut next = || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (rng >> 56) as u8
+        };
+        let block: Vec<u8> = (0..64).map(|_| next()).collect();
+        let mut p = Plane::new(176, 144);
+        p.paste_block(x, y, 8, 8, &block);
+        let mut out = vec![0u8; 64];
+        p.copy_block_clamped(x as isize, y as isize, 8, 8, &mut out);
+        prop_assert_eq!(out, block);
+    }
+
+    #[test]
+    fn clamped_reads_never_panic_and_stay_in_plane_values(
+        px in -100isize..300,
+        py in -100isize..300
+    ) {
+        let p = Plane::from_fn(32, 32, |x, y| ((x * 5 + y * 11) % 200) as u8 + 10);
+        let v = p.get_clamped(px, py);
+        prop_assert!((10..=209).contains(&v));
+    }
+
+    #[test]
+    fn overlap_weights_always_total_256(
+        px in -64isize..240,
+        py in -64isize..208
+    ) {
+        let grid = MbGrid::new(VideoFormat::QCIF);
+        let total: usize = grid.overlapped_mbs(px, py).iter().map(|(_, a)| a).sum();
+        prop_assert_eq!(total, 256);
+        for (mb, _) in grid.overlapped_mbs(px, py) {
+            prop_assert!(grid.contains(mb));
+        }
+    }
+
+    #[test]
+    fn flat_index_roundtrip(flat in 0usize..99) {
+        let grid = MbGrid::new(VideoFormat::QCIF);
+        prop_assert_eq!(grid.flat_index(grid.from_flat(flat)), flat);
+    }
+
+    #[test]
+    fn psnr_is_symmetric_and_nonnegative(
+        a_fill in 0u8..=255,
+        b_fill in 0u8..=255
+    ) {
+        let a = Plane::filled(16, 16, a_fill);
+        let b = Plane::filled(16, 16, b_fill);
+        let ab = metrics::psnr(&a, &b);
+        let ba = metrics::psnr(&b, &a);
+        if a_fill == b_fill {
+            prop_assert!(ab.is_infinite());
+        } else {
+            prop_assert!((ab - ba).abs() < 1e-12);
+            prop_assert!(ab > 0.0);
+        }
+    }
+
+    #[test]
+    fn bad_pixels_monotone_in_threshold(
+        diff in 0u8..=120,
+        th_lo in 0u8..=100,
+        th_hi in 0u8..=100
+    ) {
+        let (th_lo, th_hi) = (th_lo.min(th_hi), th_lo.max(th_hi));
+        let fmt = VideoFormat::custom(16, 16).unwrap();
+        let a = pbpair_media::Frame::flat(fmt, 100);
+        let b = pbpair_media::Frame::flat(fmt, 100u8.saturating_add(diff));
+        let lo = metrics::bad_pixels_with_threshold(&a, &b, th_lo);
+        let hi = metrics::bad_pixels_with_threshold(&a, &b, th_hi);
+        prop_assert!(hi <= lo, "higher threshold cannot find more bad pixels");
+    }
+
+    #[test]
+    fn sad_colocated_is_symmetric(fill_a in 0u8..=255, fill_b in 0u8..=255) {
+        let a = Plane::filled(16, 16, fill_a);
+        let b = Plane::filled(16, 16, fill_b);
+        prop_assert_eq!(
+            a.sad_colocated(&b, 0, 0, 16, 16),
+            b.sad_colocated(&a, 0, 0, 16, 16)
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Receiver-side packet-loss-rate estimation — the feedback path of the
+//! paper's §3.2 extension ("based on the feedback information from the
+//! network, PBPAIR can be extended to adjust Intra_Th").
+//!
+//! Two estimators: a sliding-window empirical rate (what an RTCP receiver
+//! report would carry) and an exponentially-weighted moving average for
+//! smoother control loops.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Sliding-window PLR estimator: the fraction of the last `window`
+/// transmissions that were lost.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowPlrEstimator {
+    window: usize,
+    history: VecDeque<bool>,
+    lost_in_window: usize,
+}
+
+impl WindowPlrEstimator {
+    /// Creates an estimator over the last `window` transmissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        WindowPlrEstimator {
+            window,
+            history: VecDeque::with_capacity(window),
+            lost_in_window: 0,
+        }
+    }
+
+    /// Records one transmission outcome.
+    pub fn record(&mut self, lost: bool) {
+        if self.history.len() == self.window && self.history.pop_front() == Some(true) {
+            self.lost_in_window -= 1;
+        }
+        self.history.push_back(lost);
+        if lost {
+            self.lost_in_window += 1;
+        }
+    }
+
+    /// The current estimate; `0.0` before any observation.
+    pub fn estimate(&self) -> f64 {
+        if self.history.is_empty() {
+            0.0
+        } else {
+            self.lost_in_window as f64 / self.history.len() as f64
+        }
+    }
+
+    /// Observations currently in the window.
+    pub fn observations(&self) -> usize {
+        self.history.len()
+    }
+}
+
+/// EWMA PLR estimator: `est ← (1−β)·est + β·outcome`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EwmaPlrEstimator {
+    beta: f64,
+    estimate: f64,
+    seen_any: bool,
+}
+
+impl EwmaPlrEstimator {
+    /// Creates an estimator with smoothing factor `beta` (weight of the
+    /// newest observation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is outside `(0, 1]`.
+    pub fn new(beta: f64) -> Self {
+        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0,1]");
+        EwmaPlrEstimator {
+            beta,
+            estimate: 0.0,
+            seen_any: false,
+        }
+    }
+
+    /// Records one transmission outcome.
+    pub fn record(&mut self, lost: bool) {
+        let x = if lost { 1.0 } else { 0.0 };
+        if self.seen_any {
+            self.estimate = (1.0 - self.beta) * self.estimate + self.beta * x;
+        } else {
+            self.estimate = x;
+            self.seen_any = true;
+        }
+    }
+
+    /// The current estimate; `0.0` before any observation.
+    pub fn estimate(&self) -> f64 {
+        self.estimate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_estimator_tracks_exact_rate() {
+        let mut e = WindowPlrEstimator::new(10);
+        assert_eq!(e.estimate(), 0.0);
+        for i in 0..10 {
+            e.record(i % 5 == 0); // 2 of 10 lost
+        }
+        assert!((e.estimate() - 0.2).abs() < 1e-12);
+        assert_eq!(e.observations(), 10);
+    }
+
+    #[test]
+    fn window_estimator_forgets_old_outcomes() {
+        let mut e = WindowPlrEstimator::new(4);
+        for _ in 0..4 {
+            e.record(true);
+        }
+        assert_eq!(e.estimate(), 1.0);
+        for _ in 0..4 {
+            e.record(false);
+        }
+        assert_eq!(e.estimate(), 0.0, "old losses must age out");
+    }
+
+    #[test]
+    fn ewma_converges_to_the_true_rate() {
+        let mut e = EwmaPlrEstimator::new(0.05);
+        // Deterministic 1-in-10 pattern.
+        for i in 0..2000 {
+            e.record(i % 10 == 0);
+        }
+        assert!(
+            (e.estimate() - 0.1).abs() < 0.05,
+            "estimate {}",
+            e.estimate()
+        );
+    }
+
+    #[test]
+    fn ewma_first_sample_initializes() {
+        let mut e = EwmaPlrEstimator::new(0.1);
+        e.record(true);
+        assert_eq!(e.estimate(), 1.0);
+    }
+
+    #[test]
+    fn ewma_reacts_faster_with_larger_beta() {
+        let run = |beta: f64| {
+            let mut e = EwmaPlrEstimator::new(beta);
+            for _ in 0..50 {
+                e.record(false);
+            }
+            for _ in 0..10 {
+                e.record(true); // rate jumps
+            }
+            e.estimate()
+        };
+        assert!(run(0.3) > run(0.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        let _ = WindowPlrEstimator::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn bad_beta_rejected() {
+        let _ = EwmaPlrEstimator::new(0.0);
+    }
+}

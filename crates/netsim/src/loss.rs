@@ -1,0 +1,382 @@
+//! Packet-loss models.
+//!
+//! The paper "uses a uniform distribution of frame discard to generate
+//! the packet loss pattern" — [`UniformLoss`]. A bursty Gilbert–Elliott
+//! model and a scripted model (for reproducing Figure 6's hand-placed
+//! loss events e1..e7) are provided as well; all models are seeded and
+//! fully deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Decides, packet by packet, what the network drops. Implementations are
+/// deterministic given their construction parameters.
+pub trait LossModel {
+    /// Returns true if the next packet (in transmission order) is lost.
+    fn next_lost(&mut self) -> bool;
+
+    /// Resets the model to its initial state.
+    fn reset(&mut self);
+}
+
+/// A loss-free channel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoLoss;
+
+impl LossModel for NoLoss {
+    fn next_lost(&mut self) -> bool {
+        false
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Independent (Bernoulli) loss at a fixed rate — the paper's uniform
+/// frame-discard pattern when applied at frame granularity.
+#[derive(Debug, Clone)]
+pub struct UniformLoss {
+    rate: f64,
+    seed: u64,
+    rng: StdRng,
+}
+
+impl UniformLoss {
+    /// Creates a uniform loss model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "loss rate must be in [0,1]");
+        UniformLoss {
+            rate,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configured loss rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl LossModel for UniformLoss {
+    fn next_lost(&mut self) -> bool {
+        self.rng.gen::<f64>() < self.rate
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+/// Two-state Gilbert–Elliott bursty loss: a Good state with low loss and
+/// a Bad state with high loss, with geometric sojourn times. Standard
+/// model for 802.11 fading channels; used by the extension experiments.
+#[derive(Debug, Clone)]
+pub struct GilbertElliott {
+    /// P(Good → Bad) per packet.
+    p_gb: f64,
+    /// P(Bad → Good) per packet.
+    p_bg: f64,
+    /// Loss probability while Good.
+    loss_good: f64,
+    /// Loss probability while Bad.
+    loss_bad: f64,
+    seed: u64,
+    rng: StdRng,
+    in_bad: bool,
+}
+
+impl GilbertElliott {
+    /// Creates the model starting in the Good state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    pub fn new(p_gb: f64, p_bg: f64, loss_good: f64, loss_bad: f64, seed: u64) -> Self {
+        for (name, p) in [
+            ("p_gb", p_gb),
+            ("p_bg", p_bg),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be in [0,1]");
+        }
+        GilbertElliott {
+            p_gb,
+            p_bg,
+            loss_good,
+            loss_bad,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            in_bad: false,
+        }
+    }
+
+    /// The long-run average loss rate of the chain.
+    pub fn steady_state_loss(&self) -> f64 {
+        if self.p_gb + self.p_bg == 0.0 {
+            return self.loss_good;
+        }
+        let pi_bad = self.p_gb / (self.p_gb + self.p_bg);
+        (1.0 - pi_bad) * self.loss_good + pi_bad * self.loss_bad
+    }
+}
+
+impl LossModel for GilbertElliott {
+    fn next_lost(&mut self) -> bool {
+        // Transition first, then sample loss in the new state.
+        let flip: f64 = self.rng.gen();
+        if self.in_bad {
+            if flip < self.p_bg {
+                self.in_bad = false;
+            }
+        } else if flip < self.p_gb {
+            self.in_bad = true;
+        }
+        let p = if self.in_bad {
+            self.loss_bad
+        } else {
+            self.loss_good
+        };
+        self.rng.gen::<f64>() < p
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.in_bad = false;
+    }
+}
+
+/// Hand-scripted losses by transmission index — how the Figure 6
+/// experiment places its seven loss events e1..e7 at exact frames.
+#[derive(Debug, Clone)]
+pub struct ScriptedLoss {
+    lost: BTreeSet<u64>,
+    cursor: u64,
+}
+
+impl ScriptedLoss {
+    /// Creates a model that drops exactly the given transmission indices
+    /// (0-based).
+    pub fn new<I: IntoIterator<Item = u64>>(lost: I) -> Self {
+        ScriptedLoss {
+            lost: lost.into_iter().collect(),
+            cursor: 0,
+        }
+    }
+
+    /// The scripted drop set.
+    pub fn lost_indices(&self) -> impl Iterator<Item = u64> + '_ {
+        self.lost.iter().copied()
+    }
+}
+
+impl LossModel for ScriptedLoss {
+    fn next_lost(&mut self) -> bool {
+        let lost = self.lost.contains(&self.cursor);
+        self.cursor += 1;
+        lost
+    }
+
+    fn reset(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+/// Trace-driven loss: replays a recorded loss pattern (one `bool` per
+/// transmission), cycling when the trace is shorter than the session.
+/// [`TraceLoss::parse`] reads the common text format of loss traces: one
+/// `0`/`1` (or `r`/`l`) per line or whitespace-separated, `#` comments.
+#[derive(Debug, Clone)]
+pub struct TraceLoss {
+    pattern: Vec<bool>,
+    cursor: usize,
+}
+
+impl TraceLoss {
+    /// Creates a model from an explicit pattern (`true` = lost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern is empty.
+    pub fn new(pattern: Vec<bool>) -> Self {
+        assert!(!pattern.is_empty(), "loss trace must not be empty");
+        TraceLoss { pattern, cursor: 0 }
+    }
+
+    /// Parses a text trace: tokens `0`/`r`/`R` mean received, `1`/`l`/`L`
+    /// mean lost; `#` starts a comment until end of line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the first unrecognized token, or if the
+    /// trace contains no events.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut pattern = Vec::new();
+        for line in text.lines() {
+            let line = line.split('#').next().unwrap_or("");
+            for tok in line.split_whitespace() {
+                match tok {
+                    "0" | "r" | "R" => pattern.push(false),
+                    "1" | "l" | "L" => pattern.push(true),
+                    other => return Err(format!("unrecognized trace token '{other}'")),
+                }
+            }
+        }
+        if pattern.is_empty() {
+            return Err("trace contains no events".to_string());
+        }
+        Ok(TraceLoss::new(pattern))
+    }
+
+    /// Number of events in the trace before it cycles.
+    pub fn len(&self) -> usize {
+        self.pattern.len()
+    }
+
+    /// Whether the trace is empty (never true: constructors reject it).
+    pub fn is_empty(&self) -> bool {
+        self.pattern.is_empty()
+    }
+
+    /// Fraction of lost events in one trace cycle.
+    pub fn loss_rate(&self) -> f64 {
+        self.pattern.iter().filter(|&&l| l).count() as f64 / self.pattern.len() as f64
+    }
+}
+
+impl LossModel for TraceLoss {
+    fn next_lost(&mut self) -> bool {
+        let lost = self.pattern[self.cursor];
+        self.cursor = (self.cursor + 1) % self.pattern.len();
+        lost
+    }
+
+    fn reset(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_loss_never_drops() {
+        let mut m = NoLoss;
+        assert!((0..1000).all(|_| !m.next_lost()));
+    }
+
+    #[test]
+    fn uniform_loss_hits_configured_rate() {
+        let mut m = UniformLoss::new(0.1, 42);
+        let n = 200_000;
+        let lost = (0..n).filter(|_| m.next_lost()).count();
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.005, "observed rate {rate}");
+    }
+
+    #[test]
+    fn uniform_loss_is_deterministic_and_resettable() {
+        let mut a = UniformLoss::new(0.3, 7);
+        let mut b = UniformLoss::new(0.3, 7);
+        let seq_a: Vec<bool> = (0..100).map(|_| a.next_lost()).collect();
+        let seq_b: Vec<bool> = (0..100).map(|_| b.next_lost()).collect();
+        assert_eq!(seq_a, seq_b);
+        a.reset();
+        let seq_a2: Vec<bool> = (0..100).map(|_| a.next_lost()).collect();
+        assert_eq!(seq_a, seq_a2);
+    }
+
+    #[test]
+    fn uniform_extremes() {
+        let mut never = UniformLoss::new(0.0, 1);
+        assert!((0..100).all(|_| !never.next_lost()));
+        let mut always = UniformLoss::new(1.0, 1);
+        assert!((0..100).all(|_| always.next_lost()));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate")]
+    fn uniform_rejects_bad_rate() {
+        let _ = UniformLoss::new(1.5, 0);
+    }
+
+    #[test]
+    fn gilbert_elliott_matches_steady_state() {
+        let mut m = GilbertElliott::new(0.05, 0.3, 0.01, 0.5, 9);
+        let expected = m.steady_state_loss();
+        let n = 400_000;
+        let lost = (0..n).filter(|_| m.next_lost()).count();
+        let rate = lost as f64 / n as f64;
+        assert!(
+            (rate - expected).abs() < 0.01,
+            "observed {rate}, steady state {expected}"
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_is_burstier_than_uniform() {
+        // Compare mean burst length (consecutive losses) at matched rates.
+        let burst_len = |mut m: Box<dyn LossModel>| {
+            let mut bursts = Vec::new();
+            let mut run = 0u32;
+            for _ in 0..200_000 {
+                if m.next_lost() {
+                    run += 1;
+                } else if run > 0 {
+                    bursts.push(run);
+                    run = 0;
+                }
+            }
+            bursts.iter().map(|&b| b as f64).sum::<f64>() / bursts.len() as f64
+        };
+        let ge = GilbertElliott::new(0.02, 0.2, 0.0, 0.5, 3);
+        let rate = ge.steady_state_loss();
+        let uni = UniformLoss::new(rate, 3);
+        let b_ge = burst_len(Box::new(ge));
+        let b_uni = burst_len(Box::new(uni));
+        assert!(
+            b_ge > b_uni * 1.3,
+            "GE bursts ({b_ge}) must exceed uniform bursts ({b_uni})"
+        );
+    }
+
+    #[test]
+    fn trace_loss_replays_and_cycles() {
+        let mut m = TraceLoss::new(vec![false, true, false]);
+        let got: Vec<bool> = (0..7).map(|_| m.next_lost()).collect();
+        assert_eq!(got, vec![false, true, false, false, true, false, false]);
+        m.reset();
+        assert!(!m.next_lost());
+        assert!((m.loss_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn trace_parsing_accepts_common_formats() {
+        let t = TraceLoss::parse("0 1 0\n# comment line\nr l R L # trailing\n").unwrap();
+        assert_eq!(t.len(), 7);
+        assert!((t.loss_rate() - 3.0 / 7.0).abs() < 1e-12);
+        assert!(TraceLoss::parse("0 2 0").is_err());
+        assert!(TraceLoss::parse("# nothing\n").is_err());
+    }
+
+    #[test]
+    fn scripted_loss_drops_exact_indices() {
+        let mut m = ScriptedLoss::new([2u64, 5, 6]);
+        let pattern: Vec<bool> = (0..8).map(|_| m.next_lost()).collect();
+        assert_eq!(
+            pattern,
+            vec![false, false, true, false, false, true, true, false]
+        );
+        m.reset();
+        assert!(!m.next_lost());
+        assert!(!m.next_lost());
+        assert!(m.next_lost());
+    }
+}

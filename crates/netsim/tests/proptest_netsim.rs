@@ -1,0 +1,130 @@
+//! Property-based tests of the network simulator.
+
+use pbpair_netsim::loss::{GilbertElliott, LossModel, ScriptedLoss, UniformLoss};
+use pbpair_netsim::rtp::{reassemble_frame, Packetizer};
+use pbpair_netsim::{LossyChannel, NoLoss};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn packetize_reassemble_identity(
+        data in prop::collection::vec(any::<u8>(), 1..5000),
+        mtu in 1usize..2000,
+        frame_index in any::<u64>()
+    ) {
+        let mut p = Packetizer::new(mtu);
+        let pkts = p.packetize(frame_index, &data);
+        prop_assert_eq!(pkts.len(), data.len().div_ceil(mtu));
+        for pkt in &pkts {
+            prop_assert!(pkt.len() <= mtu);
+            prop_assert_eq!(pkt.frame_index, frame_index);
+        }
+        prop_assert_eq!(reassemble_frame(&pkts).unwrap(), data);
+    }
+
+    #[test]
+    fn reassembly_is_permutation_invariant(
+        data in prop::collection::vec(any::<u8>(), 100..2000),
+        order_seed in any::<u64>()
+    ) {
+        let mut p = Packetizer::new(97);
+        let mut pkts = p.packetize(0, &data);
+        // Deterministic shuffle from the seed.
+        let mut s = order_seed;
+        for i in (1..pkts.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s % (i as u64 + 1)) as usize;
+            pkts.swap(i, j);
+        }
+        prop_assert_eq!(reassemble_frame(&pkts).unwrap(), data);
+    }
+
+    #[test]
+    fn dropping_any_fragment_fails_reassembly(
+        data in prop::collection::vec(any::<u8>(), 200..2000),
+        victim_seed in any::<u64>()
+    ) {
+        let mut p = Packetizer::new(89);
+        let mut pkts = p.packetize(0, &data);
+        prop_assume!(pkts.len() >= 2);
+        let victim = (victim_seed % pkts.len() as u64) as usize;
+        pkts.remove(victim);
+        prop_assert!(reassemble_frame(&pkts).is_none());
+    }
+
+    #[test]
+    fn uniform_loss_rate_statistics(rate in 0.0f64..=1.0, seed in any::<u64>()) {
+        let mut m = UniformLoss::new(rate, seed);
+        let n = 20_000;
+        let lost = (0..n).filter(|_| m.next_lost()).count() as f64 / n as f64;
+        prop_assert!((lost - rate).abs() < 0.02, "observed {} target {}", lost, rate);
+    }
+
+    #[test]
+    fn loss_models_are_deterministic_after_reset(
+        rate in 0.0f64..=1.0,
+        seed in any::<u64>(),
+        n in 1usize..500
+    ) {
+        let mut m = UniformLoss::new(rate, seed);
+        let first: Vec<bool> = (0..n).map(|_| m.next_lost()).collect();
+        m.reset();
+        let second: Vec<bool> = (0..n).map(|_| m.next_lost()).collect();
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn gilbert_elliott_steady_state_within_tolerance(
+        p_gb in 0.01f64..=0.5,
+        p_bg in 0.01f64..=0.5,
+        loss_bad in 0.1f64..=1.0,
+        seed in any::<u64>()
+    ) {
+        let mut m = GilbertElliott::new(p_gb, p_bg, 0.0, loss_bad, seed);
+        let expected = m.steady_state_loss();
+        let n = 60_000;
+        let observed = (0..n).filter(|_| m.next_lost()).count() as f64 / n as f64;
+        prop_assert!(
+            (observed - expected).abs() < 0.03,
+            "observed {} vs steady {}",
+            observed,
+            expected
+        );
+    }
+
+    #[test]
+    fn channel_conserves_packets(
+        sizes in prop::collection::vec(1usize..4000, 1..50),
+        seed in any::<u64>()
+    ) {
+        let mut chan = LossyChannel::new(Box::new(UniformLoss::new(0.3, seed)));
+        let mut p = Packetizer::new(500);
+        for (i, size) in sizes.iter().enumerate() {
+            let data = vec![i as u8; *size];
+            let _ = chan.transmit_frame(&p.packetize(i as u64, &data));
+        }
+        let s = chan.stats();
+        prop_assert_eq!(
+            s.frames_delivered + s.frames_lost,
+            sizes.len() as u64
+        );
+        prop_assert!(s.packets_lost <= s.packets_sent);
+        prop_assert!(s.bytes_lost <= s.bytes_sent);
+    }
+
+    #[test]
+    fn scripted_loss_hits_exactly_the_script(indices in prop::collection::btree_set(0u64..200, 0..50)) {
+        let mut m = ScriptedLoss::new(indices.iter().copied());
+        for i in 0..200u64 {
+            prop_assert_eq!(m.next_lost(), indices.contains(&i));
+        }
+    }
+
+    #[test]
+    fn lossless_channel_is_identity(data in prop::collection::vec(any::<u8>(), 1..3000)) {
+        let mut chan = LossyChannel::new(Box::new(NoLoss));
+        let mut p = Packetizer::new(333);
+        let got = chan.transmit_frame_atomic(&p.packetize(0, &data)).unwrap();
+        prop_assert_eq!(got, data);
+    }
+}

@@ -1,0 +1,85 @@
+//! Compare every error-resilient coding scheme on one workload — a
+//! miniature of the paper's Figure 5, runnable in seconds.
+//!
+//! Run with:
+//! `cargo run --release --example scheme_shootout -- [akiyo|foreman|garden] [plr%]`
+
+use pbpair_repro::codec::EncoderConfig;
+use pbpair_repro::energy::{EnergyModel, IPAQ_H5555};
+use pbpair_repro::eval::pipeline::{run, LossSpec, RunConfig, SequenceSpec};
+use pbpair_repro::eval::report::{fmt_f, Table};
+use pbpair_repro::media::synth::MotionClass;
+use pbpair_repro::schemes::{PbpairConfig, SchemeSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let class = match args.next().as_deref() {
+        Some("akiyo") => MotionClass::LowAkiyo,
+        Some("garden") => MotionClass::HighGarden,
+        _ => MotionClass::MediumForeman,
+    };
+    let plr: f64 = args
+        .next()
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(|p| (p / 100.0).clamp(0.0, 1.0))
+        .unwrap_or(0.10);
+    const FRAMES: usize = 90;
+
+    let schemes = [
+        SchemeSpec::No,
+        SchemeSpec::Pbpair(PbpairConfig {
+            intra_th: 0.93,
+            plr,
+            ..PbpairConfig::default()
+        }),
+        SchemeSpec::Pgop(3),
+        SchemeSpec::Gop(3),
+        SchemeSpec::Air(24),
+    ];
+
+    let model = EnergyModel::new(IPAQ_H5555);
+    let mut table = Table::new(format!(
+        "Scheme shootout: {} class, {FRAMES} frames, PLR {:.0}%",
+        class.label(),
+        plr * 100.0
+    ));
+    table.set_headers([
+        "scheme",
+        "PSNR (dB)",
+        "bad pixels",
+        "size (KB)",
+        "energy (J)",
+        "intra%",
+        "ME skipped",
+    ]);
+
+    for scheme in schemes {
+        let result = run(&RunConfig {
+            scheme,
+            sequence: SequenceSpec::Synthetic { class, seed: 2005 },
+            frames: FRAMES,
+            encoder: EncoderConfig::default(),
+            loss: if plr == 0.0 {
+                LossSpec::None
+            } else {
+                LossSpec::Uniform {
+                    rate: plr,
+                    seed: 77,
+                }
+            },
+            mtu: 1400,
+        })?;
+        table.add_row([
+            result.scheme_label.clone(),
+            fmt_f(result.quality.average_psnr(), 2),
+            result.quality.total_bad_pixels().to_string(),
+            fmt_f(result.total_bytes as f64 / 1024.0, 1),
+            fmt_f(result.encoding_energy(&model).get(), 3),
+            fmt_f(result.mean_intra_ratio * 100.0, 1),
+            format!("{:.1}%", result.ops.me_skip_ratio() * 100.0),
+        ]);
+    }
+    println!("{table}");
+    println!("(PBPAIR here uses a fixed Intra_Th; the fig5 binary size-calibrates it.)");
+    Ok(())
+}

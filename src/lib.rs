@@ -1,0 +1,22 @@
+//! Umbrella crate for the PBPAIR reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so the runnable examples
+//! and cross-crate integration tests in this package can reach the full
+//! public API through a single dependency:
+//!
+//! * [`media`] — frames, synthetic sequences, Y4M IO, quality metrics
+//! * [`codec`] — the H.263-class hybrid codec with pluggable refresh policies
+//! * [`schemes`] — PBPAIR and the NO/GOP/AIR/PGOP baselines
+//! * [`netsim`] — packetization and lossy-channel simulation
+//! * [`energy`] — the operation-accounting energy model
+//! * [`eval`] — the end-to-end experiment pipeline
+//!
+//! See `README.md` for a guided tour and `examples/quickstart.rs` for the
+//! five-minute introduction.
+
+pub use pbpair as schemes;
+pub use pbpair_codec as codec;
+pub use pbpair_energy as energy;
+pub use pbpair_eval as eval;
+pub use pbpair_media as media;
+pub use pbpair_netsim as netsim;

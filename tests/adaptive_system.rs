@@ -1,0 +1,148 @@
+//! Integration tests of the §3.2 adaptive loop: receiver feedback, the
+//! controllers, and the battery tracker working together against live
+//! encoder state.
+
+use pbpair_repro::codec::{Encoder, EncoderConfig};
+use pbpair_repro::energy::{Battery, EnergyModel, Joules, IPAQ_H5555};
+use pbpair_repro::media::synth::SyntheticSequence;
+use pbpair_repro::media::VideoFormat;
+use pbpair_repro::netsim::{LossModel, UniformLoss, WindowPlrEstimator};
+use pbpair_repro::schemes::adapt::{EnergyBudgetController, IntraRatioController};
+use pbpair_repro::schemes::{PbpairConfig, PbpairPolicy};
+
+#[test]
+fn plr_feedback_raises_the_intra_ratio_during_loss() {
+    // Drive PBPAIR with α taken from a live estimator; when the channel
+    // turns lossy, the intra ratio must increase.
+    let mut policy = PbpairPolicy::new(
+        VideoFormat::QCIF,
+        PbpairConfig {
+            intra_th: 0.9,
+            plr: 0.01,
+            ..PbpairConfig::default()
+        },
+    )
+    .unwrap();
+    let mut encoder = Encoder::new(EncoderConfig::default());
+    let mut seq = SyntheticSequence::foreman_class(1);
+    let mut estimator = WindowPlrEstimator::new(20);
+    let mut calm_ratio = 0.0;
+    let mut lossy_ratio = 0.0;
+    for f in 0..60 {
+        let lossy_phase = f >= 30;
+        let mut coin = UniformLoss::new(if lossy_phase { 0.35 } else { 0.0 }, 100 + f);
+        let lost = coin.next_lost();
+        estimator.record(lost);
+        if estimator.observations() >= 10 {
+            policy.set_plr(estimator.estimate().clamp(0.0, 0.9));
+        }
+        let e = encoder.encode_frame(&seq.next_frame(), &mut policy);
+        if (20..30).contains(&f) {
+            calm_ratio += e.stats.intra_ratio();
+        }
+        if f >= 50 {
+            lossy_ratio += e.stats.intra_ratio();
+        }
+    }
+    assert!(
+        lossy_ratio / 10.0 > calm_ratio / 10.0,
+        "loss must raise the intra ratio: calm {} vs lossy {}",
+        calm_ratio / 10.0,
+        lossy_ratio / 10.0
+    );
+}
+
+#[test]
+fn intra_ratio_controller_holds_its_target_on_the_real_encoder() {
+    let target = 0.30;
+    let mut controller = IntraRatioController::new(target, 0.9, 0.08);
+    let mut policy = PbpairPolicy::new(VideoFormat::QCIF, PbpairConfig::default()).unwrap();
+    let mut encoder = Encoder::new(EncoderConfig::default());
+    let mut seq = SyntheticSequence::foreman_class(3);
+    let mut tail = Vec::new();
+    for f in 0..80 {
+        policy.set_intra_th(controller.intra_th());
+        let e = encoder.encode_frame(&seq.next_frame(), &mut policy);
+        controller.update(e.stats.intra_ratio());
+        if f >= 55 {
+            tail.push(e.stats.intra_ratio());
+        }
+    }
+    let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+    assert!(
+        (mean - target).abs() < 0.12,
+        "controller should hold ~{target}: settled at {mean}"
+    );
+}
+
+#[test]
+fn budget_controller_keeps_a_session_inside_its_battery() {
+    // Identical setup twice: a static threshold overdraws the battery; a
+    // budget-controlled threshold completes the session.
+    let frames = 120usize;
+    let capacity = Joules(0.45);
+    let model = EnergyModel::new(IPAQ_H5555);
+
+    let run_session = |adaptive: bool| -> (usize, f64) {
+        let mut policy = PbpairPolicy::new(
+            VideoFormat::QCIF,
+            PbpairConfig {
+                intra_th: 0.85,
+                ..PbpairConfig::default()
+            },
+        )
+        .unwrap();
+        let mut encoder = Encoder::new(EncoderConfig::default());
+        let mut seq = SyntheticSequence::foreman_class(5);
+        let mut battery = Battery::new(capacity);
+        let mut controller =
+            EnergyBudgetController::new(capacity.get() / frames as f64, 0.85, 0.01);
+        let mut encoded = 0usize;
+        for f in 0..frames {
+            if battery.is_empty() {
+                break;
+            }
+            if adaptive {
+                policy.set_intra_th(controller.intra_th());
+            }
+            let before = *encoder.ops();
+            let _ = encoder.encode_frame(&seq.next_frame(), &mut policy);
+            let delta = *encoder.ops() - before;
+            let cost = model.total_energy(&delta);
+            battery.drain(cost);
+            encoded += 1;
+            let left = (frames - f - 1).max(1) as u64;
+            if let Some(b) = battery.per_frame_budget(left) {
+                controller.set_budget(b.get());
+            }
+            controller.update(cost.get());
+        }
+        (encoded, battery.remaining().get())
+    };
+
+    let (static_frames, _) = run_session(false);
+    let (adaptive_frames, _) = run_session(true);
+    assert!(
+        adaptive_frames >= static_frames,
+        "adaptation cannot finish fewer frames: {adaptive_frames} vs {static_frames}"
+    );
+    assert_eq!(
+        adaptive_frames, frames,
+        "the controlled session must complete all frames"
+    );
+}
+
+#[test]
+fn estimator_and_policy_agree_on_plr_units() {
+    // The estimator returns a probability; set_plr must accept the whole
+    // estimator range without panicking.
+    let mut estimator = WindowPlrEstimator::new(5);
+    let mut policy = PbpairPolicy::new(VideoFormat::QCIF, PbpairConfig::default()).unwrap();
+    for pattern in [[true; 5], [false; 5]] {
+        for lost in pattern {
+            estimator.record(lost);
+        }
+        policy.set_plr(estimator.estimate());
+        assert!((0.0..=1.0).contains(&policy.plr()));
+    }
+}

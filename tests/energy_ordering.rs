@@ -1,0 +1,164 @@
+//! Integration tests of the paper's energy claims under the paper
+//! configuration (full-search motion estimation): the scheme energy
+//! ordering, ME-skip accounting, and device-profile scaling.
+
+use pbpair_repro::codec::EncoderConfig;
+use pbpair_repro::energy::{EnergyModel, IPAQ_H5555, ZAURUS_SL5600};
+use pbpair_repro::eval::pipeline::{calibrate_intra_th, run, LossSpec, RunConfig, SequenceSpec};
+use pbpair_repro::media::synth::MotionClass;
+use pbpair_repro::schemes::{PbpairConfig, SchemeSpec};
+
+const FRAMES: usize = 24;
+
+fn cell(scheme: SchemeSpec) -> pbpair_repro::eval::RunResult {
+    run(&RunConfig {
+        scheme,
+        sequence: SequenceSpec::Synthetic {
+            class: MotionClass::MediumForeman,
+            seed: 2005,
+        },
+        frames: FRAMES,
+        encoder: EncoderConfig::paper(),
+        loss: LossSpec::Uniform { rate: 0.1, seed: 7 },
+        mtu: 1400,
+    })
+    .unwrap()
+}
+
+#[test]
+fn scheme_energy_ordering_matches_the_paper() {
+    // Size-match PBPAIR to PGOP-3 as in Figure 5, then check the Figure
+    // 5(d) ordering: PBPAIR < PGOP ≤ GOP < NO ≤ AIR.
+    let seq = SequenceSpec::Synthetic {
+        class: MotionClass::MediumForeman,
+        seed: 2005,
+    };
+    let pgop = cell(SchemeSpec::Pgop(3));
+    let th = calibrate_intra_th(
+        PbpairConfig::default(),
+        seq,
+        EncoderConfig::paper(),
+        FRAMES,
+        pgop.total_bytes,
+    )
+    .unwrap();
+    let pbpair = cell(SchemeSpec::Pbpair(PbpairConfig {
+        intra_th: th,
+        ..PbpairConfig::default()
+    }));
+    let no = cell(SchemeSpec::No);
+    let gop = cell(SchemeSpec::Gop(3));
+    let air = cell(SchemeSpec::Air(24));
+
+    let model = EnergyModel::new(IPAQ_H5555);
+    let e = |r: &pbpair_repro::eval::RunResult| r.encoding_energy(&model).get();
+
+    assert!(
+        e(&pbpair) < e(&gop),
+        "PBPAIR {} must beat GOP {}",
+        e(&pbpair),
+        e(&gop)
+    );
+    assert!(
+        e(&pbpair) < e(&air),
+        "PBPAIR {} must beat AIR {}",
+        e(&pbpair),
+        e(&air)
+    );
+    assert!(
+        e(&pbpair) <= e(&pgop) * 1.02,
+        "PBPAIR {} must not exceed PGOP {}",
+        e(&pbpair),
+        e(&pgop)
+    );
+    assert!(e(&gop) < e(&no), "GOP {} must beat NO {}", e(&gop), e(&no));
+    // AIR pays full ME on every P-frame MB: essentially NO-level energy
+    // plus the extra intra coding.
+    assert!(
+        e(&air) > e(&no) * 0.97,
+        "AIR {} should be at NO level {}",
+        e(&air),
+        e(&no)
+    );
+    // The headline direction, at reduced scale: a clear double-digit gap
+    // vs AIR.
+    let saving = (e(&air) - e(&pbpair)) / e(&air);
+    assert!(
+        saving > 0.10,
+        "PBPAIR must save >10% vs AIR at matched size: {saving}"
+    );
+}
+
+#[test]
+fn me_invocations_explain_the_energy_gaps() {
+    let no = cell(SchemeSpec::No);
+    let air = cell(SchemeSpec::Air(24));
+    let pgop = cell(SchemeSpec::Pgop(3));
+    let pbpair = cell(SchemeSpec::Pbpair(PbpairConfig::default()));
+
+    // AIR searches exactly as often as NO (decision after ME).
+    assert_eq!(air.ops.me_invocations, no.ops.me_invocations);
+    // PGOP skips the swept columns.
+    assert!(pgop.ops.me_invocations < no.ops.me_invocations);
+    // PBPAIR skips its below-threshold macroblocks.
+    assert!(pbpair.ops.me_invocations < no.ops.me_invocations);
+    // Under full search, energy ranks exactly as ME invocations do.
+    let model = EnergyModel::new(IPAQ_H5555);
+    let pairs = [(&no, &pgop), (&air, &pbpair), (&no, &pbpair)];
+    for (hi, lo) in pairs {
+        assert!(
+            hi.ops.me_invocations > lo.ops.me_invocations
+                && hi.encoding_energy(&model) > lo.encoding_energy(&model),
+            "ME ordering must imply energy ordering"
+        );
+    }
+}
+
+#[test]
+fn full_search_makes_me_the_overwhelming_cost() {
+    let no = cell(SchemeSpec::No);
+    let b = EnergyModel::new(IPAQ_H5555).breakdown(&no.ops);
+    assert!(
+        b.me_fraction() > 0.85,
+        "paper-config ME fraction {}",
+        b.me_fraction()
+    );
+}
+
+#[test]
+fn both_devices_agree_on_the_ordering() {
+    let no = cell(SchemeSpec::No);
+    let pbpair = cell(SchemeSpec::Pbpair(PbpairConfig::default()));
+    for profile in [IPAQ_H5555, ZAURUS_SL5600] {
+        let model = EnergyModel::new(profile);
+        assert!(
+            pbpair.encoding_energy(&model) < no.encoding_energy(&model),
+            "{}",
+            profile.name
+        );
+    }
+    // Zaurus compute is cheaper per op, so absolute energy is lower.
+    assert!(
+        pbpair.encoding_energy(&EnergyModel::new(ZAURUS_SL5600))
+            < pbpair.encoding_energy(&EnergyModel::new(IPAQ_H5555))
+    );
+}
+
+#[test]
+fn intra_th_boundaries_hit_the_energy_extremes() {
+    // Intra_Th = 1 (all intra): no ME at all after frame 0; the cheapest
+    // encode. Intra_Th = 0: no forced refresh; the most expensive.
+    let all_intra = cell(SchemeSpec::Pbpair(PbpairConfig {
+        intra_th: 1.0,
+        ..PbpairConfig::default()
+    }));
+    let none = cell(SchemeSpec::Pbpair(PbpairConfig {
+        intra_th: 0.0,
+        ..PbpairConfig::default()
+    }));
+    assert_eq!(all_intra.ops.me_invocations, 0);
+    let model = EnergyModel::new(IPAQ_H5555);
+    assert!(all_intra.encoding_energy(&model) < none.encoding_energy(&model));
+    // But all-intra pays in bits — the §4.3 trade-off.
+    assert!(all_intra.total_bytes > none.total_bytes);
+}
