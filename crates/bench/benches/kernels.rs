@@ -48,7 +48,7 @@ fn bench_sad_and_search(c: &mut Criterion) {
             search_range: 15,
             strategy,
         };
-        c.bench_function(&format!("me/search_{name}_pm15"), |b| {
+        c.bench_function(format!("me/search_{name}_pm15"), |b| {
             b.iter(|| search(black_box(cur), black_box(reference), mb, cfg, &mut |_| 0))
         });
     }

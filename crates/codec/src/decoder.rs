@@ -90,6 +90,54 @@ pub enum Concealment {
     MotionCopy,
 }
 
+/// Parsed picture-header fields (internal).
+#[derive(Debug, Clone, Copy)]
+struct PictureHeader {
+    temporal_ref: u8,
+    kind: FrameKind,
+    qp: Qp,
+    half_pel: bool,
+    deblock: bool,
+}
+
+/// Aggregated outcome of resilient decoding — what the error-tolerant
+/// entry points ([`Decoder::decode_frame_resilient`],
+/// [`Decoder::decode_stream`]) return instead of an error.
+///
+/// Reports from successive calls add together with
+/// [`absorb`](DecodeReport::absorb), so a session-level tally is one
+/// running struct.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DecodeReport {
+    /// Pictures emitted in total (clean + recovered).
+    pub frames_decoded: u64,
+    /// Pictures emitted through the damage-recovery path — part or all
+    /// of the picture was concealed rather than decoded.
+    pub frames_recovered: u64,
+    /// Macroblocks filled in by concealment instead of decoded data.
+    pub mbs_concealed: u64,
+    /// Forward scans to a new picture start code after damage.
+    pub resyncs: u64,
+    /// Bytes discarded while hunting for a start code.
+    pub bytes_skipped: u64,
+}
+
+impl DecodeReport {
+    /// Adds another report's counts into this one.
+    pub fn absorb(&mut self, other: &DecodeReport) {
+        self.frames_decoded += other.frames_decoded;
+        self.frames_recovered += other.frames_recovered;
+        self.mbs_concealed += other.mbs_concealed;
+        self.resyncs += other.resyncs;
+        self.bytes_skipped += other.bytes_skipped;
+    }
+
+    /// Whether any recovery action was taken.
+    pub fn any_damage(&self) -> bool {
+        self.frames_recovered > 0 || self.resyncs > 0 || self.bytes_skipped > 0
+    }
+}
+
 /// Side information about one decoded frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecodedInfo {
@@ -174,6 +222,12 @@ impl Decoder {
     /// caller can treat a corrupt frame exactly like a lost one.
     pub fn decode_frame(&mut self, data: &[u8]) -> Result<(Frame, DecodedInfo), DecodeError> {
         let mut r = BitReader::new(data);
+        self.decode_picture(&mut r)
+    }
+
+    /// Parses the picture header, validating the quantizer and the
+    /// format against this decoder's configuration.
+    fn parse_header(&self, r: &mut BitReader<'_>) -> Result<PictureHeader, DecodeError> {
         if r.get_bits(PICTURE_START_CODE_LEN)? != PICTURE_START_CODE {
             return Err(DecodeError::BadStartCode);
         }
@@ -208,6 +262,27 @@ impl Decoder {
                 decoder: self.format,
             });
         }
+        Ok(PictureHeader {
+            temporal_ref,
+            kind,
+            qp,
+            half_pel,
+            deblock,
+        })
+    }
+
+    /// Decodes one picture from the reader (header + all macroblocks).
+    fn decode_picture(
+        &mut self,
+        r: &mut BitReader<'_>,
+    ) -> Result<(Frame, DecodedInfo), DecodeError> {
+        let PictureHeader {
+            temporal_ref,
+            kind,
+            qp,
+            half_pel,
+            deblock,
+        } = self.parse_header(r)?;
 
         let mut new_recon = Frame::new(self.format);
         let mut mb_modes = Vec::with_capacity(self.grid.len());
@@ -215,11 +290,11 @@ impl Decoder {
         for mb in self.grid.iter().collect::<Vec<_>>() {
             let mode = match kind {
                 FrameKind::Intra => {
-                    self.decode_intra_mb(&mut r, qp, &mut new_recon, mb)?;
+                    self.decode_intra_mb(r, qp, &mut new_recon, mb)?;
                     MbMode::Intra
                 }
                 FrameKind::Inter => {
-                    let (mode, mv) = self.decode_p_mb(&mut r, qp, half_pel, &mut new_recon, mb)?;
+                    let (mode, mv) = self.decode_p_mb(r, qp, half_pel, &mut new_recon, mb)?;
                     mvs[self.grid.flat_index(mb)] = mv;
                     mode
                 }
@@ -301,6 +376,238 @@ impl Decoder {
                 self.recon = concealed.clone();
                 concealed
             }
+        }
+    }
+
+    /// Decodes one frame **totally**: any damage — truncation, flipped
+    /// bits, a destroyed header — produces a concealed picture instead of
+    /// an error. The output frame always becomes the new reference.
+    ///
+    /// Recovery ladder:
+    ///
+    /// 1. Scan for a picture start code (tolerating leading garbage).
+    /// 2. Decode macroblocks until the entropy data turns bad; conceal
+    ///    the damaged MB range `k..end` via the configured
+    ///    [`Concealment`] and keep the partial picture.
+    /// 3. If the header itself is unusable, skip past the false start
+    ///    code and rescan.
+    /// 4. If nothing decodable remains, conceal the whole frame.
+    ///
+    /// # Example
+    ///
+    /// ```rust
+    /// use pbpair_codec::Decoder;
+    /// use pbpair_media::VideoFormat;
+    ///
+    /// let mut dec = Decoder::new(VideoFormat::QCIF);
+    /// // Pure garbage: no panic, no error — a concealed frame plus a
+    /// // report saying the whole picture was concealed.
+    /// let (frame, report) = dec.decode_frame_resilient(&[0xAB; 64]);
+    /// assert_eq!(frame.format(), VideoFormat::QCIF);
+    /// assert_eq!(report.frames_recovered, 1);
+    /// ```
+    pub fn decode_frame_resilient(&mut self, data: &[u8]) -> (Frame, DecodeReport) {
+        let mut report = DecodeReport::default();
+        let mut offset = 0usize;
+        loop {
+            let Some(delta) = find_start_code(&data[offset..]) else {
+                // Nothing decodable left: conceal the whole picture.
+                report.bytes_skipped += (data.len() - offset) as u64;
+                report.frames_decoded += 1;
+                report.frames_recovered += 1;
+                report.mbs_concealed += self.grid.len() as u64;
+                return (self.conceal_lost_frame(), report);
+            };
+            report.bytes_skipped += delta as u64;
+            if offset + delta > 0 {
+                report.resyncs += 1;
+            }
+            offset += delta;
+            let mut r = BitReader::new(&data[offset..]);
+            match self.decode_picture_resilient(&mut r) {
+                PictureOutcome::Clean { frame } => {
+                    report.frames_decoded += 1;
+                    return (frame, report);
+                }
+                PictureOutcome::Recovered {
+                    frame,
+                    mbs_concealed,
+                } => {
+                    report.frames_decoded += 1;
+                    report.frames_recovered += 1;
+                    report.mbs_concealed += mbs_concealed;
+                    return (frame, report);
+                }
+                PictureOutcome::HeaderLost(_) => {
+                    // False or damaged start code: step past it, rescan.
+                    report.bytes_skipped += 1;
+                    offset += 1;
+                }
+            }
+        }
+    }
+
+    /// Decodes a concatenation of pictures (e.g. several frames'
+    /// payloads fused by damaged packetization), resynchronizing on
+    /// picture start codes after damage. Returns every picture that
+    /// could be emitted, clean or partially concealed.
+    pub fn decode_stream(&mut self, data: &[u8]) -> (Vec<Frame>, DecodeReport) {
+        let mut report = DecodeReport::default();
+        let mut frames = Vec::new();
+        let mut offset = 0usize;
+        while offset < data.len() {
+            let Some(delta) = find_start_code(&data[offset..]) else {
+                report.bytes_skipped += (data.len() - offset) as u64;
+                break;
+            };
+            report.bytes_skipped += delta as u64;
+            if delta > 0 {
+                report.resyncs += 1;
+            }
+            offset += delta;
+            let mut r = BitReader::new(&data[offset..]);
+            match self.decode_picture_resilient(&mut r) {
+                PictureOutcome::Clean { frame } => {
+                    frames.push(frame);
+                    report.frames_decoded += 1;
+                    // The encoder byte-aligns each picture, so the next
+                    // one starts at the following byte boundary.
+                    offset += (r.position() as usize).div_ceil(8).max(1);
+                }
+                PictureOutcome::Recovered {
+                    frame,
+                    mbs_concealed,
+                } => {
+                    frames.push(frame);
+                    report.frames_decoded += 1;
+                    report.frames_recovered += 1;
+                    report.mbs_concealed += mbs_concealed;
+                    // Resume scanning after the bits that decoded before
+                    // the damage; the scan ahead finds the next picture.
+                    offset += ((r.position() / 8) as usize).max(1);
+                }
+                PictureOutcome::HeaderLost(_) => {
+                    report.bytes_skipped += 1;
+                    offset += 1;
+                }
+            }
+        }
+        (frames, report)
+    }
+
+    /// Decodes one picture, capturing mid-stream damage: on the first
+    /// bad macroblock the remaining range is concealed and the partial
+    /// picture is committed as the new reference.
+    fn decode_picture_resilient(&mut self, r: &mut BitReader<'_>) -> PictureOutcome {
+        let header = match self.parse_header(r) {
+            Ok(h) => h,
+            Err(e) => return PictureOutcome::HeaderLost(e),
+        };
+        let PictureHeader {
+            kind,
+            qp,
+            half_pel,
+            deblock,
+            ..
+        } = header;
+
+        let mut new_recon = Frame::new(self.format);
+        // Concealed macroblocks keep their previous motion so a later
+        // motion-copy concealment still has a plausible field.
+        let mut mvs = self.last_mvs.clone();
+        let mb_list: Vec<MbIndex> = self.grid.iter().collect();
+        let mut failed_at: Option<usize> = None;
+        for (k, &mb) in mb_list.iter().enumerate() {
+            let decoded = match kind {
+                FrameKind::Intra => self
+                    .decode_intra_mb(r, qp, &mut new_recon, mb)
+                    .map(|()| SubPelVector::ZERO),
+                FrameKind::Inter => self
+                    .decode_p_mb(r, qp, half_pel, &mut new_recon, mb)
+                    .map(|(_, mv)| mv),
+            };
+            match decoded {
+                Ok(mv) => mvs[self.grid.flat_index(mb)] = mv,
+                Err(_) => {
+                    failed_at = Some(k);
+                    break;
+                }
+            }
+        }
+
+        match failed_at {
+            None => {
+                if deblock {
+                    crate::deblock::deblock_frame(&mut new_recon, qp);
+                }
+                self.recon = new_recon;
+                self.last_mvs = mvs;
+                self.decoded_any = true;
+                PictureOutcome::Clean {
+                    frame: self.recon.clone(),
+                }
+            }
+            Some(k) => {
+                self.conceal_mb_range(&mut new_recon, &mb_list[k..]);
+                // No deblocking: filtering across the decoded/concealed
+                // seam would smear the damage outward.
+                self.recon = new_recon;
+                self.last_mvs = mvs;
+                self.decoded_any = true;
+                PictureOutcome::Recovered {
+                    frame: self.recon.clone(),
+                    mbs_concealed: (mb_list.len() - k) as u64,
+                }
+            }
+        }
+    }
+
+    /// Fills the given macroblocks of `new_recon` from the current
+    /// reference using the configured concealment strategy.
+    fn conceal_mb_range(&self, new_recon: &mut Frame, mbs: &[MbIndex]) {
+        let mut pred_y = [0u8; LUMA_BLOCK * LUMA_BLOCK];
+        let mut pred_cb = [0u8; CHROMA_BLOCK * CHROMA_BLOCK];
+        let mut pred_cr = [0u8; CHROMA_BLOCK * CHROMA_BLOCK];
+        for &mb in mbs {
+            let mv = match self.concealment {
+                Concealment::CopyPrevious => SubPelVector::ZERO,
+                Concealment::MotionCopy => self.last_mvs[self.grid.flat_index(mb)],
+            };
+            let (lx, ly) = mb.luma_origin();
+            let (cx, cy) = mb.chroma_origin();
+            predict_luma_subpel(self.recon.y(), mb, mv, &mut pred_y);
+            predict_chroma_subpel(self.recon.cb(), mb, mv, &mut pred_cb);
+            predict_chroma_subpel(self.recon.cr(), mb, mv, &mut pred_cr);
+            store_pred(
+                new_recon.y_mut(),
+                lx,
+                ly,
+                &pred_y,
+                LUMA_BLOCK,
+                0,
+                0,
+                LUMA_BLOCK,
+            );
+            store_pred(
+                new_recon.cb_mut(),
+                cx,
+                cy,
+                &pred_cb,
+                CHROMA_BLOCK,
+                0,
+                0,
+                CHROMA_BLOCK,
+            );
+            store_pred(
+                new_recon.cr_mut(),
+                cx,
+                cy,
+                &pred_cr,
+                CHROMA_BLOCK,
+                0,
+                0,
+                CHROMA_BLOCK,
+            );
         }
     }
 
@@ -462,6 +769,35 @@ impl Decoder {
         }
         Ok((MbMode::Inter, mv))
     }
+}
+
+/// Outcome of one resilient picture decode (internal).
+enum PictureOutcome {
+    /// Every macroblock decoded; the picture is exact.
+    Clean {
+        /// The decoded picture.
+        frame: Frame,
+    },
+    /// The entropy data went bad mid-picture; the tail was concealed.
+    Recovered {
+        /// The partially-decoded, partially-concealed picture.
+        frame: Frame,
+        /// How many macroblocks were concealed.
+        mbs_concealed: u64,
+    },
+    /// The header was unusable; nothing was committed.
+    HeaderLost(#[allow(dead_code)] DecodeError),
+}
+
+/// Finds the byte offset of the next picture start code in `data`.
+///
+/// The 17-bit start code (value 1) is byte-aligned by the encoder, so it
+/// reads as two zero bytes followed by a byte with the top bit set.
+/// Payload bits can emulate this pattern; resilient decoding treats such
+/// emulations as candidates and rejects them via header validation.
+fn find_start_code(data: &[u8]) -> Option<usize> {
+    data.windows(3)
+        .position(|w| w[0] == 0 && w[1] == 0 && w[2] & 0x80 != 0)
 }
 
 #[cfg(test)]
@@ -748,6 +1084,170 @@ mod tests {
         let e = enc.encode_frame(&frame, &mut policy);
         let (decoded, _) = dec.decode_frame(&e.data).unwrap();
         assert_eq!(&decoded, enc.reconstructed());
+    }
+
+    #[test]
+    fn resilient_decode_of_clean_stream_is_bit_exact() {
+        let mut enc = Encoder::new(EncoderConfig::default());
+        let mut strict = Decoder::new(VideoFormat::QCIF);
+        let mut resilient = Decoder::new(VideoFormat::QCIF);
+        let mut policy = NaturalPolicy::new();
+        let mut seq = SyntheticSequence::foreman_class(21);
+        for _ in 0..5 {
+            let e = enc.encode_frame(&seq.next_frame(), &mut policy);
+            let (a, _) = strict.decode_frame(&e.data).unwrap();
+            let (b, report) = resilient.decode_frame_resilient(&e.data);
+            assert_eq!(a, b, "resilient path must match strict on clean data");
+            assert_eq!(report.frames_decoded, 1);
+            assert!(!report.any_damage(), "clean data must report no damage");
+        }
+    }
+
+    #[test]
+    fn resilient_decode_conceals_truncated_tail() {
+        let mut enc = Encoder::new(EncoderConfig::default());
+        let mut dec = Decoder::new(VideoFormat::QCIF);
+        let mut policy = NaturalPolicy::new();
+        let mut seq = SyntheticSequence::foreman_class(5);
+        let e0 = enc.encode_frame(&seq.next_frame(), &mut policy);
+        let (_, r0) = dec.decode_frame_resilient(&e0.data);
+        assert_eq!(r0.frames_recovered, 0);
+        let e1 = enc.encode_frame(&seq.next_frame(), &mut policy);
+        let (frame, r1) = dec.decode_frame_resilient(&e1.data[..e1.data.len() / 2]);
+        assert_eq!(r1.frames_decoded, 1);
+        assert_eq!(r1.frames_recovered, 1);
+        assert!(r1.mbs_concealed > 0, "a cut stream must conceal its tail");
+        assert!(
+            (r1.mbs_concealed as usize) < MbGrid::new(VideoFormat::QCIF).len(),
+            "half the stream should still decode some leading MBs"
+        );
+        // The partially-recovered picture is committed as the reference.
+        assert_eq!(dec.last_frame(), &frame);
+    }
+
+    #[test]
+    fn resilient_decode_of_garbage_conceals_whole_frame() {
+        let mut dec = Decoder::new(VideoFormat::QCIF);
+        let (frame, report) = dec.decode_frame_resilient(&[0xABu8; 200]);
+        assert_eq!(frame.format(), VideoFormat::QCIF);
+        assert_eq!(report.frames_decoded, 1);
+        assert_eq!(report.frames_recovered, 1);
+        assert_eq!(
+            report.mbs_concealed as usize,
+            MbGrid::new(VideoFormat::QCIF).len()
+        );
+        assert_eq!(report.bytes_skipped, 200);
+    }
+
+    #[test]
+    fn resilient_decode_resyncs_past_leading_garbage() {
+        let mut enc = Encoder::new(EncoderConfig::default());
+        let mut dec = Decoder::new(VideoFormat::QCIF);
+        let mut policy = NaturalPolicy::new();
+        let mut seq = SyntheticSequence::akiyo_class(8);
+        let e = enc.encode_frame(&seq.next_frame(), &mut policy);
+        // Garbage prefix free of start-code patterns (no 00 00 bytes).
+        let mut data = vec![0x55u8; 37];
+        data.extend_from_slice(&e.data);
+        let (frame, report) = dec.decode_frame_resilient(&data);
+        assert_eq!(report.frames_decoded, 1);
+        assert_eq!(report.frames_recovered, 0, "picture itself is clean");
+        assert_eq!(report.bytes_skipped, 37);
+        assert_eq!(report.resyncs, 1);
+        let mut strict = Decoder::new(VideoFormat::QCIF);
+        assert_eq!(frame, strict.decode_frame(&e.data).unwrap().0);
+    }
+
+    #[test]
+    fn decode_stream_walks_concatenated_pictures() {
+        let mut enc = Encoder::new(EncoderConfig::default());
+        let mut policy = NaturalPolicy::new();
+        let mut seq = SyntheticSequence::foreman_class(11);
+        let mut blob = Vec::new();
+        let mut strict = Decoder::new(VideoFormat::QCIF);
+        let mut expected = Vec::new();
+        for _ in 0..4 {
+            let e = enc.encode_frame(&seq.next_frame(), &mut policy);
+            expected.push(strict.decode_frame(&e.data).unwrap().0);
+            blob.extend_from_slice(&e.data);
+        }
+        let mut dec = Decoder::new(VideoFormat::QCIF);
+        let (frames, report) = dec.decode_stream(&blob);
+        assert_eq!(frames, expected);
+        assert_eq!(report.frames_decoded, 4);
+        assert!(!report.any_damage());
+    }
+
+    #[test]
+    fn decode_stream_conceals_truncated_final_picture() {
+        let mut enc = Encoder::new(EncoderConfig::default());
+        let mut policy = NaturalPolicy::new();
+        let mut seq = SyntheticSequence::foreman_class(19);
+        let e0 = enc.encode_frame(&seq.next_frame(), &mut policy);
+        let e1 = enc.encode_frame(&seq.next_frame(), &mut policy);
+        let mut blob = e0.data.clone();
+        blob.extend_from_slice(&e1.data[..e1.data.len() / 2]);
+
+        let mut dec = Decoder::new(VideoFormat::QCIF);
+        let (frames, report) = dec.decode_stream(&blob);
+        assert_eq!(frames.len(), 2, "both pictures must be emitted");
+        assert_eq!(report.frames_decoded, 2);
+        assert_eq!(report.frames_recovered, 1, "the cut picture recovers");
+        assert!(report.mbs_concealed > 0);
+    }
+
+    #[test]
+    fn decode_stream_resyncs_past_an_obliterated_picture() {
+        // Picture 1 is replaced entirely by garbage containing no
+        // start-code pattern; the scanner must skip it and pick up
+        // picture 2 at its real start code.
+        let mut enc = Encoder::new(EncoderConfig::default());
+        let mut policy = NaturalPolicy::new();
+        let mut seq = SyntheticSequence::foreman_class(19);
+        let e0 = enc.encode_frame(&seq.next_frame(), &mut policy);
+        let e1 = enc.encode_frame(&seq.next_frame(), &mut policy);
+        let e2 = enc.encode_frame(&seq.next_frame(), &mut policy);
+        let garbage = vec![0x55u8; e1.data.len()];
+        let mut blob = e0.data.clone();
+        blob.extend_from_slice(&garbage);
+        blob.extend_from_slice(&e2.data);
+
+        let mut dec = Decoder::new(VideoFormat::QCIF);
+        let (frames, report) = dec.decode_stream(&blob);
+        assert_eq!(frames.len(), 2, "pictures 0 and 2 must be emitted");
+        assert_eq!(report.frames_decoded, 2);
+        assert_eq!(report.resyncs, 1, "one forward scan past the garbage");
+        assert_eq!(report.bytes_skipped, garbage.len() as u64);
+    }
+
+    #[test]
+    fn decode_report_absorbs() {
+        let mut total = DecodeReport::default();
+        total.absorb(&DecodeReport {
+            frames_decoded: 2,
+            frames_recovered: 1,
+            mbs_concealed: 9,
+            resyncs: 1,
+            bytes_skipped: 100,
+        });
+        total.absorb(&DecodeReport {
+            frames_decoded: 1,
+            ..DecodeReport::default()
+        });
+        assert_eq!(total.frames_decoded, 3);
+        assert_eq!(total.frames_recovered, 1);
+        assert_eq!(total.mbs_concealed, 9);
+        assert!(total.any_damage());
+        assert!(!DecodeReport::default().any_damage());
+    }
+
+    #[test]
+    fn find_start_code_locates_aligned_codes() {
+        assert_eq!(find_start_code(&[0x00, 0x00, 0x80]), Some(0));
+        assert_eq!(find_start_code(&[0x55, 0x00, 0x00, 0xFF]), Some(1));
+        assert_eq!(find_start_code(&[0x00, 0x00, 0x7F]), None);
+        assert_eq!(find_start_code(&[0x00, 0x00]), None);
+        assert_eq!(find_start_code(&[]), None);
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub mod vlc;
 pub mod zigzag;
 
 pub use bitstream::BitstreamError;
-pub use decoder::{Concealment, DecodeError, DecodedInfo, Decoder};
+pub use decoder::{Concealment, DecodeError, DecodeReport, DecodedInfo, Decoder};
 pub use encoder::{EncodedFrame, Encoder, EncoderConfig};
 pub use mb::{FrameStats, MbMode, MotionVector};
 pub use me::{MeConfig, MeResult, SearchStrategy};

@@ -13,7 +13,12 @@
 //!   ratio (a proxy for a target resilience/bit-rate point),
 //! * [`EnergyBudgetController`] — raises the resilience level while the
 //!   measured per-frame energy stays within the budget, backs off when the
-//!   budget is exceeded.
+//!   budget is exceeded,
+//! * [`DegradationController`] — wraps the PLR compensation with
+//!   staleness awareness: the feedback reports cross the same lossy
+//!   network as the video, so while they are dark the controller backs
+//!   off exponentially toward a conservative high-intra threshold, and
+//!   recovers smoothly when reports return.
 
 use serde::{Deserialize, Serialize};
 
@@ -227,6 +232,173 @@ impl EnergyBudgetController {
     }
 }
 
+/// Configuration of the [`DegradationController`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradationConfig {
+    /// Threshold the encoder wants at `base_plr` (the operating point the
+    /// PLR compensation is anchored to).
+    pub base_th: f64,
+    /// PLR the `base_th` was tuned for.
+    pub base_plr: f64,
+    /// High-intra fallback threshold the controller drifts toward while
+    /// feedback is dark. In this codebase a *higher* `Intra_Th` means
+    /// more intra refresh — more resilient against whatever the (now
+    /// invisible) network is doing.
+    pub conservative_th: f64,
+    /// Frames without a feedback report before the controller declares
+    /// the channel dark and starts backing off.
+    pub staleness_timeout: u64,
+    /// Per-frame fraction of the remaining gap closed toward
+    /// `conservative_th` while dark (exponential backoff).
+    pub backoff_rate: f64,
+    /// Per-frame fraction of the remaining gap closed toward the
+    /// compensated tracking threshold while feedback is live (smooth
+    /// recovery — no discontinuity when reports reappear).
+    pub recovery_rate: f64,
+}
+
+impl Default for DegradationConfig {
+    fn default() -> Self {
+        DegradationConfig {
+            base_th: 0.9,
+            base_plr: 0.1,
+            conservative_th: 0.995,
+            staleness_timeout: 30,
+            backoff_rate: 0.05,
+            recovery_rate: 0.2,
+        }
+    }
+}
+
+/// Degradation-aware `Intra_Th` controller: PLR compensation that
+/// survives the feedback path itself failing.
+///
+/// The §3.2 loop assumes the encoder *has* a PLR estimate. When the
+/// return channel is lossy or delayed (see
+/// `pbpair_netsim::feedback::FeedbackLink`) that assumption breaks: the
+/// last report goes stale, and steering on it is steering blind. This
+/// controller:
+///
+/// * tracks `compensated_intra_th(base_th, base_plr, plr)` while reports
+///   are fresh, approaching it at `recovery_rate` per frame (smooth, no
+///   jumps when a report lands after a blackout),
+/// * after `staleness_timeout` frames of silence, backs off
+///   exponentially toward `conservative_th` — the longer the dark, the
+///   closer to full intra refresh, because an invisible network must be
+///   assumed hostile,
+/// * resumes tracking the moment a report arrives.
+///
+/// # Example
+///
+/// ```rust
+/// use pbpair::adapt::{DegradationConfig, DegradationController};
+///
+/// let mut c = DegradationController::new(DegradationConfig::default()).unwrap();
+/// c.on_feedback(0, 0.1);
+/// let tracking = c.tick(1);
+/// // 200 frames of silence: well past the timeout, deep into backoff.
+/// let mut dark = tracking;
+/// for f in 2..200 {
+///     dark = c.tick(f);
+/// }
+/// assert!(c.is_degraded(199));
+/// assert!(dark > tracking, "blackout must raise the threshold");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradationController {
+    config: DegradationConfig,
+    intra_th: f64,
+    /// Threshold the compensation asks for, from the freshest report.
+    tracking_th: f64,
+    last_feedback_frame: Option<u64>,
+}
+
+impl DegradationController {
+    /// Creates the controller; the threshold starts at the compensated
+    /// base point.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `base_th` or `conservative_th` is outside
+    /// `(0, 1]`, `base_plr` outside `[0, 1)`, or either rate outside
+    /// `(0, 1]`.
+    pub fn new(config: DegradationConfig) -> Result<Self, String> {
+        if !(config.base_th > 0.0 && config.base_th <= 1.0) {
+            return Err(format!("base_th must be in (0,1]: {}", config.base_th));
+        }
+        if !(0.0..1.0).contains(&config.base_plr) {
+            return Err(format!("base_plr must be in [0,1): {}", config.base_plr));
+        }
+        if !(config.conservative_th > 0.0 && config.conservative_th <= 1.0) {
+            return Err(format!(
+                "conservative_th must be in (0,1]: {}",
+                config.conservative_th
+            ));
+        }
+        for (name, rate) in [
+            ("backoff_rate", config.backoff_rate),
+            ("recovery_rate", config.recovery_rate),
+        ] {
+            if !(rate > 0.0 && rate <= 1.0) {
+                return Err(format!("{name} must be in (0,1]: {rate}"));
+            }
+        }
+        Ok(DegradationController {
+            config,
+            intra_th: config.base_th,
+            tracking_th: config.base_th,
+            last_feedback_frame: None,
+        })
+    }
+
+    /// The threshold to use for the next frame (without advancing time).
+    pub fn intra_th(&self) -> f64 {
+        self.intra_th
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DegradationConfig {
+        &self.config
+    }
+
+    /// Frames since the last feedback report, or `None` before the first.
+    pub fn frames_dark(&self, now_frame: u64) -> Option<u64> {
+        self.last_feedback_frame
+            .map(|f| now_frame.saturating_sub(f))
+    }
+
+    /// Whether the controller is past the staleness timeout at
+    /// `now_frame` (never before the first report — silence at startup
+    /// is ignorance, not degradation, and the base point already covers
+    /// it).
+    pub fn is_degraded(&self, now_frame: u64) -> bool {
+        self.frames_dark(now_frame)
+            .is_some_and(|d| d > self.config.staleness_timeout)
+    }
+
+    /// Feeds in a PLR report received at `now_frame`; re-anchors the
+    /// tracking threshold via [`compensated_intra_th`]. The operating
+    /// threshold itself moves only in [`tick`](Self::tick), so a report
+    /// after a long blackout starts a glide, not a jump.
+    pub fn on_feedback(&mut self, now_frame: u64, plr: f64) {
+        let plr = plr.clamp(0.0, 0.999_999);
+        self.tracking_th = compensated_intra_th(self.config.base_th, self.config.base_plr, plr);
+        self.last_feedback_frame = Some(now_frame);
+    }
+
+    /// Advances one frame and returns the threshold for it.
+    pub fn tick(&mut self, now_frame: u64) -> f64 {
+        let (target, rate) = if self.is_degraded(now_frame) {
+            (self.config.conservative_th, self.config.backoff_rate)
+        } else {
+            (self.tracking_th, self.config.recovery_rate)
+        };
+        self.intra_th += (target - self.intra_th) * rate;
+        self.intra_th = self.intra_th.clamp(0.0, 1.0);
+        self.intra_th
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,5 +562,136 @@ mod tests {
         assert_eq!(c.budget(), 1.0);
         let th = c.update(2.0); // now over the tightened budget
         assert!(th > 0.5);
+    }
+
+    fn degradation_config() -> DegradationConfig {
+        DegradationConfig {
+            base_th: 0.9,
+            base_plr: 0.1,
+            conservative_th: 0.99,
+            staleness_timeout: 10,
+            backoff_rate: 0.1,
+            recovery_rate: 0.25,
+        }
+    }
+
+    #[test]
+    fn degradation_tracks_compensation_while_feedback_is_fresh() {
+        let mut c = DegradationController::new(degradation_config()).unwrap();
+        let target = compensated_intra_th(0.9, 0.1, 0.25);
+        for f in 0..200 {
+            c.on_feedback(f, 0.25); // report every frame — never stale
+            c.tick(f);
+        }
+        assert!(!c.is_degraded(199));
+        assert!(
+            (c.intra_th() - target).abs() < 1e-6,
+            "must settle on the compensated threshold: {} vs {target}",
+            c.intra_th()
+        );
+    }
+
+    #[test]
+    fn degradation_backs_off_toward_conservative_during_blackout() {
+        let cfg = degradation_config();
+        let mut c = DegradationController::new(cfg).unwrap();
+        c.on_feedback(0, 0.1);
+        let mut prev = c.tick(1);
+        assert!(!c.is_degraded(5), "within the timeout is not degraded");
+        // Silence. Past the timeout the threshold must climb
+        // monotonically toward (and never past) the conservative point.
+        let mut climbed = false;
+        for f in 2..150 {
+            let th = c.tick(f);
+            if c.is_degraded(f) {
+                assert!(th >= prev, "backoff must be monotone: {th} < {prev}");
+                assert!(th <= cfg.conservative_th + 1e-12);
+                climbed = climbed || th > prev;
+            }
+            prev = th;
+        }
+        assert!(climbed);
+        assert!(c.is_degraded(149));
+        assert!(
+            (c.intra_th() - cfg.conservative_th).abs() < 0.01,
+            "long blackout must approach conservative: {}",
+            c.intra_th()
+        );
+    }
+
+    #[test]
+    fn degradation_recovers_smoothly_when_feedback_returns() {
+        let cfg = degradation_config();
+        let mut c = DegradationController::new(cfg).unwrap();
+        c.on_feedback(0, 0.1);
+        for f in 1..100 {
+            c.tick(f); // blackout
+        }
+        let dark_th = c.intra_th();
+        // Reports resume: no jump — the threshold glides back down.
+        let mut prev = dark_th;
+        for f in 100..160 {
+            c.on_feedback(f, 0.1);
+            let th = c.tick(f);
+            let step = (prev - th).abs();
+            assert!(
+                step <= (prev - 0.9).abs() * cfg.recovery_rate + 1e-12,
+                "recovery step too large: {step}"
+            );
+            assert!(th <= prev + 1e-12, "recovery must descend: {th} > {prev}");
+            prev = th;
+        }
+        assert!(
+            (c.intra_th() - 0.9).abs() < 1e-3,
+            "must re-settle on tracking: {}",
+            c.intra_th()
+        );
+    }
+
+    #[test]
+    fn degradation_never_degrades_before_first_report() {
+        let mut c = DegradationController::new(degradation_config()).unwrap();
+        for f in 0..100 {
+            c.tick(f);
+        }
+        assert!(!c.is_degraded(99), "startup silence is not a blackout");
+        assert_eq!(c.frames_dark(99), None);
+        assert!((c.intra_th() - 0.9).abs() < 1e-9, "holds the base point");
+    }
+
+    #[test]
+    fn degradation_staleness_boundary_is_exclusive() {
+        let mut c = DegradationController::new(degradation_config()).unwrap();
+        c.on_feedback(0, 0.1);
+        assert!(!c.is_degraded(10), "exactly at the timeout is still live");
+        assert!(c.is_degraded(11));
+        assert_eq!(c.frames_dark(11), Some(11));
+    }
+
+    #[test]
+    fn degradation_rejects_bad_config() {
+        let bad_th = DegradationConfig {
+            base_th: 0.0,
+            ..degradation_config()
+        };
+        assert!(DegradationController::new(bad_th).is_err());
+        let bad_rate = DegradationConfig {
+            backoff_rate: 1.5,
+            ..degradation_config()
+        };
+        assert!(DegradationController::new(bad_rate).is_err());
+        let bad_plr = DegradationConfig {
+            base_plr: 1.0,
+            ..degradation_config()
+        };
+        assert!(DegradationController::new(bad_plr).is_err());
+    }
+
+    #[test]
+    fn degradation_clamps_reported_plr() {
+        let mut c = DegradationController::new(degradation_config()).unwrap();
+        c.on_feedback(0, 7.3); // garbage from a corrupted report
+        let th = c.tick(1);
+        assert!((0.0..=1.0).contains(&th));
     }
 }

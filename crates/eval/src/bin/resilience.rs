@@ -1,0 +1,42 @@
+//! Regenerates the fault-injection resilience experiments: the
+//! corruption-intensity sweep (resilient decode of damaged payloads) and
+//! the feedback-blackout scenario (the degradation controller backing
+//! `Intra_Th` off while the return channel is dark, then recovering).
+//!
+//! Usage: `cargo run --release -p pbpair-eval --bin resilience`
+
+use pbpair_eval::experiments::frames_from_env;
+use pbpair_eval::experiments::resilience::{run_corruption_sweep, run_feedback_blackout};
+
+fn main() {
+    let frames = frames_from_env(240);
+
+    eprintln!("resilience: corruption sweep, {frames} frames per intensity");
+    match run_corruption_sweep(frames, &[0.0, 0.25, 0.5, 0.75, 1.0]) {
+        Ok(sweep) => println!("{}", sweep.table()),
+        Err(e) => {
+            eprintln!("corruption sweep failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    eprintln!("resilience: feedback blackout, {frames} frames");
+    match run_feedback_blackout(frames) {
+        Ok(report) => {
+            println!("{}", report.table());
+            println!("## Intra_Th trajectory (every 10th frame)");
+            println!("frame  Intra_Th  degraded");
+            for f in (0..report.frames).step_by(10) {
+                println!(
+                    "{f:>5}  {:>8.3}  {}",
+                    report.th_trace[f],
+                    if report.degraded_trace[f] { "yes" } else { "" }
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("feedback blackout failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

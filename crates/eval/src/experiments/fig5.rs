@@ -124,14 +124,19 @@ type SequenceCells = (Vec<Fig5Cell>, (String, f64));
 
 pub fn run_fig5(opts: Fig5Options) -> Result<Fig5Report, String> {
     let sequences = SequenceSpec::paper_sequences();
-    let results: Vec<Result<SequenceCells, String>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<SequenceCells, String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = sequences
             .iter()
-            .map(|seq| scope.spawn(move |_| run_sequence(seq.clone(), opts)))
+            .map(|seq| scope.spawn(move || run_sequence(seq.clone(), opts)))
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .map_err(|_| "parallel sequence execution panicked".to_string())?;
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .map_err(|_| "parallel sequence execution panicked".to_string())?
+            })
+            .collect()
+    });
 
     let mut cells = Vec::new();
     let mut calibrated_th = Vec::new();

@@ -7,6 +7,7 @@ pub mod extensions;
 pub mod fig5;
 pub mod fig6;
 pub mod headline;
+pub mod resilience;
 pub mod sweeps;
 
 /// Reads the frame-count override from `PBPAIR_FRAMES` (smoke runs), or

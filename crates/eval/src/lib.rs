@@ -7,8 +7,9 @@
 //!   uses to compare schemes at matched compression.
 //! * [`experiments`] — a driver per paper figure/section: Figure 5
 //!   (scheme comparison), Figure 6 (per-frame loss behaviour), the
-//!   headline energy-reduction percentages, the §4.3/§4.4 sweeps, and
-//!   the §3.2 adaptive extension.
+//!   headline energy-reduction percentages, the §4.3/§4.4 sweeps, the
+//!   §3.2 adaptive extension, and the fault-injection resilience
+//!   scenarios (corruption sweep + feedback blackout).
 //! * [`report`] — aligned text tables, printed in the same shape the
 //!   paper reports.
 //!
@@ -21,6 +22,7 @@
 //! cargo run --release -p pbpair-eval --bin sweep_intra_th
 //! cargo run --release -p pbpair-eval --bin sweep_plr
 //! cargo run --release -p pbpair-eval --bin adaptive
+//! cargo run --release -p pbpair-eval --bin resilience
 //! ```
 //!
 //! Set `PBPAIR_FRAMES=<n>` to shrink runs for smoke testing.

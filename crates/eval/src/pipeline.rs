@@ -445,7 +445,7 @@ pub fn run_batch_parallel(
     configs: &[RunConfig],
     mut progress: Option<ProgressFn<'_>>,
 ) -> Vec<Result<RunResult, String>> {
-    use parking_lot::Mutex;
+    use std::sync::Mutex;
     let done = Mutex::new((0usize, &mut progress));
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -455,16 +455,16 @@ pub fn run_batch_parallel(
     let results: Vec<Mutex<Option<Result<RunResult, String>>>> =
         configs.iter().map(|_| Mutex::new(None)).collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= configs.len() {
                     break;
                 }
                 let result = run(&configs[i]);
                 {
-                    let mut guard = done.lock();
+                    let mut guard = done.lock().expect("progress lock poisoned");
                     guard.0 += 1;
                     let completed = guard.0;
                     if let Some(cb) = guard.1.as_deref_mut() {
@@ -478,15 +478,18 @@ pub fn run_batch_parallel(
                         );
                     }
                 }
-                *results[i].lock() = Some(result);
+                *results[i].lock().expect("result lock poisoned") = Some(result);
             });
         }
-    })
-    .expect("batch worker panicked");
+    });
 
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("every cell ran"))
+        .map(|m| {
+            m.into_inner()
+                .expect("result lock poisoned")
+                .expect("every cell ran")
+        })
         .collect()
 }
 

@@ -1,0 +1,614 @@
+//! Payload-level fault injection.
+//!
+//! The loss models in [`crate::loss`] damage traffic at whole-packet
+//! granularity: a packet either arrives intact or not at all. Real
+//! wireless channels are messier — residual bit errors slip past link
+//! CRCs, interleavers smear fades into in-payload burst erasures, and
+//! transport quirks duplicate or reorder datagrams. This module injects
+//! exactly that class of damage, deterministically from a seed, so the
+//! decoder's resilience path (resync + concealment, see
+//! `pbpair_codec::DecodeReport`) can be exercised and measured
+//! end-to-end.
+//!
+//! Everything composes with the existing [`LossModel`]s: a
+//! [`CorruptingChannel`] applies packet loss first (Uniform,
+//! Gilbert–Elliott, Scripted, …) and then payload corruption to the
+//! survivors.
+//!
+//! # Example
+//!
+//! ```rust
+//! use pbpair_netsim::corrupt::{CorruptingChannel, CorruptionProfile, Delivery};
+//! use pbpair_netsim::{loss::UniformLoss, rtp::Packetizer};
+//!
+//! let mut chan = CorruptingChannel::new(
+//!     Box::new(UniformLoss::new(0.05, 7)),
+//!     CorruptionProfile::light(),
+//!     42,
+//! );
+//! let mut pkt = Packetizer::new(200);
+//! match chan.transmit_frame(&pkt.packetize(0, &[0u8; 900])) {
+//!     Delivery::Intact(bytes) => assert_eq!(bytes.len(), 900),
+//!     Delivery::Damaged(bytes) => assert!(!bytes.is_empty()),
+//!     Delivery::Lost => {}
+//! }
+//! ```
+
+use crate::channel::LossyChannel;
+use crate::loss::LossModel;
+use crate::packet::{ChannelStats, Packet};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Per-packet damage probabilities and magnitudes. All probabilities are
+/// independent per packet; several kinds of damage can hit the same
+/// packet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorruptionProfile {
+    /// Probability that a packet's payload receives random bit flips.
+    pub flip_prob: f64,
+    /// Upper bound on flipped bits per damaged packet (at least 1).
+    pub max_flips: u32,
+    /// Probability that a packet's payload is truncated.
+    pub truncate_prob: f64,
+    /// Probability of a burst erasure (a zeroed run) inside the payload.
+    pub burst_prob: f64,
+    /// Upper bound on the erased run length in bytes (at least 1).
+    pub max_burst_len: usize,
+    /// Probability that a packet is duplicated in the delivered stream.
+    pub duplicate_prob: f64,
+    /// Probability that a packet swaps places with its successor.
+    pub reorder_prob: f64,
+}
+
+impl Default for CorruptionProfile {
+    fn default() -> Self {
+        CorruptionProfile::clean()
+    }
+}
+
+impl CorruptionProfile {
+    /// No damage at all; the identity profile.
+    pub fn clean() -> Self {
+        CorruptionProfile {
+            flip_prob: 0.0,
+            max_flips: 1,
+            truncate_prob: 0.0,
+            burst_prob: 0.0,
+            max_burst_len: 1,
+            duplicate_prob: 0.0,
+            reorder_prob: 0.0,
+        }
+    }
+
+    /// Sparse residual bit errors with occasional truncation — the
+    /// "link CRC mostly works" regime.
+    pub fn light() -> Self {
+        CorruptionProfile {
+            flip_prob: 0.05,
+            max_flips: 3,
+            truncate_prob: 0.01,
+            burst_prob: 0.01,
+            max_burst_len: 16,
+            duplicate_prob: 0.005,
+            reorder_prob: 0.005,
+        }
+    }
+
+    /// Aggressive damage: frequent flips, bursts, and truncation — deep
+    /// fades on an unprotected link.
+    pub fn heavy() -> Self {
+        CorruptionProfile {
+            flip_prob: 0.35,
+            max_flips: 24,
+            truncate_prob: 0.10,
+            burst_prob: 0.15,
+            max_burst_len: 128,
+            duplicate_prob: 0.02,
+            reorder_prob: 0.02,
+        }
+    }
+
+    /// Interpolates damage intensity on `[0, 1]`: `0.0` is [`clean`],
+    /// `1.0` is [`heavy`]. Used by the corruption-sweep experiment to
+    /// turn one scalar into a profile.
+    ///
+    /// [`clean`]: CorruptionProfile::clean
+    /// [`heavy`]: CorruptionProfile::heavy
+    pub fn with_intensity(intensity: f64) -> Self {
+        let x = intensity.clamp(0.0, 1.0);
+        let heavy = CorruptionProfile::heavy();
+        CorruptionProfile {
+            flip_prob: heavy.flip_prob * x,
+            max_flips: 1 + ((heavy.max_flips - 1) as f64 * x).round() as u32,
+            truncate_prob: heavy.truncate_prob * x,
+            burst_prob: heavy.burst_prob * x,
+            max_burst_len: 1 + ((heavy.max_burst_len - 1) as f64 * x).round() as usize,
+            duplicate_prob: heavy.duplicate_prob * x,
+            reorder_prob: heavy.reorder_prob * x,
+        }
+    }
+
+    /// Whether this profile can never alter traffic.
+    pub fn is_clean(&self) -> bool {
+        self.flip_prob == 0.0
+            && self.truncate_prob == 0.0
+            && self.burst_prob == 0.0
+            && self.duplicate_prob == 0.0
+            && self.reorder_prob == 0.0
+    }
+}
+
+/// Running tally of injected damage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorruptionStats {
+    /// Packets whose payload was altered (flip, truncate, or burst).
+    pub packets_damaged: u64,
+    /// Individual bits flipped.
+    pub bits_flipped: u64,
+    /// Bytes removed by truncation.
+    pub bytes_truncated: u64,
+    /// Bytes overwritten by burst erasures.
+    pub bytes_erased: u64,
+    /// Packets duplicated into the stream.
+    pub packets_duplicated: u64,
+    /// Adjacent swaps applied to the stream.
+    pub packets_reordered: u64,
+}
+
+/// Seeded, deterministic payload corrupter.
+#[derive(Debug, Clone)]
+pub struct Corrupter {
+    profile: CorruptionProfile,
+    rng: StdRng,
+    seed: u64,
+    stats: CorruptionStats,
+}
+
+impl Corrupter {
+    /// Creates a corrupter with the given damage profile and seed.
+    pub fn new(profile: CorruptionProfile, seed: u64) -> Self {
+        Corrupter {
+            profile,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            stats: CorruptionStats::default(),
+        }
+    }
+
+    /// The damage profile.
+    pub fn profile(&self) -> &CorruptionProfile {
+        &self.profile
+    }
+
+    /// Damage injected since construction or the last [`reset`].
+    ///
+    /// [`reset`]: Corrupter::reset
+    pub fn stats(&self) -> &CorruptionStats {
+        &self.stats
+    }
+
+    /// Rewinds to the initial seeded state and clears the stats, so the
+    /// same damage sequence replays exactly.
+    pub fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.stats = CorruptionStats::default();
+    }
+
+    /// Applies flip/truncate/burst decisions to a raw byte buffer in
+    /// place. Returns `true` if the buffer was altered. Empty buffers
+    /// pass through untouched.
+    pub fn corrupt_bytes(&mut self, data: &mut Vec<u8>) -> bool {
+        if data.is_empty() {
+            return false;
+        }
+        let mut damaged = false;
+        if self.profile.flip_prob > 0.0 && self.rng.gen_bool(self.profile.flip_prob) {
+            let flips = self.rng.gen_range(1..=self.profile.max_flips.max(1));
+            for _ in 0..flips {
+                let byte = self.rng.gen_range(0..data.len());
+                let bit = self.rng.gen_range(0u32..8);
+                data[byte] ^= 1 << bit;
+            }
+            self.stats.bits_flipped += flips as u64;
+            damaged = true;
+        }
+        if self.profile.burst_prob > 0.0 && self.rng.gen_bool(self.profile.burst_prob) {
+            let start = self.rng.gen_range(0..data.len());
+            let cap = self.profile.max_burst_len.max(1).min(data.len() - start);
+            let len = self.rng.gen_range(1..=cap);
+            for b in &mut data[start..start + len] {
+                *b = 0;
+            }
+            self.stats.bytes_erased += len as u64;
+            damaged = true;
+        }
+        if self.profile.truncate_prob > 0.0
+            && data.len() >= 2
+            && self.rng.gen_bool(self.profile.truncate_prob)
+        {
+            let keep = self.rng.gen_range(1..data.len());
+            self.stats.bytes_truncated += (data.len() - keep) as u64;
+            data.truncate(keep);
+            damaged = true;
+        }
+        damaged
+    }
+
+    /// Returns a copy of `packet` with payload damage applied (metadata
+    /// is never altered — headers are assumed protected by the link
+    /// layer, matching how RTP survives payload damage).
+    pub fn corrupt_packet(&mut self, packet: &Packet) -> Packet {
+        let mut payload = packet.payload.to_vec();
+        if self.corrupt_bytes(&mut payload) {
+            self.stats.packets_damaged += 1;
+            Packet {
+                payload: Bytes::from(payload),
+                ..packet.clone()
+            }
+        } else {
+            packet.clone()
+        }
+    }
+
+    /// Applies per-packet payload damage plus stream-level duplication
+    /// and adjacent reordering to a packet sequence.
+    pub fn corrupt_stream(&mut self, packets: &[Packet]) -> Vec<Packet> {
+        let mut out = Vec::with_capacity(packets.len());
+        for p in packets {
+            let damaged = self.corrupt_packet(p);
+            if self.profile.duplicate_prob > 0.0 && self.rng.gen_bool(self.profile.duplicate_prob) {
+                out.push(damaged.clone());
+                self.stats.packets_duplicated += 1;
+            }
+            out.push(damaged);
+        }
+        if self.profile.reorder_prob > 0.0 {
+            let mut i = 0;
+            while i + 1 < out.len() {
+                if self.rng.gen_bool(self.profile.reorder_prob) {
+                    out.swap(i, i + 1);
+                    self.stats.packets_reordered += 1;
+                    i += 2; // a swapped pair is settled; don't re-swap
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Best-effort reassembly of a (possibly damaged) fragment stream:
+/// duplicates are dropped (first arrival wins), fragments are ordered by
+/// index, missing fragments leave gaps, and whatever payload is present
+/// is concatenated. Returns `None` only when no usable fragment exists.
+///
+/// This is the receiver behaviour that feeds a *resilient* decoder —
+/// contrast [`crate::rtp::reassemble_frame`], which is all-or-nothing
+/// for the classic brittle decode path.
+pub fn reassemble_frame_damaged(packets: &[Packet]) -> Option<Vec<u8>> {
+    let first = packets.iter().find(|p| !p.parity)?;
+    let frame_index = first.frame_index;
+    let count = first.fragment_count as usize;
+    let mut slots: Vec<Option<&Packet>> = vec![None; count.max(1)];
+    for p in packets {
+        if p.parity || p.frame_index != frame_index || p.fragment_index as usize >= slots.len() {
+            continue;
+        }
+        let slot = &mut slots[p.fragment_index as usize];
+        if slot.is_none() {
+            *slot = Some(p);
+        }
+    }
+    let mut out = Vec::new();
+    for s in slots.iter().flatten() {
+        out.extend_from_slice(&s.payload);
+    }
+    if out.is_empty() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+/// What came out of a [`CorruptingChannel`] for one frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Delivery {
+    /// Every fragment arrived unaltered.
+    Intact(Vec<u8>),
+    /// Something arrived, but fragments were damaged, lost, duplicated,
+    /// or reordered; the bytes are a best-effort reconstruction.
+    Damaged(Vec<u8>),
+    /// Nothing usable arrived.
+    Lost,
+}
+
+impl Delivery {
+    /// The delivered bytes, if any.
+    pub fn bytes(&self) -> Option<&[u8]> {
+        match self {
+            Delivery::Intact(b) | Delivery::Damaged(b) => Some(b),
+            Delivery::Lost => None,
+        }
+    }
+
+    /// Whether anything was delivered.
+    pub fn is_delivered(&self) -> bool {
+        !matches!(self, Delivery::Lost)
+    }
+}
+
+/// A lossy channel that also injects payload-level corruption: packet
+/// loss (any [`LossModel`]) is applied first, then the surviving
+/// packets run through a [`Corrupter`], then best-effort reassembly.
+pub struct CorruptingChannel {
+    inner: LossyChannel,
+    corrupter: Corrupter,
+}
+
+impl std::fmt::Debug for CorruptingChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CorruptingChannel")
+            .field("loss", &self.inner)
+            .field("corruption", self.corrupter.stats())
+            .finish()
+    }
+}
+
+impl CorruptingChannel {
+    /// Builds a channel from a loss model, a damage profile, and the
+    /// corruption seed.
+    pub fn new(model: Box<dyn LossModel>, profile: CorruptionProfile, seed: u64) -> Self {
+        CorruptingChannel {
+            inner: LossyChannel::new(model),
+            corrupter: Corrupter::new(profile, seed),
+        }
+    }
+
+    /// Composes an existing lossy channel with an existing corrupter.
+    pub fn from_parts(inner: LossyChannel, corrupter: Corrupter) -> Self {
+        CorruptingChannel { inner, corrupter }
+    }
+
+    /// Packet-loss statistics (from the wrapped [`LossyChannel`]).
+    pub fn loss_stats(&self) -> &ChannelStats {
+        self.inner.stats()
+    }
+
+    /// Corruption statistics.
+    pub fn corruption_stats(&self) -> &CorruptionStats {
+        self.corrupter.stats()
+    }
+
+    /// Transmits one frame's packets: loss first, then corruption, then
+    /// best-effort reassembly.
+    pub fn transmit_frame(&mut self, packets: &[Packet]) -> Delivery {
+        let survivors = self.inner.transmit(packets);
+        let lost_some = survivors.len() != packets.len();
+        let before = *self.corrupter.stats();
+        let delivered = self.corrupter.corrupt_stream(&survivors);
+        let altered = *self.corrupter.stats() != before;
+        if delivered.is_empty() {
+            return Delivery::Lost;
+        }
+        match reassemble_frame_damaged(&delivered) {
+            None => Delivery::Lost,
+            Some(bytes) if !lost_some && !altered => Delivery::Intact(bytes),
+            Some(bytes) => Delivery::Damaged(bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{NoLoss, UniformLoss};
+    use crate::rtp::Packetizer;
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 31 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn clean_profile_is_identity() {
+        let mut c = Corrupter::new(CorruptionProfile::clean(), 1);
+        let mut pkt = Packetizer::new(100);
+        let data = payload(350);
+        let pkts = pkt.packetize(0, &data);
+        let out = c.corrupt_stream(&pkts);
+        assert_eq!(out, pkts);
+        assert_eq!(c.stats(), &CorruptionStats::default());
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let profile = CorruptionProfile::heavy();
+        let mut a = Corrupter::new(profile, 77);
+        let mut b = Corrupter::new(profile, 77);
+        let mut pkt = Packetizer::new(64);
+        for f in 0..20u64 {
+            let pkts = pkt.packetize(f, &payload(500));
+            assert_eq!(a.corrupt_stream(&pkts), b.corrupt_stream(&pkts));
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().packets_damaged > 0, "heavy profile must damage");
+    }
+
+    #[test]
+    fn reset_replays_the_same_damage() {
+        let mut c = Corrupter::new(CorruptionProfile::heavy(), 5);
+        let mut pkt = Packetizer::new(80);
+        let pkts = pkt.packetize(0, &payload(400));
+        let first = c.corrupt_stream(&pkts);
+        let stats_first = *c.stats();
+        c.reset();
+        assert_eq!(c.corrupt_stream(&pkts), first);
+        assert_eq!(*c.stats(), stats_first);
+    }
+
+    #[test]
+    fn bit_flips_flip_exactly_counted_bits() {
+        let profile = CorruptionProfile {
+            flip_prob: 1.0,
+            max_flips: 8,
+            ..CorruptionProfile::clean()
+        };
+        let mut c = Corrupter::new(profile, 3);
+        let original = payload(256);
+        let mut data = original.clone();
+        assert!(c.corrupt_bytes(&mut data));
+        assert_eq!(data.len(), original.len(), "flips never change length");
+        let differing_bits: u32 = original
+            .iter()
+            .zip(&data)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        // Flips can collide on the same bit (flipping it back), so the
+        // observed Hamming distance is at most the counted flips and has
+        // matching parity.
+        assert!(differing_bits as u64 <= c.stats().bits_flipped);
+        assert_eq!(differing_bits as u64 % 2, c.stats().bits_flipped % 2);
+        assert!(c.stats().bits_flipped >= 1);
+    }
+
+    #[test]
+    fn truncation_shortens_but_never_empties() {
+        let profile = CorruptionProfile {
+            truncate_prob: 1.0,
+            ..CorruptionProfile::clean()
+        };
+        let mut c = Corrupter::new(profile, 11);
+        for n in [2usize, 3, 10, 500] {
+            let mut data = payload(n);
+            assert!(c.corrupt_bytes(&mut data));
+            assert!(!data.is_empty() && data.len() < n);
+        }
+        // A 1-byte payload cannot be truncated further.
+        let mut tiny = vec![42u8];
+        assert!(!c.corrupt_bytes(&mut tiny));
+        assert_eq!(tiny, vec![42u8]);
+    }
+
+    #[test]
+    fn bursts_zero_a_run_within_bounds() {
+        let profile = CorruptionProfile {
+            burst_prob: 1.0,
+            max_burst_len: 32,
+            ..CorruptionProfile::clean()
+        };
+        let mut c = Corrupter::new(profile, 13);
+        let mut data = vec![0xFFu8; 300];
+        assert!(c.corrupt_bytes(&mut data));
+        let zeroed = data.iter().filter(|&&b| b == 0).count();
+        assert!((1..=32).contains(&zeroed));
+        assert_eq!(zeroed as u64, c.stats().bytes_erased);
+        // The zeroed bytes form one contiguous run.
+        let first = data.iter().position(|&b| b == 0).unwrap();
+        let last = data.iter().rposition(|&b| b == 0).unwrap();
+        assert_eq!(last - first + 1, zeroed);
+    }
+
+    #[test]
+    fn duplication_and_reorder_touch_the_stream() {
+        let profile = CorruptionProfile {
+            duplicate_prob: 0.5,
+            reorder_prob: 0.5,
+            ..CorruptionProfile::clean()
+        };
+        let mut c = Corrupter::new(profile, 17);
+        let mut pkt = Packetizer::new(50);
+        let pkts = pkt.packetize(0, &payload(500)); // 10 fragments
+        let out = c.corrupt_stream(&pkts);
+        assert_eq!(
+            out.len(),
+            pkts.len() + c.stats().packets_duplicated as usize
+        );
+        assert!(c.stats().packets_duplicated > 0);
+        assert!(c.stats().packets_reordered > 0);
+        // Payloads are untouched by dup/reorder.
+        assert!(c.stats().packets_damaged == 0);
+    }
+
+    #[test]
+    fn damaged_reassembly_tolerates_dups_gaps_and_order() {
+        let mut pkt = Packetizer::new(100);
+        let data = payload(300);
+        let mut pkts = pkt.packetize(0, &data); // 3 fragments
+        pkts.swap(0, 2); // reorder
+        pkts.push(pkts[1].clone()); // duplicate
+        assert_eq!(reassemble_frame_damaged(&pkts).unwrap(), data);
+        // Drop the middle fragment: the rest still concatenates.
+        let gappy: Vec<Packet> = pkts
+            .iter()
+            .filter(|p| p.fragment_index != 1)
+            .cloned()
+            .collect();
+        let partial = reassemble_frame_damaged(&gappy).unwrap();
+        assert_eq!(partial.len(), 200);
+        assert_eq!(&partial[..100], &data[..100]);
+        assert_eq!(&partial[100..], &data[200..]);
+        assert!(reassemble_frame_damaged(&[]).is_none());
+    }
+
+    #[test]
+    fn corrupting_channel_composes_loss_and_damage() {
+        let mut chan = CorruptingChannel::new(
+            Box::new(UniformLoss::new(0.3, 21)),
+            CorruptionProfile::heavy(),
+            22,
+        );
+        let mut pkt = Packetizer::new(120);
+        let mut intact = 0u32;
+        let mut damaged = 0u32;
+        let mut lost = 0u32;
+        for f in 0..400u64 {
+            match chan.transmit_frame(&pkt.packetize(f, &payload(600))) {
+                Delivery::Intact(b) => {
+                    assert_eq!(b, payload(600));
+                    intact += 1;
+                }
+                Delivery::Damaged(b) => {
+                    assert!(!b.is_empty());
+                    damaged += 1;
+                }
+                Delivery::Lost => lost += 1,
+            }
+        }
+        assert!(intact > 0, "some frames must pass clean");
+        assert!(damaged > 0, "some frames must arrive damaged");
+        assert!(lost > 0, "per-packet loss should kill some frames whole");
+        assert!(chan.loss_stats().packets_lost > 0);
+        assert!(chan.corruption_stats().packets_damaged > 0);
+    }
+
+    #[test]
+    fn corrupting_channel_with_clean_profile_matches_lossless_delivery() {
+        let mut chan = CorruptingChannel::new(Box::new(NoLoss), CorruptionProfile::clean(), 0);
+        let mut pkt = Packetizer::new(90);
+        let data = payload(450);
+        match chan.transmit_frame(&pkt.packetize(0, &data)) {
+            Delivery::Intact(b) => assert_eq!(b, data),
+            other => panic!("expected intact delivery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn intensity_interpolates_between_clean_and_heavy() {
+        assert!(CorruptionProfile::with_intensity(0.0).is_clean());
+        assert_eq!(
+            CorruptionProfile::with_intensity(1.0),
+            CorruptionProfile::heavy()
+        );
+        let mid = CorruptionProfile::with_intensity(0.5);
+        assert!(mid.flip_prob > 0.0 && mid.flip_prob < CorruptionProfile::heavy().flip_prob);
+        // Out-of-range intensities clamp.
+        assert!(CorruptionProfile::with_intensity(-3.0).is_clean());
+        assert_eq!(
+            CorruptionProfile::with_intensity(7.0),
+            CorruptionProfile::heavy()
+        );
+    }
+}

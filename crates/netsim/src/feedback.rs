@@ -4,8 +4,12 @@
 //!
 //! Two estimators: a sliding-window empirical rate (what an RTCP receiver
 //! report would carry) and an exponentially-weighted moving average for
-//! smoother control loops.
+//! smoother control loops. [`FeedbackLink`] then carries those estimates
+//! back to the encoder through the *same* unreliable network the video
+//! crossed — reports can be delayed or lost outright, which is what the
+//! degradation-aware controller on the encoder side has to survive.
 
+use crate::loss::LossModel;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -100,9 +104,135 @@ impl EwmaPlrEstimator {
     }
 }
 
+/// One receiver report travelling back to the encoder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackReport {
+    /// Report sequence number (receiver-side send order).
+    pub seq: u64,
+    /// Frame index at which the receiver emitted the report.
+    pub sent_at_frame: u64,
+    /// The receiver's PLR estimate at that instant.
+    pub plr: f64,
+}
+
+/// Cumulative statistics of the feedback path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeedbackLinkStats {
+    /// Reports the receiver offered to the link.
+    pub sent: u64,
+    /// Reports the return channel dropped.
+    pub lost: u64,
+    /// Reports the encoder actually polled off the link.
+    pub delivered: u64,
+}
+
+/// The return channel for receiver reports: a [`LossModel`] plus a fixed
+/// transit delay, measured in frame periods.
+///
+/// The video path already models the forward direction; this closes the
+/// loop the paper's §3.2 extension depends on ("based on the feedback
+/// information from the network, PBPAIR can be extended to adjust
+/// Intra_Th") — but honestly: the feedback crosses the same lossy
+/// network, so the encoder may be steering on stale or missing data.
+///
+/// # Example
+///
+/// ```rust
+/// use pbpair_netsim::feedback::FeedbackLink;
+/// use pbpair_netsim::loss::NoLoss;
+///
+/// let mut link = FeedbackLink::new(Box::new(NoLoss), 3);
+/// link.send(10, 0.07);
+/// assert!(link.poll(12).is_none(), "still in flight");
+/// let report = link.poll(13).expect("arrived after 3 frames");
+/// assert_eq!(report.sent_at_frame, 10);
+/// ```
+pub struct FeedbackLink {
+    loss: Box<dyn LossModel>,
+    delay_frames: u64,
+    /// Reports in flight, tagged with their arrival frame; ordered by
+    /// send time (arrival times are monotone since the delay is fixed).
+    in_flight: VecDeque<(u64, FeedbackReport)>,
+    next_seq: u64,
+    stats: FeedbackLinkStats,
+}
+
+impl std::fmt::Debug for FeedbackLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FeedbackLink")
+            .field("delay_frames", &self.delay_frames)
+            .field("in_flight", &self.in_flight.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl FeedbackLink {
+    /// Creates a return channel that drops reports per `loss` and delays
+    /// survivors by `delay_frames` frame periods.
+    pub fn new(loss: Box<dyn LossModel>, delay_frames: u64) -> Self {
+        FeedbackLink {
+            loss,
+            delay_frames,
+            in_flight: VecDeque::new(),
+            next_seq: 0,
+            stats: FeedbackLinkStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &FeedbackLinkStats {
+        &self.stats
+    }
+
+    /// Reports currently in transit.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Receiver side: offers a PLR report to the return channel at frame
+    /// `now_frame`. The report is dropped immediately if the loss model
+    /// says so; otherwise it arrives `delay_frames` later.
+    pub fn send(&mut self, now_frame: u64, plr: f64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stats.sent += 1;
+        if self.loss.next_lost() {
+            self.stats.lost += 1;
+            return;
+        }
+        self.in_flight.push_back((
+            now_frame + self.delay_frames,
+            FeedbackReport {
+                seq,
+                sent_at_frame: now_frame,
+                plr,
+            },
+        ));
+    }
+
+    /// Encoder side: drains every report that has arrived by frame
+    /// `now_frame` and returns the freshest one, if any. Older reports
+    /// arriving in the same poll are superseded (they still count as
+    /// delivered).
+    pub fn poll(&mut self, now_frame: u64) -> Option<FeedbackReport> {
+        let mut latest = None;
+        while let Some(&(arrival, report)) = self.in_flight.front() {
+            if arrival > now_frame {
+                break;
+            }
+            self.in_flight.pop_front();
+            self.stats.delivered += 1;
+            latest = Some(report);
+        }
+        latest
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::loss::{NoLoss, ScriptedLoss, UniformLoss};
 
     #[test]
     fn window_estimator_tracks_exact_rate() {
@@ -174,5 +304,75 @@ mod tests {
     #[should_panic(expected = "beta")]
     fn bad_beta_rejected() {
         let _ = EwmaPlrEstimator::new(0.0);
+    }
+
+    #[test]
+    fn feedback_link_delays_by_the_configured_frames() {
+        let mut link = FeedbackLink::new(Box::new(NoLoss), 5);
+        link.send(100, 0.12);
+        assert_eq!(link.in_flight(), 1);
+        for now in 100..105 {
+            assert!(link.poll(now).is_none(), "too early at frame {now}");
+        }
+        let r = link.poll(105).expect("due at send + delay");
+        assert_eq!(r.sent_at_frame, 100);
+        assert_eq!(r.seq, 0);
+        assert!((r.plr - 0.12).abs() < 1e-12);
+        assert_eq!(link.in_flight(), 0);
+    }
+
+    #[test]
+    fn feedback_link_zero_delay_is_immediate() {
+        let mut link = FeedbackLink::new(Box::new(NoLoss), 0);
+        link.send(7, 0.3);
+        assert!(link.poll(7).is_some());
+    }
+
+    #[test]
+    fn feedback_link_drops_scripted_reports() {
+        // Reports 1 and 2 die on the return path.
+        let mut link = FeedbackLink::new(Box::new(ScriptedLoss::new([1, 2])), 1);
+        for f in 0..4 {
+            link.send(f * 10, 0.1 * f as f64);
+        }
+        let mut seen = Vec::new();
+        for now in 0..=40 {
+            if let Some(r) = link.poll(now) {
+                seen.push(r.seq);
+            }
+        }
+        assert_eq!(seen, vec![0, 3]);
+        assert_eq!(link.stats().sent, 4);
+        assert_eq!(link.stats().lost, 2);
+        assert_eq!(link.stats().delivered, 2);
+    }
+
+    #[test]
+    fn feedback_link_poll_supersedes_with_the_freshest_report() {
+        let mut link = FeedbackLink::new(Box::new(NoLoss), 2);
+        link.send(0, 0.1);
+        link.send(1, 0.2);
+        link.send(2, 0.3);
+        // By frame 4 all three have arrived; only the newest wins.
+        let r = link.poll(4).expect("reports arrived");
+        assert_eq!(r.seq, 2);
+        assert!((r.plr - 0.3).abs() < 1e-12);
+        assert_eq!(link.stats().delivered, 3, "superseded still delivered");
+        assert!(link.poll(100).is_none(), "queue drained");
+    }
+
+    #[test]
+    fn feedback_link_loss_rate_shows_up_in_stats() {
+        let mut link = FeedbackLink::new(Box::new(UniformLoss::new(0.4, 77)), 1);
+        for f in 0..1000 {
+            link.send(f, 0.05);
+            let _ = link.poll(f);
+        }
+        let _ = link.poll(2000);
+        let s = *link.stats();
+        assert_eq!(s.sent, 1000);
+        assert_eq!(s.delivered + s.lost, 1000, "no report may vanish");
+        let rate = s.lost as f64 / s.sent as f64;
+        assert!((rate - 0.4).abs() < 0.05, "observed loss {rate}");
     }
 }

@@ -21,6 +21,7 @@
 //! ```
 
 pub mod channel;
+pub mod corrupt;
 pub mod delay;
 pub mod fec;
 pub mod feedback;
@@ -29,9 +30,15 @@ pub mod packet;
 pub mod rtp;
 
 pub use channel::LossyChannel;
+pub use corrupt::{
+    reassemble_frame_damaged, Corrupter, CorruptingChannel, CorruptionProfile, CorruptionStats,
+    Delivery,
+};
 pub use delay::{LinkStats, RealTimeLink};
 pub use fec::XorFec;
-pub use feedback::{EwmaPlrEstimator, WindowPlrEstimator};
+pub use feedback::{
+    EwmaPlrEstimator, FeedbackLink, FeedbackLinkStats, FeedbackReport, WindowPlrEstimator,
+};
 pub use loss::{GilbertElliott, LossModel, NoLoss, ScriptedLoss, TraceLoss, UniformLoss};
 pub use packet::{ChannelStats, Packet};
 pub use rtp::{reassemble_frame, Packetizer, DEFAULT_MTU};

@@ -2,7 +2,7 @@
 
 use pbpair_netsim::loss::{GilbertElliott, LossModel, ScriptedLoss, UniformLoss};
 use pbpair_netsim::rtp::{reassemble_frame, Packetizer};
-use pbpair_netsim::{LossyChannel, NoLoss};
+use pbpair_netsim::{LossyChannel, NoLoss, WindowPlrEstimator};
 use proptest::prelude::*;
 
 proptest! {
@@ -126,5 +126,32 @@ proptest! {
         let mut p = Packetizer::new(333);
         let got = chan.transmit_frame_atomic(&p.packetize(0, &data)).unwrap();
         prop_assert_eq!(got, data);
+    }
+
+    #[test]
+    fn window_estimator_matches_brute_force_recount(
+        outcomes in prop::collection::vec(any::<bool>(), 0..400),
+        window in 1usize..64
+    ) {
+        // The incremental bookkeeping (pop-front decrement / push-back
+        // increment) must agree with recounting the raw suffix at every
+        // single step, not just at the end.
+        let mut est = WindowPlrEstimator::new(window);
+        for i in 0..outcomes.len() {
+            est.record(outcomes[i]);
+            let tail = &outcomes[i.saturating_sub(window - 1)..=i];
+            let expected = tail.iter().filter(|&&l| l).count() as f64 / tail.len() as f64;
+            prop_assert_eq!(est.observations(), tail.len());
+            prop_assert!(
+                (est.estimate() - expected).abs() < 1e-12,
+                "step {}: incremental {} vs recount {}",
+                i,
+                est.estimate(),
+                expected
+            );
+        }
+        if outcomes.is_empty() {
+            prop_assert_eq!(est.estimate(), 0.0);
+        }
     }
 }

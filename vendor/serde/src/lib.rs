@@ -1,0 +1,32 @@
+//! Offline no-op stand-in for `serde`. The workspace derives
+//! `Serialize`/`Deserialize` on result/report types for downstream JSON
+//! export, but nothing in-tree actually serializes (there is no
+//! serde_json here). These marker traits keep the derive attributes and
+//! trait bounds compiling without the real crate. Swapping the real
+//! serde back in requires only restoring the registry dependency.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// `serde::de` namespace subset.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// `serde::ser` namespace subset.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,16 @@
+//! No-op `#[derive(Serialize, Deserialize)]` macros for the offline
+//! serde stand-in. The stub `serde` crate blanket-implements its marker
+//! traits, so the derives only need to exist (and accept `#[serde(...)]`
+//! attributes) — they emit nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
