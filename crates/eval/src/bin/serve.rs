@@ -1,0 +1,181 @@
+//! Throughput evaluation of the `pbpair-serve` streaming service: a
+//! session-count scaling sweep (1 → 64 concurrent sessions) and a
+//! worker-count sweep showing that the work-stealing pool turns extra
+//! cores into aggregate frames/second on the same session load.
+//!
+//! Usage: `cargo run --release -p pbpair-eval --bin serve [-- --smoke]`
+//!
+//! `--smoke` runs the minimal CI configuration (4 sessions × 16 frames)
+//! and exits nonzero unless the fleet reports nonzero throughput.
+//! `PBPAIR_FRAMES` overrides the frames-per-session depth of the sweeps.
+
+use pbpair_eval::experiments::frames_from_env;
+use pbpair_eval::report::{fmt_f, Table};
+use pbpair_serve::{run, ServeConfig};
+
+fn base_config(sessions: usize, frames: usize, workers: usize) -> ServeConfig {
+    ServeConfig {
+        sessions,
+        frames,
+        workers,
+        seed: 2005,
+        ..ServeConfig::default()
+    }
+}
+
+fn smoke() -> Result<(), String> {
+    let report = run(&base_config(4, 16, 2))?;
+    println!(
+        "serve smoke: {} frames, {:.1} fps, mean PSNR {:.2} dB, \
+         p50 {:.2} ms, p99 {:.2} ms, {} shed",
+        report.total_frames,
+        report.timing.throughput_fps,
+        report.mean_psnr_db,
+        report.timing.p50_frame_ms,
+        report.timing.p99_frame_ms,
+        report.shed_count
+    );
+    if report.total_frames != 64 {
+        return Err(format!("expected 64 frames, got {}", report.total_frames));
+    }
+    if report.timing.throughput_fps <= 0.0 {
+        return Err("throughput must be nonzero".into());
+    }
+    Ok(())
+}
+
+fn session_sweep(frames: usize, workers: usize) {
+    let mut table = Table::new(format!(
+        "Session scaling, {workers} workers, {frames} frames/session"
+    ));
+    table.set_headers([
+        "sessions", "fps", "p50 ms", "p99 ms", "PSNR dB", "J/frame", "migr", "shed",
+    ]);
+    for sessions in [1usize, 2, 4, 8, 16, 32, 64] {
+        match run(&base_config(sessions, frames, workers)) {
+            Ok(r) => {
+                table.add_row([
+                    sessions.to_string(),
+                    fmt_f(r.timing.throughput_fps, 1),
+                    fmt_f(r.timing.p50_frame_ms, 2),
+                    fmt_f(r.timing.p99_frame_ms, 2),
+                    fmt_f(r.mean_psnr_db, 2),
+                    fmt_f(r.total_encode_joules / r.total_frames as f64, 4),
+                    r.timing.migrations.to_string(),
+                    r.shed_count.to_string(),
+                ]);
+            }
+            Err(e) => {
+                eprintln!("serve failed at {sessions} sessions: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("{table}");
+}
+
+fn worker_sweep(sessions: usize, frames: usize) {
+    let mut table = Table::new(format!(
+        "Worker scaling, {sessions} sessions, {frames} frames/session"
+    ));
+    table.set_headers(["workers", "fps", "speedup", "p50 ms", "p99 ms", "migr"]);
+    let mut base_fps = 0.0;
+    let mut fps_at = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        match run(&base_config(sessions, frames, workers)) {
+            Ok(r) => {
+                let fps = r.timing.throughput_fps;
+                if workers == 1 {
+                    base_fps = fps;
+                }
+                fps_at.push((workers, fps));
+                table.add_row([
+                    workers.to_string(),
+                    fmt_f(fps, 1),
+                    format!("{:.2}x", if base_fps > 0.0 { fps / base_fps } else { 0.0 }),
+                    fmt_f(r.timing.p50_frame_ms, 2),
+                    fmt_f(r.timing.p99_frame_ms, 2),
+                    r.timing.migrations.to_string(),
+                ]);
+            }
+            Err(e) => {
+                eprintln!("serve failed at {workers} workers: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("{table}");
+
+    let one = fps_at.iter().find(|&&(w, _)| w == 1).map(|&(_, f)| f);
+    let best_multi = fps_at
+        .iter()
+        .filter(|&&(w, _)| w >= 4)
+        .map(|&(_, f)| f)
+        .fold(0.0f64, f64::max);
+    match one {
+        Some(one_fps) if best_multi > one_fps => {
+            println!("scaling check: {best_multi:.1} fps at >=4 workers vs {one_fps:.1} fps at 1 worker — pool scales\n");
+        }
+        Some(one_fps) => {
+            eprintln!(
+                "scaling check FAILED: best multi-worker fps {best_multi:.1} \
+                 does not beat single worker {one_fps:.1}"
+            );
+            std::process::exit(1);
+        }
+        None => unreachable!("worker sweep always includes 1"),
+    }
+}
+
+fn overload_demo(frames: usize) {
+    // A deliberately starved capacity so admission control is visible:
+    // the fleet degrades (cheap high-Intra_Th frames), rate-drops, and
+    // sheds its costliest sessions instead of falling behind forever.
+    let mut cfg = base_config(12, frames, 4);
+    cfg.admission.capacity_j_per_round = 1e-4;
+    cfg.admission.degrade_lag = 1.0;
+    cfg.admission.rate_drop_lag = 2.0;
+    cfg.admission.shed_lag = 4.0;
+    match run(&cfg) {
+        Ok(r) => {
+            let dropped: u64 = r.sessions.iter().map(|s| s.frames_rate_dropped).sum();
+            println!(
+                "Overload demo (capacity {} J/round): {} of {} sessions shed, \
+                 {} degraded rounds, {} frames rate-dropped, final Intra_Th floor in \
+                 force: {}",
+                cfg.admission.capacity_j_per_round,
+                r.shed_count,
+                cfg.sessions,
+                r.degraded_rounds,
+                dropped,
+                r.sessions
+                    .iter()
+                    .any(|s| !s.shed && s.final_intra_th >= cfg.admission.degrade_floor_th)
+            );
+        }
+        Err(e) => {
+            eprintln!("overload demo failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        if let Err(e) = smoke() {
+            eprintln!("serve smoke failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    let frames = frames_from_env(24);
+    // At least 4 workers even on small machines: pacing waits overlap
+    // across workers regardless of core count.
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get().clamp(4, 8))
+        .unwrap_or(4);
+    eprintln!("serve: sweeps at {frames} frames/session, {workers} workers for session sweep");
+    session_sweep(frames, workers);
+    worker_sweep(16, frames);
+    overload_demo(frames);
+}

@@ -12,7 +12,11 @@ use std::collections::BTreeSet;
 
 /// Decides, packet by packet, what the network drops. Implementations are
 /// deterministic given their construction parameters.
-pub trait LossModel {
+///
+/// `Send` is a supertrait so channels built on boxed models can migrate
+/// across threads — the serving layer (`pbpair-serve`) schedules whole
+/// sessions, channel included, onto a work-stealing pool.
+pub trait LossModel: Send {
     /// Returns true if the next packet (in transmission order) is lost.
     fn next_lost(&mut self) -> bool;
 

@@ -2,10 +2,43 @@
 
 use pbpair_netsim::loss::{GilbertElliott, LossModel, ScriptedLoss, UniformLoss};
 use pbpair_netsim::rtp::{reassemble_frame, Packetizer};
-use pbpair_netsim::{LossyChannel, NoLoss, WindowPlrEstimator};
+use pbpair_netsim::{
+    reassemble_frame_damaged, Corrupter, CorruptionProfile, LossyChannel, NoLoss,
+    WindowPlrEstimator,
+};
 use proptest::prelude::*;
 
 proptest! {
+    #[test]
+    fn reorder_and_duplicate_round_trip_preserves_payload(
+        data in prop::collection::vec(any::<u8>(), 1..4000),
+        mtu in 1usize..1600,
+        duplicate_prob in 0.0f64..=1.0,
+        reorder_prob in 0.0f64..=1.0,
+        seed in any::<u64>()
+    ) {
+        // Duplication and reordering are non-destructive transport
+        // damage: fragment indices still identify every payload byte, so
+        // best-effort reassembly must reproduce the frame exactly,
+        // in order, for every packet size.
+        let mut p = Packetizer::new(mtu);
+        let pkts = p.packetize(7, &data);
+        let mut corrupter = Corrupter::new(
+            CorruptionProfile {
+                duplicate_prob,
+                reorder_prob,
+                ..CorruptionProfile::clean()
+            },
+            seed,
+        );
+        let delivered = corrupter.corrupt_stream(&pkts);
+        prop_assert!(delivered.len() >= pkts.len(), "nothing is dropped");
+        prop_assert_eq!(
+            reassemble_frame_damaged(&delivered).unwrap(),
+            data
+        );
+    }
+
     #[test]
     fn packetize_reassemble_identity(
         data in prop::collection::vec(any::<u8>(), 1..5000),

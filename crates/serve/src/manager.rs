@@ -1,0 +1,360 @@
+//! The session manager: N concurrent streaming sessions on a
+//! work-stealing pool, with admission control in the loop.
+//!
+//! Execution is round-based. A round submits one job per live session —
+//! "advance this session by one frame slot" — with the session id as the
+//! worker-affinity hint, waits for the fleet to drain (the scheduler
+//! balances uneven per-session cost by stealing), then feeds the round's
+//! deterministic energy ledger to the [`AdmissionController`] and
+//! applies its decision: raise/lift the fleet `Intra_Th` floor, drop
+//! frames, or shed a session.
+//!
+//! Because every session is internally seeded and sessions never share
+//! mutable state, the *results* of a run are a pure function of the
+//! [`ServeConfig`]; worker count and scheduling order only move the
+//! wall-clock numbers in [`FleetTiming`]. The round barrier is what
+//! keeps admission decisions on that deterministic side of the line:
+//! the controller always observes complete rounds in session-id order.
+
+use crate::admission::{AdmissionConfig, AdmissionController};
+use crate::report::{quantile_ms, FleetTiming, ServeReport, SessionReport};
+use crate::sched::WorkStealingPool;
+use crate::session::{FrameOutcome, Session, SessionConfig};
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Fleet-level configuration of one serving run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Concurrent sessions admitted at start.
+    pub sessions: usize,
+    /// Rounds to run (frame slots per session).
+    pub frames: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// In-flight job bound of the scheduler; 0 → `2 × workers`.
+    pub queue_capacity: usize,
+    /// Master seed; every session derives its own streams from it.
+    pub seed: u64,
+    /// Forward-channel per-packet loss rate for every session.
+    pub plr: f64,
+    /// Payload corruption intensity in `[0, 1]`.
+    pub corruption: f64,
+    /// XOR-FEC group size applied to every session (`None` = off).
+    pub fec_group: Option<usize>,
+    /// Payload MTU.
+    pub mtu: usize,
+    /// Per-frame transmission/pacing wait in microseconds (wall-clock
+    /// only; see [`SessionConfig::pacing_us`]). Waits overlap across
+    /// workers, so this is what makes added workers pay off even when
+    /// the encode work itself saturates the cores.
+    pub pacing_us: u64,
+    /// Admission-control thresholds and capacity.
+    pub admission: AdmissionConfig,
+}
+
+impl Default for ServeConfig {
+    /// A small, healthy fleet: 4 sessions, ample capacity, no FEC.
+    fn default() -> Self {
+        ServeConfig {
+            sessions: 4,
+            frames: 16,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            queue_capacity: 0,
+            seed: 2005,
+            plr: 0.10,
+            corruption: 0.2,
+            fec_group: None,
+            mtu: pbpair_netsim::DEFAULT_MTU,
+            pacing_us: 3000,
+            admission: AdmissionConfig::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sessions == 0 {
+            return Err("at least one session required".into());
+        }
+        if self.frames == 0 {
+            return Err("at least one frame required".into());
+        }
+        if self.workers == 0 {
+            return Err("at least one worker required".into());
+        }
+        if !(0.0..1.0).contains(&self.plr) {
+            return Err(format!("plr {} outside [0,1)", self.plr));
+        }
+        self.admission.validate()
+    }
+
+    /// Builds the per-session configuration for session `id`.
+    fn session_config(&self, id: u32) -> SessionConfig {
+        let mut cfg = SessionConfig::standard(
+            id,
+            self.seed
+                .wrapping_add((id as u64 + 1).wrapping_mul(0x2545_f491_4f6c_dd1d)),
+        );
+        cfg.plr = self.plr;
+        cfg.corruption = self.corruption;
+        cfg.fec_group = self.fec_group;
+        cfg.mtu = self.mtu;
+        cfg.pacing_us = self.pacing_us;
+        cfg
+    }
+}
+
+/// One session plus its per-round scratch, shared with the pool.
+struct Slot {
+    session: Session,
+    outcome: Option<FrameOutcome>,
+}
+
+/// Runs the fleet to completion. This is the serving subsystem's main
+/// entry point.
+///
+/// # Errors
+///
+/// Returns an error for invalid configuration; the run itself is total.
+pub fn run(cfg: &ServeConfig) -> Result<ServeReport, String> {
+    cfg.validate()?;
+    let mut controller = AdmissionController::new(cfg.admission)?;
+    let slots: Vec<Arc<Mutex<Slot>>> = (0..cfg.sessions)
+        .map(|id| {
+            Session::new(cfg.session_config(id as u32)).map(|session| {
+                Arc::new(Mutex::new(Slot {
+                    session,
+                    outcome: None,
+                }))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+
+    let capacity = if cfg.queue_capacity == 0 {
+        2 * cfg.workers
+    } else {
+        cfg.queue_capacity
+    };
+    let pool = WorkStealingPool::new(cfg.workers, capacity);
+    let latencies: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let started = Instant::now();
+    let mut floor_th = 0.0f64;
+    let mut drop_frames = false;
+    let stride = cfg.admission.rate_drop_stride;
+    let mut final_lag = 0.0;
+
+    for round in 0..cfg.frames {
+        let rate_dropping = drop_frames && (round as u64 + 1).is_multiple_of(stride);
+        for (id, slot) in slots.iter().enumerate() {
+            if slot.lock().expect("slot lock").session.is_shed() {
+                continue;
+            }
+            let slot = Arc::clone(slot);
+            let latencies = Arc::clone(&latencies);
+            let submitted = Instant::now();
+            pool.submit_to(
+                id,
+                Box::new(move || {
+                    let mut slot = slot.lock().expect("slot lock");
+                    slot.session.set_load_floor(floor_th);
+                    let outcome = if rate_dropping {
+                        slot.session.drop_frame();
+                        None
+                    } else {
+                        Some(slot.session.step_frame())
+                    };
+                    slot.outcome = outcome;
+                    latencies
+                        .lock()
+                        .expect("latency lock")
+                        .push(submitted.elapsed().as_secs_f64() * 1e3);
+                }),
+            );
+        }
+        pool.wait_idle();
+
+        // Deterministic post-round ledger, in session-id order.
+        let mut round_cost = Vec::with_capacity(slots.len());
+        for (id, slot) in slots.iter().enumerate() {
+            let mut slot = slot.lock().expect("slot lock");
+            if let Some(outcome) = slot.outcome.take() {
+                round_cost.push((id as u32, outcome.encode_joules));
+            }
+        }
+        let decision = controller.observe_round(&round_cost);
+        floor_th = decision.floor_th;
+        drop_frames = decision.drop_frames;
+        final_lag = decision.lag;
+        if let Some(id) = decision.shed {
+            slots[id as usize].lock().expect("slot lock").session.shed();
+        }
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    let migrations = pool.migrations();
+    drop(pool);
+
+    // Assemble the report.
+    let mut sessions = Vec::with_capacity(slots.len());
+    let mut total_frames = 0u64;
+    let mut total_sent = 0u64;
+    let mut total_joules = 0.0;
+    let mut psnr_sum = 0.0;
+    let mut psnr_n = 0usize;
+    for slot in &slots {
+        let slot = slot.lock().expect("slot lock");
+        let s = &slot.session;
+        let stats = s.stats();
+        let report = SessionReport {
+            id: s.config().id,
+            class: s.config().class.label().to_string(),
+            frames_encoded: stats.frames_encoded,
+            frames_rate_dropped: stats.frames_rate_dropped,
+            frames_lost: stats.frames_lost,
+            frames_damaged: stats.frames_damaged,
+            fec_recoveries: stats.fec_recoveries,
+            avg_psnr_db: s.quality().average_psnr(),
+            encoded_bytes: stats.encoded_bytes,
+            sent_bytes: stats.sent_bytes,
+            encode_joules: stats.encode_joules,
+            plr_estimate: s.plr_estimate(),
+            final_intra_th: s.current_intra_th(),
+            shed: s.is_shed(),
+            decode: stats.decode,
+        };
+        total_frames += report.frames_encoded;
+        total_sent += report.sent_bytes;
+        total_joules += report.encode_joules;
+        if !report.shed {
+            psnr_sum += report.avg_psnr_db;
+            psnr_n += 1;
+        }
+        sessions.push(report);
+    }
+    let lat = latencies.lock().expect("latency lock");
+    let timing = FleetTiming {
+        wall_s,
+        throughput_fps: if wall_s > 0.0 {
+            total_frames as f64 / wall_s
+        } else {
+            0.0
+        },
+        p50_frame_ms: quantile_ms(&lat, 0.50),
+        p99_frame_ms: quantile_ms(&lat, 0.99),
+        migrations,
+    };
+
+    Ok(ServeReport {
+        workers: cfg.workers,
+        rounds: cfg.frames,
+        sessions,
+        shed_count: controller.shed_count(),
+        degraded_rounds: controller.degraded_rounds(),
+        final_lag,
+        total_frames,
+        total_sent_bytes: total_sent,
+        mean_psnr_db: if psnr_n > 0 {
+            psnr_sum / psnr_n as f64
+        } else {
+            0.0
+        },
+        total_encode_joules: total_joules,
+        timing,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(sessions: usize, frames: usize, workers: usize) -> ServeConfig {
+        ServeConfig {
+            sessions,
+            frames,
+            workers,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn fleet_runs_and_reports() {
+        let r = run(&small(3, 6, 2)).unwrap();
+        assert_eq!(r.sessions.len(), 3);
+        assert_eq!(r.rounds, 6);
+        assert_eq!(r.total_frames, 18, "no shedding under default capacity");
+        assert!(r.mean_psnr_db > 10.0);
+        assert!(r.timing.throughput_fps > 0.0);
+        assert!(r.timing.p99_frame_ms >= r.timing.p50_frame_ms);
+        assert_eq!(r.shed_count, 0);
+    }
+
+    #[test]
+    fn single_worker_single_session() {
+        let r = run(&small(1, 4, 1)).unwrap();
+        assert_eq!(r.total_frames, 4);
+        assert_eq!(r.timing.migrations, 0, "one worker cannot steal");
+    }
+
+    #[test]
+    fn overload_degrades_and_sheds_deterministically() {
+        let mut cfg = small(6, 24, 2);
+        // Starvation-level capacity: a fraction of one frame's energy.
+        cfg.admission.capacity_j_per_round = 1e-4;
+        cfg.admission.degrade_lag = 1.0;
+        cfg.admission.rate_drop_lag = 2.0;
+        cfg.admission.shed_lag = 4.0;
+        let a = run(&cfg).unwrap();
+        assert!(a.degraded_rounds > 0, "overload must degrade");
+        assert!(a.shed_count > 0, "overload must shed");
+        assert!(
+            a.sessions.iter().any(|s| s.frames_rate_dropped > 0),
+            "overload must drop frames"
+        );
+        // Shed sessions stop encoding.
+        let shed: Vec<_> = a.sessions.iter().filter(|s| s.shed).collect();
+        assert!(!shed.is_empty());
+        assert!(shed
+            .iter()
+            .all(|s| s.frames_encoded + s.frames_rate_dropped < a.rounds as u64));
+        // And the whole trajectory replays identically.
+        let b = run(&cfg).unwrap();
+        assert_eq!(a.deterministic_digest(), b.deterministic_digest());
+    }
+
+    #[test]
+    fn degraded_fleet_spends_less_energy_per_frame() {
+        let healthy = run(&small(4, 16, 2)).unwrap();
+        let mut tight = small(4, 16, 2);
+        tight.admission.capacity_j_per_round = 1e-4;
+        tight.admission.degrade_lag = 0.5;
+        tight.admission.rate_drop_lag = 1e6; // isolate the Intra_Th lever
+        tight.admission.shed_lag = 1e6;
+        let degraded = run(&tight).unwrap();
+        let per_frame = |r: &ServeReport| r.total_encode_joules / r.total_frames as f64;
+        assert!(
+            per_frame(&degraded) < per_frame(&healthy),
+            "the Intra_Th floor must cut per-frame energy: {} vs {}",
+            per_frame(&degraded),
+            per_frame(&healthy)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(run(&small(0, 4, 1)).is_err());
+        assert!(run(&small(1, 0, 1)).is_err());
+        assert!(run(&small(1, 4, 0)).is_err());
+        let mut bad = small(1, 1, 1);
+        bad.plr = 1.5;
+        assert!(run(&bad).is_err());
+    }
+}

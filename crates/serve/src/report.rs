@@ -1,0 +1,172 @@
+//! Aggregate serving results.
+//!
+//! A [`ServeReport`] is split along the determinism boundary:
+//!
+//! * everything in [`SessionReport`] and the fleet-level counters is a
+//!   pure function of the [`crate::ServeConfig`] — identical no matter
+//!   how many workers executed the run or how the scheduler interleaved
+//!   them ([`ServeReport::deterministic_digest`] serializes exactly this
+//!   part, and the replay test asserts byte-identity across worker
+//!   counts);
+//! * [`FleetTiming`] carries the wall-clock measurements (throughput,
+//!   latency percentiles) that are the *point* of running with more
+//!   workers and are naturally machine- and schedule-dependent.
+
+use pbpair_codec::DecodeReport;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Per-session outcome (deterministic).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// Session id.
+    pub id: u32,
+    /// Content class label.
+    pub class: String,
+    /// Frames encoded and transmitted.
+    pub frames_encoded: u64,
+    /// Frames skipped under fleet-imposed rate degradation.
+    pub frames_rate_dropped: u64,
+    /// Frames lost whole on the channel.
+    pub frames_lost: u64,
+    /// Frames delivered damaged (resilient decode engaged).
+    pub frames_damaged: u64,
+    /// Frames whose fragment set XOR FEC repaired.
+    pub fec_recoveries: u64,
+    /// Mean decoder-side PSNR over every displayed frame slot.
+    pub avg_psnr_db: f64,
+    /// Encoded payload bytes.
+    pub encoded_bytes: u64,
+    /// Bytes on the wire (incl. FEC parity).
+    pub sent_bytes: u64,
+    /// Modeled encoding energy (Joules).
+    pub encode_joules: f64,
+    /// The receiver's final PLR estimate.
+    pub plr_estimate: f64,
+    /// `Intra_Th` in force after the last frame.
+    pub final_intra_th: f64,
+    /// Whether admission control shed this session before the end.
+    pub shed: bool,
+    /// Resilient-decode accounting.
+    pub decode: DecodeReport,
+}
+
+/// Wall-clock fleet measurements (machine- and schedule-dependent).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetTiming {
+    /// Wall-clock seconds for the whole run.
+    pub wall_s: f64,
+    /// Frames fully processed per wall-clock second.
+    pub throughput_fps: f64,
+    /// Median per-frame service latency (submit → done), milliseconds.
+    pub p50_frame_ms: f64,
+    /// 99th-percentile per-frame service latency, milliseconds.
+    pub p99_frame_ms: f64,
+    /// Jobs that ran on a worker other than their affinity hint.
+    pub migrations: u64,
+}
+
+/// The full result of one serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Worker threads used (recorded for context; does not affect the
+    /// deterministic portion).
+    pub workers: usize,
+    /// Rounds executed (one frame slot per live session per round).
+    pub rounds: usize,
+    /// Per-session outcomes, ordered by id.
+    pub sessions: Vec<SessionReport>,
+    /// Sessions shed by admission control.
+    pub shed_count: u32,
+    /// Rounds spent below normal service level.
+    pub degraded_rounds: u64,
+    /// Final lag in round-budget units.
+    pub final_lag: f64,
+    /// Total frames fully processed (encoded + delivered/concealed).
+    pub total_frames: u64,
+    /// Total bytes offered to the channels.
+    pub total_sent_bytes: u64,
+    /// Mean of the per-session average PSNRs (unshed sessions).
+    pub mean_psnr_db: f64,
+    /// Total modeled encode energy (Joules).
+    pub total_encode_joules: f64,
+    /// Wall-clock measurements.
+    pub timing: FleetTiming,
+}
+
+impl ServeReport {
+    /// Serializes every schedule-independent field with fixed formatting.
+    /// Two runs of the same [`crate::ServeConfig`] must produce
+    /// byte-identical digests at *any* worker count — this is the
+    /// contract the determinism test enforces.
+    pub fn deterministic_digest(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "rounds={} shed={} degraded_rounds={} lag={:.9} frames={} sent_bytes={} \
+             mean_psnr={:.6} energy_j={:.9}",
+            self.rounds,
+            self.shed_count,
+            self.degraded_rounds,
+            self.final_lag,
+            self.total_frames,
+            self.total_sent_bytes,
+            self.mean_psnr_db,
+            self.total_encode_joules,
+        );
+        for s in &self.sessions {
+            let _ = writeln!(
+                out,
+                "session id={} class={} enc={} dropped={} lost={} damaged={} fec={} \
+                 psnr={:.6} bytes={}/{} j={:.9} plr={:.6} th={:.9} shed={} \
+                 dec_frames={} dec_recovered={} dec_mbs={} dec_resyncs={}",
+                s.id,
+                s.class,
+                s.frames_encoded,
+                s.frames_rate_dropped,
+                s.frames_lost,
+                s.frames_damaged,
+                s.fec_recoveries,
+                s.avg_psnr_db,
+                s.encoded_bytes,
+                s.sent_bytes,
+                s.encode_joules,
+                s.plr_estimate,
+                s.final_intra_th,
+                s.shed,
+                s.decode.frames_decoded,
+                s.decode.frames_recovered,
+                s.decode.mbs_concealed,
+                s.decode.resyncs,
+            );
+        }
+        out
+    }
+}
+
+/// Computes the `q`-quantile (0 ≤ q ≤ 1) of unsorted samples by the
+/// nearest-rank method. Returns 0 for an empty slice.
+pub fn quantile_ms(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latency is never NaN"));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let samples = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(quantile_ms(&samples, 0.5), 3.0);
+        assert_eq!(quantile_ms(&samples, 0.99), 5.0);
+        assert_eq!(quantile_ms(&samples, 0.0), 1.0);
+        assert_eq!(quantile_ms(&[], 0.5), 0.0);
+        assert_eq!(quantile_ms(&[7.0], 0.5), 7.0);
+    }
+}

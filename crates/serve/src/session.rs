@@ -1,0 +1,495 @@
+//! One streaming session: the complete per-client loop.
+//!
+//! A [`Session`] owns every stage the single-clip eval pipeline runs —
+//! synthetic source → PBPAIR encoder → RTP packetization (with optional
+//! XOR FEC) → lossy + corrupting channel → resilient decoder → PLR
+//! feedback over its own lossy return link — plus the two controllers
+//! that steer `Intra_Th`:
+//!
+//! * a [`DegradationController`] tracking the session's *network*: PLR
+//!   compensation while feedback reports flow, conservative backoff
+//!   while the return channel is dark;
+//! * a *load floor* imposed from outside by the fleet's admission
+//!   controller: under overload the floor rises, forcing cheap
+//!   high-intra encodes (PBPAIR's energy lever doubles as a CPU lever —
+//!   intra decisions skip motion estimation entirely).
+//!
+//! The operating threshold is the max of the two — a session never
+//! undercuts either its network's needs or the fleet's.
+//!
+//! Everything inside a session is seeded from (master seed, session id),
+//! so a session's entire trajectory is deterministic no matter which
+//! worker threads execute its frames, or in what interleaving with other
+//! sessions.
+
+use pbpair::adapt::{DegradationConfig, DegradationController};
+use pbpair::{PbpairConfig, PbpairPolicy};
+use pbpair_codec::{DecodeReport, Decoder, Encoder, EncoderConfig, OpCounts};
+use pbpair_energy::{EnergyModel, IPAQ_H5555};
+use pbpair_media::metrics::QualityStats;
+use pbpair_media::synth::{MotionClass, SyntheticSequence};
+use pbpair_netsim::{
+    reassemble_frame, reassemble_frame_damaged, CorruptingChannel, CorruptionProfile, FeedbackLink,
+    Packetizer, UniformLoss, WindowPlrEstimator, XorFec,
+};
+use serde::{Deserialize, Serialize};
+
+/// Per-session knobs, normally filled in by the manager from a
+/// fleet-level [`crate::ServeConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Session id (stable across the run; also the affinity hint).
+    pub id: u32,
+    /// Seed for every seeded component, already mixed per session.
+    pub seed: u64,
+    /// Source content class (sessions get diverse motion classes so
+    /// per-frame cost is uneven — the load the scheduler must balance).
+    pub class: MotionClass,
+    /// Per-packet loss rate of the forward channel.
+    pub plr: f64,
+    /// Payload corruption intensity in `[0, 1]`.
+    pub corruption: f64,
+    /// XOR-FEC group size; `None` disables FEC for this session.
+    pub fec_group: Option<usize>,
+    /// Payload MTU.
+    pub mtu: usize,
+    /// Receiver sends a PLR report every this many frames.
+    pub feedback_interval: u64,
+    /// Return-path transit delay in frame periods.
+    pub feedback_delay: u64,
+    /// Loss rate of the feedback return path.
+    pub feedback_plr: f64,
+    /// Anchor operating point for the degradation controller.
+    pub base_intra_th: f64,
+    /// Modeled transmission/pacing wait per frame, microseconds. This is
+    /// the blocking network phase of a real streaming server: the worker
+    /// sleeps, so waits from different sessions overlap when the pool has
+    /// spare workers. Affects wall-clock timing only — never the
+    /// deterministic outcome.
+    pub pacing_us: u64,
+}
+
+impl SessionConfig {
+    /// A session at the paper's standard operating point: 10% packet
+    /// loss, light corruption, no FEC, RTCP-ish feedback cadence.
+    pub fn standard(id: u32, seed: u64) -> Self {
+        SessionConfig {
+            id,
+            seed,
+            class: MotionClass::all()[id as usize % 3],
+            plr: 0.10,
+            corruption: 0.2,
+            fec_group: None,
+            mtu: pbpair_netsim::DEFAULT_MTU,
+            feedback_interval: 5,
+            feedback_delay: 2,
+            feedback_plr: 0.10,
+            base_intra_th: 0.9,
+            pacing_us: 0,
+        }
+    }
+}
+
+/// What one frame step produced — the deterministic per-frame record the
+/// admission controller and the report aggregate from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameOutcome {
+    /// Encoding energy of this frame under the session's device model.
+    pub encode_joules: f64,
+    /// Encoded size in bytes (before FEC overhead).
+    pub encoded_bytes: u64,
+    /// Bytes actually offered to the channel (with FEC overhead).
+    pub sent_bytes: u64,
+    /// Whether nothing usable arrived (whole-frame concealment).
+    pub lost: bool,
+    /// Whether the frame arrived damaged and went through resilient
+    /// decode (false for clean or lost frames).
+    pub damaged: bool,
+    /// Whether XOR FEC repaired the fragment set of this frame.
+    pub fec_recovered: bool,
+    /// `Intra_Th` in force for this frame.
+    pub intra_th: f64,
+}
+
+/// Lifetime counters of one session (deterministic).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Frames encoded and transmitted.
+    pub frames_encoded: u64,
+    /// Frames skipped by fleet-imposed frame-rate degradation.
+    pub frames_rate_dropped: u64,
+    /// Frames lost outright on the channel.
+    pub frames_lost: u64,
+    /// Frames delivered damaged.
+    pub frames_damaged: u64,
+    /// Frames whose fragment set XOR FEC repaired.
+    pub fec_recoveries: u64,
+    /// Encoded payload bytes.
+    pub encoded_bytes: u64,
+    /// Bytes offered to the channel (incl. FEC parity).
+    pub sent_bytes: u64,
+    /// Encoding energy total (Joules).
+    pub encode_joules: f64,
+    /// Aggregate resilient-decode accounting.
+    pub decode: DecodeReport,
+}
+
+/// One live streaming session. See the module docs for the loop.
+pub struct Session {
+    cfg: SessionConfig,
+    source: SyntheticSequence,
+    policy: PbpairPolicy,
+    encoder: Encoder,
+    decoder: Decoder,
+    packetizer: Packetizer,
+    fec: Option<XorFec>,
+    channel: CorruptingChannel,
+    feedback: FeedbackLink,
+    plr_estimator: WindowPlrEstimator,
+    degradation: DegradationController,
+    energy: EnergyModel,
+    ops_snapshot: OpCounts,
+    /// Fleet-imposed `Intra_Th` floor (admission control), 0 when idle.
+    load_floor_th: f64,
+    /// Next frame index to encode.
+    frame: u64,
+    quality: QualityStats,
+    stats: SessionStats,
+    shed: bool,
+}
+
+impl Session {
+    /// Builds a session; all components are seeded from `cfg.seed` with
+    /// distinct stream constants so they do not correlate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid PBPAIR or controller configuration.
+    pub fn new(cfg: SessionConfig) -> Result<Self, String> {
+        let sub = |stream: u64| splitmix(cfg.seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let format = pbpair_media::VideoFormat::QCIF;
+        let policy = PbpairPolicy::new(
+            format,
+            PbpairConfig {
+                intra_th: cfg.base_intra_th,
+                plr: cfg.plr,
+                ..PbpairConfig::default()
+            },
+        )?;
+        let degradation = DegradationController::new(DegradationConfig {
+            base_th: cfg.base_intra_th,
+            base_plr: cfg.plr,
+            ..DegradationConfig::default()
+        })?;
+        if let Some(g) = cfg.fec_group {
+            if g == 0 {
+                return Err("fec group size must be positive".to_string());
+            }
+        }
+        Ok(Session {
+            source: SyntheticSequence::for_class(cfg.class, sub(1)),
+            policy,
+            encoder: Encoder::new(EncoderConfig::default()),
+            decoder: Decoder::new(format),
+            packetizer: Packetizer::new(cfg.mtu),
+            fec: cfg.fec_group.map(XorFec::new),
+            channel: CorruptingChannel::new(
+                Box::new(UniformLoss::new(cfg.plr, sub(2))),
+                CorruptionProfile::with_intensity(cfg.corruption),
+                sub(3),
+            ),
+            feedback: FeedbackLink::new(
+                Box::new(UniformLoss::new(cfg.feedback_plr, sub(4))),
+                cfg.feedback_delay,
+            ),
+            plr_estimator: WindowPlrEstimator::new(30),
+            degradation,
+            energy: EnergyModel::new(IPAQ_H5555),
+            ops_snapshot: OpCounts::default(),
+            load_floor_th: 0.0,
+            frame: 0,
+            quality: QualityStats::new(),
+            stats: SessionStats::default(),
+            shed: false,
+            cfg,
+        })
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.cfg
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Decoder-side quality accounting.
+    pub fn quality(&self) -> &QualityStats {
+        &self.quality
+    }
+
+    /// The receiver's current PLR estimate.
+    pub fn plr_estimate(&self) -> f64 {
+        self.plr_estimator.estimate()
+    }
+
+    /// The `Intra_Th` the next frame would use.
+    pub fn current_intra_th(&self) -> f64 {
+        self.degradation.intra_th().max(self.load_floor_th)
+    }
+
+    /// Sets the fleet-imposed threshold floor (admission control).
+    pub fn set_load_floor(&mut self, th: f64) {
+        self.load_floor_th = th.clamp(0.0, 1.0);
+    }
+
+    /// Marks the session shed; it will not be stepped again.
+    pub fn shed(&mut self) {
+        self.shed = true;
+    }
+
+    /// Whether the session has been shed.
+    pub fn is_shed(&self) -> bool {
+        self.shed
+    }
+
+    /// Frames encoded so far.
+    pub fn frames_encoded(&self) -> u64 {
+        self.stats.frames_encoded
+    }
+
+    /// Skips one source frame (fleet-imposed frame-rate degradation).
+    /// The viewer keeps watching the last displayed picture while the
+    /// scene moves on, so the quality ledger charges the drop honestly.
+    pub fn drop_frame(&mut self) {
+        let original = self.source.next_frame();
+        let held = self.decoder.last_frame().clone();
+        self.quality.record(&original, &held);
+        self.stats.frames_rate_dropped += 1;
+    }
+
+    /// Runs one frame through the whole loop. Returns the deterministic
+    /// outcome record.
+    pub fn step_frame(&mut self) -> FrameOutcome {
+        let now = self.frame;
+        self.frame += 1;
+
+        // Encoder side: feedback in, threshold out.
+        if let Some(report) = self.feedback.poll(now) {
+            self.degradation.on_feedback(now, report.plr);
+            self.policy.set_plr(report.plr.clamp(0.0, 0.999));
+        }
+        let th = self.degradation.tick(now).max(self.load_floor_th);
+        self.policy.set_intra_th(th);
+
+        // Encode.
+        let original = self.source.next_frame();
+        let encoded = self.encoder.encode_frame(&original, &mut self.policy);
+        let frame_ops = *self.encoder.ops() - self.ops_snapshot;
+        self.ops_snapshot = *self.encoder.ops();
+        let encode_joules = self.energy.encoding_energy(&frame_ops).get();
+
+        // Packetize (+ FEC) and transmit at packet granularity.
+        let packets = self.packetizer.packetize(encoded.index, &encoded.data);
+        let sent = match &self.fec {
+            Some(fec) => fec.protect(&packets),
+            None => packets,
+        };
+        let sent_bytes: u64 = sent.iter().map(|p| p.len() as u64).sum();
+        if self.cfg.pacing_us > 0 {
+            // The blocking transmission phase. Wall-clock only: the
+            // channel outcome below is drawn from seeded state.
+            std::thread::sleep(std::time::Duration::from_micros(self.cfg.pacing_us));
+        }
+        let survivors = self.channel.transmit_packets(&sent);
+
+        // Receiver: FEC repair if possible, best-effort reassembly
+        // otherwise, resilient decode of whatever materialized.
+        let mut fec_recovered = false;
+        let bytes = match &self.fec {
+            Some(fec) => match fec.recover(&survivors) {
+                Some(repaired) => {
+                    fec_recovered = true;
+                    reassemble_frame(&repaired)
+                }
+                None => reassemble_frame_damaged(&survivors),
+            },
+            None => reassemble_frame_damaged(&survivors),
+        };
+        let lost = bytes.is_none();
+        let mut damaged = false;
+        let displayed = match &bytes {
+            Some(data) => {
+                let (frame, report) = self.decoder.decode_frame_resilient(data);
+                damaged = report.any_damage();
+                self.stats.decode.absorb(&report);
+                frame
+            }
+            None => self.decoder.conceal_lost_frame(),
+        };
+        self.quality.record(&original, &displayed);
+
+        // Receiver-side PLR estimation and feedback.
+        self.plr_estimator.record(lost);
+        if self.cfg.feedback_interval > 0 && now.is_multiple_of(self.cfg.feedback_interval) {
+            self.feedback.send(now, self.plr_estimator.estimate());
+        }
+
+        // Ledger.
+        self.stats.frames_encoded += 1;
+        self.stats.frames_lost += lost as u64;
+        self.stats.frames_damaged += damaged as u64;
+        self.stats.fec_recoveries += fec_recovered as u64;
+        self.stats.encoded_bytes += encoded.data.len() as u64;
+        self.stats.sent_bytes += sent_bytes;
+        self.stats.encode_joules += encode_joules;
+
+        FrameOutcome {
+            encode_joules,
+            encoded_bytes: encoded.data.len() as u64,
+            sent_bytes,
+            lost,
+            damaged,
+            fec_recovered,
+            intra_th: th,
+        }
+    }
+}
+
+/// SplitMix64 finalizer — decorrelates per-stream seeds derived from one
+/// master seed.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cfg: SessionConfig, frames: u64) -> (SessionStats, Vec<f64>) {
+        let mut s = Session::new(cfg).unwrap();
+        for _ in 0..frames {
+            s.step_frame();
+        }
+        (s.stats().clone(), s.quality().psnr_series().to_vec())
+    }
+
+    #[test]
+    fn session_is_deterministic() {
+        let cfg = SessionConfig::standard(3, 99);
+        let (a_stats, a_psnr) = run(cfg, 24);
+        let (b_stats, b_psnr) = run(cfg, 24);
+        assert_eq!(a_psnr, b_psnr);
+        assert_eq!(a_stats.frames_lost, b_stats.frames_lost);
+        assert_eq!(a_stats.encoded_bytes, b_stats.encoded_bytes);
+        assert_eq!(a_stats.encode_joules, b_stats.encode_joules);
+    }
+
+    #[test]
+    fn different_sessions_diverge() {
+        let (a, _) = run(SessionConfig::standard(0, 7), 12);
+        let (b, _) = run(SessionConfig::standard(1, 7), 12);
+        // Different ids → different classes and seeds → different bytes.
+        assert_ne!(a.encoded_bytes, b.encoded_bytes);
+    }
+
+    #[test]
+    fn lossy_session_records_losses_and_survives() {
+        let mut cfg = SessionConfig::standard(0, 5);
+        cfg.plr = 0.35;
+        cfg.corruption = 0.5;
+        let (stats, psnr) = run(cfg, 40);
+        assert_eq!(stats.frames_encoded, 40);
+        assert_eq!(psnr.len(), 40);
+        assert!(stats.frames_lost + stats.frames_damaged > 0);
+        assert!(stats.encode_joules > 0.0);
+    }
+
+    #[test]
+    fn fec_session_recovers_fragments() {
+        let mut cfg = SessionConfig::standard(0, 11);
+        cfg.plr = 0.10;
+        cfg.corruption = 0.0;
+        cfg.mtu = 200; // force multi-fragment frames so FEC has groups
+        cfg.fec_group = Some(3);
+        let mut s = Session::new(cfg).unwrap();
+        for _ in 0..60 {
+            s.step_frame();
+        }
+        assert!(
+            s.stats().fec_recoveries > 0,
+            "10% packet loss over 60 multi-fragment frames must exercise FEC"
+        );
+        // Parity overhead must show up on the wire.
+        assert!(s.stats().sent_bytes > s.stats().encoded_bytes);
+    }
+
+    #[test]
+    fn fec_beats_no_fec_on_fragment_loss() {
+        let base = {
+            let mut c = SessionConfig::standard(0, 21);
+            c.plr = 0.08;
+            c.corruption = 0.0;
+            c.mtu = 250;
+            c
+        };
+        let mut with = base;
+        with.fec_group = Some(3);
+        let (no_fec, _) = run(base, 80);
+        let (fec, _) = run(with, 80);
+        assert!(
+            fec.frames_lost < no_fec.frames_lost,
+            "fec {} vs plain {}",
+            fec.frames_lost,
+            no_fec.frames_lost
+        );
+    }
+
+    #[test]
+    fn load_floor_raises_intra_th_and_cuts_energy() {
+        let cfg = SessionConfig::standard(1, 13);
+        let mut free = Session::new(cfg).unwrap();
+        let mut capped = Session::new(cfg).unwrap();
+        capped.set_load_floor(0.999);
+        let mut free_j = 0.0;
+        let mut capped_j = 0.0;
+        for _ in 0..12 {
+            free_j += free.step_frame().encode_joules;
+            let out = capped.step_frame();
+            assert!(out.intra_th >= 0.999);
+            capped_j += out.encode_joules;
+        }
+        assert!(
+            capped_j < free_j,
+            "high-intra floor must cut encode energy: {capped_j} vs {free_j}"
+        );
+    }
+
+    #[test]
+    fn drop_frame_charges_quality_but_no_energy() {
+        let mut s = Session::new(SessionConfig::standard(2, 17)).unwrap();
+        s.step_frame();
+        let j = s.stats().encode_joules;
+        s.drop_frame();
+        assert_eq!(s.stats().frames_rate_dropped, 1);
+        assert_eq!(
+            s.stats().encode_joules,
+            j,
+            "a dropped frame encodes nothing"
+        );
+        assert_eq!(s.quality().frames(), 2, "the viewer still saw a frame slot");
+    }
+
+    #[test]
+    fn zero_fec_group_rejected() {
+        let mut cfg = SessionConfig::standard(0, 1);
+        cfg.fec_group = Some(0);
+        assert!(Session::new(cfg).is_err());
+    }
+}
