@@ -1,0 +1,119 @@
+//! Telemetry overhead guard.
+//!
+//! The telemetry contract promises that *disabled* instrumentation is
+//! free: a `Telemetry::disabled()` handle reduces every flush to a
+//! branch on a `None`. This bench prices three encode configurations —
+//! no telemetry wired at all, disabled telemetry wired, and an enabled
+//! registry — and **fails** (exit 1) if the disabled mode costs more
+//! than the budgeted fraction of the plain encode hot loop.
+//!
+//! Run: `cargo bench -p pbpair-bench --bench telemetry`
+//! The gate (percent) can be widened for noisy machines via
+//! `PBPAIR_TELEMETRY_GATE_PCT` (default 2).
+
+use pbpair_bench::{default_pbpair, frames, BENCH_FRAMES};
+use pbpair_codec::{Encoder, EncoderConfig};
+use pbpair_media::Frame;
+use pbpair_telemetry::Telemetry;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured encode pass; telemetry wired per `tel`.
+fn encode_pass(frames: &[Frame], tel: Option<&Telemetry>) -> usize {
+    let mut enc = Encoder::new(EncoderConfig::default());
+    if let Some(tel) = tel {
+        enc.set_telemetry(tel);
+    }
+    let mut policy = default_pbpair();
+    frames
+        .iter()
+        .map(|f| enc.encode_frame(f, &mut policy).data.len())
+        .sum()
+}
+
+/// One timed invocation, in seconds.
+fn timed<F: FnMut() -> usize>(f: &mut F) -> f64 {
+    let t = Instant::now();
+    black_box(f());
+    t.elapsed().as_secs_f64()
+}
+
+fn main() {
+    // `cargo bench`/`cargo test` pass harness flags; a request to list
+    // tests must not run the guard.
+    if std::env::args().any(|a| a == "--list") {
+        return;
+    }
+    let gate_pct: f64 = std::env::var("PBPAIR_TELEMETRY_GATE_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+
+    let fs = frames(
+        pbpair_media::synth::MotionClass::MediumForeman,
+        6 * BENCH_FRAMES,
+    );
+    let disabled = Telemetry::disabled();
+    let enabled = Telemetry::with_shards(1);
+
+    // Warm-up: page in code, ramp the CPU governor.
+    encode_pass(&fs, None);
+    encode_pass(&fs, Some(&enabled));
+
+    // Time the three modes back-to-back each round and compare *within*
+    // the round: the per-round ratio cancels frequency drift between
+    // rounds. Each pass is long enough (~tens of ms) that interference
+    // averages out inside it; the median over rounds (with the order
+    // alternated to cancel position effects) discards the rest.
+    let reps = 9;
+    let mut plain_s = f64::INFINITY;
+    let mut disabled_ratios = Vec::with_capacity(reps);
+    let mut enabled_ratios = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let (p, d, e);
+        if rep % 2 == 0 {
+            p = timed(&mut || encode_pass(&fs, None));
+            d = timed(&mut || encode_pass(&fs, Some(&disabled)));
+            e = timed(&mut || encode_pass(&fs, Some(&enabled)));
+        } else {
+            e = timed(&mut || encode_pass(&fs, Some(&enabled)));
+            d = timed(&mut || encode_pass(&fs, Some(&disabled)));
+            p = timed(&mut || encode_pass(&fs, None));
+        }
+        plain_s = plain_s.min(p);
+        disabled_ratios.push(d / p);
+        enabled_ratios.push(e / p);
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+    let disabled_s = plain_s * median(&mut disabled_ratios);
+    let enabled_s = plain_s * median(&mut enabled_ratios);
+
+    let pct = |t: f64| (t - plain_s) / plain_s * 100.0;
+    println!(
+        "telemetry overhead guard ({} frames, best of {reps}):",
+        fs.len()
+    );
+    println!("  no telemetry       {:>9.3} ms", plain_s * 1e3);
+    println!(
+        "  disabled handle    {:>9.3} ms  ({:+.2}%)",
+        disabled_s * 1e3,
+        pct(disabled_s)
+    );
+    println!(
+        "  enabled registry   {:>9.3} ms  ({:+.2}%)",
+        enabled_s * 1e3,
+        pct(enabled_s)
+    );
+
+    if pct(disabled_s) > gate_pct {
+        eprintln!(
+            "FAIL: disabled-mode telemetry costs {:.2}% (> {gate_pct}% budget)",
+            pct(disabled_s)
+        );
+        std::process::exit(1);
+    }
+    println!("disabled-mode overhead within {gate_pct}% budget");
+}

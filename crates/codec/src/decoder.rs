@@ -23,6 +23,7 @@ use crate::quant::{dequantize_block, Qp};
 use crate::vlc;
 use crate::zigzag;
 use pbpair_media::{Frame, MbGrid, MbIndex, VideoFormat};
+use pbpair_telemetry::{Counter, Stage, Telemetry};
 use std::error::Error;
 use std::fmt;
 
@@ -181,6 +182,49 @@ pub struct Decoder {
     /// Motion vector of each macroblock in the most recent decoded frame
     /// (zero for intra/skip) — the input to motion-copy concealment.
     last_mvs: Vec<SubPelVector>,
+    /// Pre-resolved telemetry handles; `None` until
+    /// [`Decoder::set_telemetry`] attaches an enabled context. Flushed
+    /// once per decode call from the already-deterministic
+    /// [`DecodeReport`] quantities.
+    tel: Option<DecoderTelemetry>,
+}
+
+/// Telemetry handles the decoder flushes per decode/conceal call.
+#[derive(Debug)]
+struct DecoderTelemetry {
+    /// Stage `"decode"`; virtual units = input bytes consumed.
+    stage: Stage,
+    frames: Counter,
+    frames_recovered: Counter,
+    mbs_concealed: Counter,
+    resyncs: Counter,
+    bytes_skipped: Counter,
+    /// Whole-frame concealments requested by the caller (frame never
+    /// arrived, as opposed to damage found inside a bitstream).
+    lost_frames: Counter,
+}
+
+impl DecoderTelemetry {
+    fn new(tel: &Telemetry) -> Self {
+        DecoderTelemetry {
+            stage: tel.stage("decode"),
+            frames: tel.counter("dec.frames"),
+            frames_recovered: tel.counter("dec.frames_recovered"),
+            mbs_concealed: tel.counter("dec.mbs_concealed"),
+            resyncs: tel.counter("dec.resyncs"),
+            bytes_skipped: tel.counter("dec.bytes_skipped"),
+            lost_frames: tel.counter("dec.lost_frames"),
+        }
+    }
+
+    fn note_report(&self, report: &DecodeReport, input_bytes: usize) {
+        self.stage.record(input_bytes as u64);
+        self.frames.inc(report.frames_decoded);
+        self.frames_recovered.inc(report.frames_recovered);
+        self.mbs_concealed.inc(report.mbs_concealed);
+        self.resyncs.inc(report.resyncs);
+        self.bytes_skipped.inc(report.bytes_skipped);
+    }
 }
 
 impl Decoder {
@@ -199,7 +243,15 @@ impl Decoder {
             decoded_any: false,
             last_mvs: vec![SubPelVector::ZERO; grid.len()],
             grid,
+            tel: None,
         }
+    }
+
+    /// Attaches a telemetry context; subsequent decode and concealment
+    /// calls flush their deterministic counts into it (`dec.*` metrics
+    /// and the `"decode"` stage). A disabled context detaches.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel = tel.is_enabled().then(|| DecoderTelemetry::new(tel));
     }
 
     /// The picture format this decoder expects.
@@ -222,7 +274,14 @@ impl Decoder {
     /// caller can treat a corrupt frame exactly like a lost one.
     pub fn decode_frame(&mut self, data: &[u8]) -> Result<(Frame, DecodedInfo), DecodeError> {
         let mut r = BitReader::new(data);
-        self.decode_picture(&mut r)
+        let result = self.decode_picture(&mut r);
+        if result.is_ok() {
+            if let Some(t) = &self.tel {
+                t.stage.record(data.len() as u64);
+                t.frames.inc(1);
+            }
+        }
+        result
     }
 
     /// Parses the picture header, validating the quantizer and the
@@ -324,6 +383,17 @@ impl Decoder {
     /// new reference (so subsequent inter frames predict from the
     /// concealment, propagating the error exactly as the paper models).
     pub fn conceal_lost_frame(&mut self) -> Frame {
+        if let Some(t) = &self.tel {
+            t.lost_frames.inc(1);
+            t.mbs_concealed.inc(self.grid.len() as u64);
+        }
+        self.conceal_lost_frame_inner()
+    }
+
+    /// Concealment without telemetry accounting — the resilient decode
+    /// paths call this so damage already tallied in a [`DecodeReport`]
+    /// is not double-counted.
+    fn conceal_lost_frame_inner(&mut self) -> Frame {
         match self.concealment {
             // Copy-previous: the reference *is* the concealment, no work.
             Concealment::CopyPrevious => self.recon.clone(),
@@ -416,7 +486,11 @@ impl Decoder {
                 report.frames_decoded += 1;
                 report.frames_recovered += 1;
                 report.mbs_concealed += self.grid.len() as u64;
-                return (self.conceal_lost_frame(), report);
+                let frame = self.conceal_lost_frame_inner();
+                if let Some(t) = &self.tel {
+                    t.note_report(&report, data.len());
+                }
+                return (frame, report);
             };
             report.bytes_skipped += delta as u64;
             if offset + delta > 0 {
@@ -427,6 +501,9 @@ impl Decoder {
             match self.decode_picture_resilient(&mut r) {
                 PictureOutcome::Clean { frame } => {
                     report.frames_decoded += 1;
+                    if let Some(t) = &self.tel {
+                        t.note_report(&report, data.len());
+                    }
                     return (frame, report);
                 }
                 PictureOutcome::Recovered {
@@ -436,6 +513,9 @@ impl Decoder {
                     report.frames_decoded += 1;
                     report.frames_recovered += 1;
                     report.mbs_concealed += mbs_concealed;
+                    if let Some(t) = &self.tel {
+                        t.note_report(&report, data.len());
+                    }
                     return (frame, report);
                 }
                 PictureOutcome::HeaderLost(_) => {
@@ -491,6 +571,9 @@ impl Decoder {
                     offset += 1;
                 }
             }
+        }
+        if let Some(t) = &self.tel {
+            t.note_report(&report, data.len());
         }
         (frames, report)
     }

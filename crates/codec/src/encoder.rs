@@ -34,6 +34,7 @@ use crate::quant::{dequantize_block, quantize_block, Qp};
 use crate::vlc;
 use crate::zigzag;
 use pbpair_media::{Frame, MbGrid, MbIndex, VideoFormat};
+use pbpair_telemetry::{Counter, Histogram, Stage, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// The 17-bit picture start code (16 zeros and a one, H.263 style).
@@ -142,6 +143,62 @@ pub struct Encoder {
     ops: OpCounts,
     /// ME searches performed in the frame currently being encoded.
     frame_me_invocations: u32,
+    /// Pre-resolved telemetry handles; `None` until
+    /// [`Encoder::set_telemetry`] attaches an enabled context. The
+    /// flush is one batch of atomic adds per *frame*, so the per-MB hot
+    /// loop carries no instrumentation cost at all.
+    tel: Option<EncoderTelemetry>,
+}
+
+/// Telemetry handles the encoder flushes once per encoded frame. All
+/// quantities are deterministic (mode counts, bits, operation tallies),
+/// so instrumented runs reproduce byte-identically.
+#[derive(Debug)]
+struct EncoderTelemetry {
+    /// Stage `"encode"`; virtual units = SAD absolute-difference ops,
+    /// the paper's dominant energy term.
+    stage: Stage,
+    frames: Counter,
+    mbs_intra: Counter,
+    mbs_inter: Counter,
+    mbs_skip: Counter,
+    /// ME searches performed.
+    me_searches: Counter,
+    /// P-frame macroblocks coded without a search — PBPAIR's savings.
+    me_skipped: Counter,
+    sad_ops: Counter,
+    bits: Counter,
+    bits_intra: Counter,
+    bits_inter: Counter,
+    bits_skip: Counter,
+    /// Per-frame quantizer levels (QP is 1..=31).
+    frame_qp: Histogram,
+    /// Per-frame encoded sizes in bits.
+    frame_bits: Histogram,
+}
+
+impl EncoderTelemetry {
+    fn new(tel: &Telemetry) -> Self {
+        EncoderTelemetry {
+            stage: tel.stage("encode"),
+            frames: tel.counter("enc.frames"),
+            mbs_intra: tel.counter("enc.mbs_intra"),
+            mbs_inter: tel.counter("enc.mbs_inter"),
+            mbs_skip: tel.counter("enc.mbs_skip"),
+            me_searches: tel.counter("enc.me_searches"),
+            me_skipped: tel.counter("enc.me_skipped"),
+            sad_ops: tel.counter("enc.sad_ops"),
+            bits: tel.counter("enc.bits"),
+            bits_intra: tel.counter("enc.bits_intra"),
+            bits_inter: tel.counter("enc.bits_inter"),
+            bits_skip: tel.counter("enc.bits_skip"),
+            frame_qp: tel.histogram("enc.frame_qp", &[2, 4, 8, 12, 16, 22, 31]),
+            frame_bits: tel.histogram(
+                "enc.frame_bits",
+                &[2_000, 8_000, 20_000, 50_000, 100_000, 250_000],
+            ),
+        }
+    }
 }
 
 impl Encoder {
@@ -156,7 +213,15 @@ impl Encoder {
             frame_index: 0,
             ops: OpCounts::new(),
             frame_me_invocations: 0,
+            tel: None,
         }
+    }
+
+    /// Attaches a telemetry context; subsequent frames flush their
+    /// deterministic per-frame statistics into it (`enc.*` metrics and
+    /// the `"encode"` stage). A disabled context detaches.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel = tel.is_enabled().then(|| EncoderTelemetry::new(tel));
     }
 
     /// The configuration in effect.
@@ -205,6 +270,8 @@ impl Encoder {
             self.cfg.format,
             "frame format does not match encoder configuration"
         );
+        let ops_at_entry = self.ops;
+        let span = self.tel.as_ref().map(|t| t.stage.span());
         let fctx = FrameContext {
             frame_index: self.frame_index,
             format: self.cfg.format,
@@ -243,6 +310,7 @@ impl Encoder {
         let mut mb_modes = Vec::with_capacity(self.grid.len());
 
         for mb in self.grid.iter().collect::<Vec<_>>() {
+            let mb_bits_before = w.bit_len();
             let mode = match kind {
                 FrameKind::Intra => {
                     self.code_intra_mb(&mut w, frame, &mut new_recon, mb);
@@ -277,10 +345,20 @@ impl Encoder {
                     self.code_p_mb(&mut w, frame, &mut new_recon, mb, policy, &fctx)
                 }
             };
+            let mb_bits = w.bit_len() - mb_bits_before;
             match mode {
-                MbMode::Intra => stats.intra_mbs += 1,
-                MbMode::Inter => stats.inter_mbs += 1,
-                MbMode::Skip => stats.skip_mbs += 1,
+                MbMode::Intra => {
+                    stats.intra_mbs += 1;
+                    stats.intra_bits += mb_bits;
+                }
+                MbMode::Inter => {
+                    stats.inter_mbs += 1;
+                    stats.inter_bits += mb_bits;
+                }
+                MbMode::Skip => {
+                    stats.skip_mbs += 1;
+                    stats.skip_bits += mb_bits;
+                }
             }
             mb_modes.push(mode);
         }
@@ -301,6 +379,29 @@ impl Encoder {
         self.ops.bits_emitted += stats.bits;
 
         policy.end_frame(&fctx, &stats);
+
+        if let Some(t) = &self.tel {
+            let frame_ops = self.ops - ops_at_entry;
+            t.frames.inc(1);
+            t.mbs_intra.inc(stats.intra_mbs as u64);
+            t.mbs_inter.inc(stats.inter_mbs as u64);
+            t.mbs_skip.inc(stats.skip_mbs as u64);
+            t.me_searches.inc(stats.me_invocations as u64);
+            if kind == FrameKind::Inter {
+                t.me_skipped
+                    .inc(self.grid.len() as u64 - stats.me_invocations as u64);
+            }
+            t.sad_ops.inc(frame_ops.sad_ops);
+            t.bits.inc(stats.bits);
+            t.bits_intra.inc(stats.intra_bits);
+            t.bits_inter.inc(stats.inter_bits);
+            t.bits_skip.inc(stats.skip_bits);
+            t.frame_qp.record(self.cfg.qp.get() as u64);
+            t.frame_bits.record(stats.bits);
+            if let Some(mut span) = span {
+                span.add_units(frame_ops.sad_ops);
+            }
+        }
 
         self.recon = new_recon;
         self.prev_original = frame.clone();

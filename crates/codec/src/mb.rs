@@ -156,6 +156,12 @@ pub struct FrameStats {
     pub me_invocations: u32,
     /// Exact size of the encoded frame in bits.
     pub bits: u64,
+    /// Bits spent on intra-coded macroblocks (COD/mode bits included).
+    pub intra_bits: u64,
+    /// Bits spent on inter-coded macroblocks.
+    pub inter_bits: u64,
+    /// Bits spent on skipped macroblocks (one COD bit each).
+    pub skip_bits: u64,
 }
 
 impl FrameStats {
@@ -176,6 +182,12 @@ impl FrameStats {
         } else {
             self.intra_mbs as f64 / self.total_mbs() as f64
         }
+    }
+
+    /// Bits not attributable to any macroblock — the picture header.
+    pub fn header_bits(&self) -> u64 {
+        self.bits
+            .saturating_sub(self.intra_bits + self.inter_bits + self.skip_bits)
     }
 }
 
@@ -248,9 +260,13 @@ mod tests {
             skip_mbs: 24,
             me_invocations: 74,
             bits: 1001,
+            intra_bits: 600,
+            inter_bits: 340,
+            skip_bits: 24,
         };
         assert_eq!(s.total_mbs(), 99);
         assert_eq!(s.bytes(), 126);
         assert!((s.intra_ratio() - 25.0 / 99.0).abs() < 1e-12);
+        assert_eq!(s.header_bits(), 1001 - 600 - 340 - 24);
     }
 }

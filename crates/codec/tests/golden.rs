@@ -1,0 +1,232 @@
+//! Golden-vector bitstream tests.
+//!
+//! Each vector is a committed, length-prefixed concatenation of encoded
+//! frames produced from a seeded synthetic sequence with a fixed encoder
+//! configuration (`tests/golden/*.bin`). The tests assert that:
+//!
+//! * the encoder still produces those exact bytes (any drift in DCT,
+//!   quantization, VLC tables, ME tie-breaking or header layout is a
+//!   silent compatibility break this catches), and
+//! * the decoder round-trips the committed bytes bit-exactly: decoding
+//!   the golden stream must match decoding a freshly encoded one, and
+//!   the decoded-plane digest must match the committed digest.
+//!
+//! To re-bless after an *intentional* format change, run
+//! `PBPAIR_BLESS=1 cargo test -p pbpair-codec --test golden` and commit
+//! the rewritten files together with the new digests printed by the
+//! blessing run.
+
+use pbpair_codec::policy::NaturalPolicy;
+use pbpair_codec::{Decoder, Encoder, EncoderConfig, Qp};
+use pbpair_media::synth::{MotionClass, SyntheticSequence};
+use pbpair_media::Frame;
+
+/// FNV-1a, the same digest DESIGN.md uses for deterministic reports.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn digest_frame(frame: &Frame) -> u64 {
+    let mut all = Vec::new();
+    all.extend_from_slice(frame.y().samples());
+    all.extend_from_slice(frame.cb().samples());
+    all.extend_from_slice(frame.cr().samples());
+    fnv1a(&all)
+}
+
+/// One golden vector: a named encoder configuration over a seeded
+/// sequence, with the expected digests committed alongside.
+struct Vector {
+    name: &'static str,
+    class: MotionClass,
+    seed: u64,
+    qp: u8,
+    frames: usize,
+    /// FNV-1a of the serialized (length-prefixed) bitstream.
+    bitstream_digest: u64,
+    /// FNV-1a over the digests of the decoded frames.
+    decoded_digest: u64,
+}
+
+const VECTORS: &[Vector] = &[
+    Vector {
+        name: "natural_qcif_foreman_qp8",
+        class: MotionClass::MediumForeman,
+        seed: 2005,
+        qp: 8,
+        frames: 8,
+        bitstream_digest: 0x67c5_4c84_abee_1e75,
+        decoded_digest: 0x1638_547a_c273_a446,
+    },
+    Vector {
+        name: "natural_qcif_akiyo_qp16",
+        class: MotionClass::LowAkiyo,
+        seed: 7,
+        qp: 16,
+        frames: 8,
+        bitstream_digest: 0x410a_518d_03e5_add3,
+        decoded_digest: 0xcaaa_beb0_63af_a878,
+    },
+];
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.bin"))
+}
+
+/// Encodes the vector's sequence and returns the per-frame bitstreams.
+fn encode_vector(v: &Vector) -> Vec<Vec<u8>> {
+    let mut encoder = Encoder::new(EncoderConfig {
+        qp: Qp::new(v.qp).expect("valid QP"),
+        ..EncoderConfig::default()
+    });
+    let mut policy = NaturalPolicy::new();
+    let mut seq = SyntheticSequence::for_class(v.class, v.seed);
+    (0..v.frames)
+        .map(|_| encoder.encode_frame(&seq.next_frame(), &mut policy).data)
+        .collect()
+}
+
+/// Length-prefixed serialization: `u32 LE length` then the frame bytes.
+fn serialize(frames: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for f in frames {
+        out.extend_from_slice(
+            &u32::try_from(f.len())
+                .expect("frame fits u32")
+                .to_le_bytes(),
+        );
+        out.extend_from_slice(f);
+    }
+    out
+}
+
+fn deserialize(mut bytes: &[u8]) -> Vec<Vec<u8>> {
+    let mut frames = Vec::new();
+    while !bytes.is_empty() {
+        let (len, rest) = bytes.split_at(4);
+        let len = u32::from_le_bytes(len.try_into().expect("4 bytes")) as usize;
+        let (frame, rest) = rest.split_at(len);
+        frames.push(frame.to_vec());
+        bytes = rest;
+    }
+    frames
+}
+
+fn blessing() -> bool {
+    std::env::var_os("PBPAIR_BLESS").is_some()
+}
+
+#[test]
+fn golden_vectors_encode_to_committed_bytes() {
+    for v in VECTORS {
+        let serialized = serialize(&encode_vector(v));
+        let path = golden_path(v.name);
+        if blessing() {
+            std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir golden");
+            std::fs::write(&path, &serialized).expect("write golden");
+            println!(
+                "blessed {}: {} bytes, bitstream_digest: 0x{:016x}",
+                v.name,
+                serialized.len(),
+                fnv1a(&serialized)
+            );
+            continue;
+        }
+        let committed = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("missing golden file {} ({e}); re-bless", path.display()));
+        assert_eq!(
+            fnv1a(&committed),
+            v.bitstream_digest,
+            "{}: committed golden file does not match its recorded digest — \
+             the file was edited without updating VECTORS",
+            v.name
+        );
+        assert_eq!(
+            serialized.len(),
+            committed.len(),
+            "{}: encoded size drifted from golden",
+            v.name
+        );
+        // Byte-exact, and name the first divergent frame when not.
+        if serialized != committed {
+            let fresh = deserialize(&serialized);
+            let golden = deserialize(&committed);
+            for (i, (f, g)) in fresh.iter().zip(&golden).enumerate() {
+                assert_eq!(f, g, "{}: frame {i} bitstream drifted from golden", v.name);
+            }
+            unreachable!("serialized != committed but every frame matched");
+        }
+    }
+}
+
+#[test]
+fn golden_vectors_round_trip_exactly() {
+    for v in VECTORS {
+        let path = golden_path(v.name);
+        if blessing() {
+            // Bless decoded digests from the freshly encoded stream.
+            let mut decoder = Decoder::new(pbpair_media::VideoFormat::QCIF);
+            let mut digests = Vec::new();
+            for data in &encode_vector(v) {
+                let (frame, _) = decoder.decode_frame(data).expect("golden frame decodes");
+                digests.extend_from_slice(&digest_frame(&frame).to_le_bytes());
+            }
+            println!(
+                "blessed {}: decoded_digest: 0x{:016x}",
+                v.name,
+                fnv1a(&digests)
+            );
+            continue;
+        }
+        let committed = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("missing golden file {} ({e}); re-bless", path.display()));
+        let golden_frames = deserialize(&committed);
+        assert_eq!(golden_frames.len(), v.frames);
+
+        // Decode the committed bytes; every frame must decode cleanly
+        // (index intact, no resync) and the plane digests must match.
+        let mut decoder = Decoder::new(pbpair_media::VideoFormat::QCIF);
+        let mut digests = Vec::new();
+        let mut decoded = Vec::new();
+        for (i, data) in golden_frames.iter().enumerate() {
+            let (frame, info) = decoder
+                .decode_frame(data)
+                .unwrap_or_else(|e| panic!("{}: frame {i} failed to decode: {e:?}", v.name));
+            assert_eq!(
+                info.temporal_ref as usize,
+                i % 256,
+                "{}: frame index",
+                v.name
+            );
+            digests.extend_from_slice(&digest_frame(&frame).to_le_bytes());
+            decoded.push(frame);
+        }
+        assert_eq!(
+            fnv1a(&digests),
+            v.decoded_digest,
+            "{}: decoded planes drifted from golden digest",
+            v.name
+        );
+
+        // The decoder's output for the golden stream must equal its
+        // output for a fresh encode — encoder and golden agree end to
+        // end, not just byte-wise.
+        let mut fresh_decoder = Decoder::new(pbpair_media::VideoFormat::QCIF);
+        for (i, data) in encode_vector(v).iter().enumerate() {
+            let (frame, _) = fresh_decoder.decode_frame(data).expect("fresh decode");
+            assert_eq!(
+                frame.y().samples(),
+                decoded[i].y().samples(),
+                "{}: fresh vs golden luma mismatch at frame {i}",
+                v.name
+            );
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Metamorphic codec properties: relations between encoder runs that
+//! must hold for *any* correct implementation, independent of the exact
+//! bytes (those are pinned by `tests/golden.rs`).
+
+use pbpair_codec::policy::NaturalPolicy;
+use pbpair_codec::{Decoder, Encoder, EncoderConfig, Qp};
+use pbpair_media::metrics::psnr_y;
+use pbpair_media::synth::SyntheticSequence;
+use pbpair_media::{Frame, VideoFormat};
+
+/// A constant-luma frame has zero AC energy in every block, so the
+/// coded picture must be DC-only: the reconstruction is perfectly
+/// uniform (any nonzero AC coefficient would make the IDCT output
+/// non-constant) and the bit budget collapses to headers + DC terms.
+#[test]
+fn flat_frame_emits_no_ac_coefficients() {
+    for luma in [0u8, 96, 128, 255] {
+        let mut encoder = Encoder::new(EncoderConfig::default());
+        let mut decoder = Decoder::new(VideoFormat::QCIF);
+        let mut policy = NaturalPolicy::new();
+        let flat = Frame::flat(VideoFormat::QCIF, luma);
+        let encoded = encoder.encode_frame(&flat, &mut policy);
+        let (decoded, _) = decoder.decode_frame(&encoded.data).expect("flat decodes");
+
+        for (plane, name) in [
+            (decoded.y(), "luma"),
+            (decoded.cb(), "cb"),
+            (decoded.cr(), "cr"),
+        ] {
+            let first = plane.samples()[0];
+            assert!(
+                plane.samples().iter().all(|&s| s == first),
+                "luma {luma}: {name} reconstruction is not uniform — AC leaked"
+            );
+        }
+        // Intra DC quantizes in steps of 8 (H.263), so a flat input
+        // reconstructs within half a step.
+        let recon = decoded.y().samples()[0] as i32;
+        assert!(
+            (recon - luma as i32).abs() <= 4,
+            "luma {luma}: DC reconstruction {recon} off by more than a quantizer step"
+        );
+        // DC-only intra macroblocks cost a few dozen bits each; any AC
+        // coefficients would blow well past this bound.
+        let mb_count = encoded.stats.total_mbs() as u64;
+        assert!(
+            encoded.stats.bits < mb_count * 80,
+            "luma {luma}: {} bits for {mb_count} MBs is too many for DC-only coding",
+            encoded.stats.bits
+        );
+    }
+}
+
+/// Coarser quantization can only lose information: PSNR of
+/// decode(encode(x)) is monotone non-increasing in the quantizer step
+/// (up to a small epsilon for rounding luck), and compressed size is
+/// monotone non-increasing too.
+#[test]
+fn round_trip_psnr_monotone_in_quantizer_step() {
+    let original = SyntheticSequence::foreman_class(2005).next_frame();
+    let mut last_psnr = f64::INFINITY;
+    let mut last_bits = u64::MAX;
+    for qp in [1u8, 2, 4, 8, 12, 16, 22, 31] {
+        let mut encoder = Encoder::new(EncoderConfig {
+            qp: Qp::new(qp).expect("valid QP"),
+            ..EncoderConfig::default()
+        });
+        let mut decoder = Decoder::new(VideoFormat::QCIF);
+        let mut policy = NaturalPolicy::new();
+        let encoded = encoder.encode_frame(&original, &mut policy);
+        let (decoded, _) = decoder.decode_frame(&encoded.data).expect("decodes");
+        let p = psnr_y(&original, &decoded);
+        assert!(
+            p <= last_psnr + 0.05,
+            "QP {qp}: PSNR rose from {last_psnr:.3} to {p:.3} under coarser quantization"
+        );
+        assert!(
+            encoded.stats.bits <= last_bits,
+            "QP {qp}: size rose from {last_bits} to {} bits under coarser quantization",
+            encoded.stats.bits
+        );
+        assert!(p > 20.0, "QP {qp}: intra round trip must resemble input");
+        last_psnr = p;
+        last_bits = encoded.stats.bits;
+    }
+    assert!(
+        last_psnr < 40.0,
+        "QP 31 should be visibly lossy, got {last_psnr:.2} dB"
+    );
+}

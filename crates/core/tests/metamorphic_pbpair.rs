@@ -1,0 +1,77 @@
+//! Metamorphic property of the PBPAIR policy: `Intra_Th` is the user's
+//! error-resiliency expectation, so turning it up must never make the
+//! encoder refresh *less*. This is the §3.2 control contract — the
+//! power-aware controller assumes the knob is monotone.
+
+use pbpair::{PbpairConfig, PbpairPolicy};
+use pbpair_codec::{Encoder, EncoderConfig};
+use pbpair_media::synth::{MotionClass, SyntheticSequence};
+use pbpair_media::VideoFormat;
+
+/// Total intra macroblocks over a seeded run at a given `Intra_Th`.
+fn intra_mbs_at(th: f64, class: MotionClass, seed: u64, frames: usize) -> u64 {
+    let mut policy = PbpairPolicy::new(
+        VideoFormat::QCIF,
+        PbpairConfig {
+            intra_th: th,
+            ..PbpairConfig::default()
+        },
+    )
+    .expect("valid config");
+    let mut encoder = Encoder::new(EncoderConfig::default());
+    let mut seq = SyntheticSequence::for_class(class, seed);
+    let mut total = 0u64;
+    for _ in 0..frames {
+        let e = encoder.encode_frame(&seq.next_frame(), &mut policy);
+        total += u64::from(e.stats.intra_mbs);
+    }
+    total
+}
+
+#[test]
+fn raising_intra_th_never_decreases_intra_mbs() {
+    let grid = [0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 1.0];
+    for (class, seed) in [
+        (MotionClass::LowAkiyo, 11u64),
+        (MotionClass::MediumForeman, 2005),
+        (MotionClass::HighGarden, 42),
+    ] {
+        let counts: Vec<u64> = grid
+            .iter()
+            .map(|&th| intra_mbs_at(th, class, seed, 16))
+            .collect();
+        for w in counts.windows(2) {
+            assert!(
+                w[1] >= w[0],
+                "{class:?}: intra count fell from {} to {} as Intra_Th rose (grid {grid:?}, counts {counts:?})",
+                w[0],
+                w[1]
+            );
+        }
+        // And the knob actually bites: the extremes must differ.
+        assert!(
+            counts[grid.len() - 1] > counts[0],
+            "{class:?}: Intra_Th had no effect at all ({counts:?})"
+        );
+    }
+}
+
+/// At `Intra_Th = 1.0` every macroblock of every frame is refreshed; at
+/// `0.0` only the natural intra choices of the first (reference-less)
+/// frame remain.
+#[test]
+fn intra_th_extremes_pin_the_refresh_pattern() {
+    let mb_count = 99u64; // QCIF
+    let frames = 8;
+    let all = intra_mbs_at(1.0, MotionClass::MediumForeman, 2005, frames);
+    assert_eq!(all, mb_count * frames as u64, "th=1.0 must force every MB");
+    let none = intra_mbs_at(0.0, MotionClass::MediumForeman, 2005, frames);
+    assert!(
+        none >= mb_count,
+        "the first frame is always intra: {none} < {mb_count}"
+    );
+    assert!(
+        none < all / 2,
+        "th=0.0 must not refresh aggressively: {none} vs {all}"
+    );
+}

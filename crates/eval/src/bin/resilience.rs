@@ -3,17 +3,39 @@
 //! the feedback-blackout scenario (the degradation controller backing
 //! `Intra_Th` off while the return channel is dark, then recovering).
 //!
-//! Usage: `cargo run --release -p pbpair-eval --bin resilience`
+//! Usage: `cargo run --release -p pbpair-eval --bin resilience [-- --telemetry]`
+//!
+//! With `--telemetry` both experiments run instrumented and the merged
+//! [`pbpair_telemetry::TelemetryReport`] is printed as JSON on stdout;
+//! the human-readable tables move to stderr so stdout stays
+//! machine-parseable.
 
 use pbpair_eval::experiments::frames_from_env;
-use pbpair_eval::experiments::resilience::{run_corruption_sweep, run_feedback_blackout};
+use pbpair_eval::experiments::resilience::{
+    run_corruption_sweep_instrumented, run_feedback_blackout_instrumented,
+};
+use pbpair_telemetry::Telemetry;
 
 fn main() {
+    let telemetry = std::env::args().any(|a| a == "--telemetry");
+    let tel = if telemetry {
+        Telemetry::with_config(1, true)
+    } else {
+        Telemetry::disabled()
+    };
+    // With --telemetry, tables go to stderr and stdout carries only JSON.
+    let emit = |text: String| {
+        if telemetry {
+            eprintln!("{text}");
+        } else {
+            println!("{text}");
+        }
+    };
     let frames = frames_from_env(240);
 
     eprintln!("resilience: corruption sweep, {frames} frames per intensity");
-    match run_corruption_sweep(frames, &[0.0, 0.25, 0.5, 0.75, 1.0]) {
-        Ok(sweep) => println!("{}", sweep.table()),
+    match run_corruption_sweep_instrumented(frames, &[0.0, 0.25, 0.5, 0.75, 1.0], &tel) {
+        Ok(sweep) => emit(sweep.table().to_string()),
         Err(e) => {
             eprintln!("corruption sweep failed: {e}");
             std::process::exit(1);
@@ -21,22 +43,27 @@ fn main() {
     }
 
     eprintln!("resilience: feedback blackout, {frames} frames");
-    match run_feedback_blackout(frames) {
+    match run_feedback_blackout_instrumented(frames, &tel) {
         Ok(report) => {
-            println!("{}", report.table());
-            println!("## Intra_Th trajectory (every 10th frame)");
-            println!("frame  Intra_Th  degraded");
+            emit(report.table().to_string());
+            let mut trace = String::from("## Intra_Th trajectory (every 10th frame)\n");
+            trace.push_str("frame  Intra_Th  degraded\n");
             for f in (0..report.frames).step_by(10) {
-                println!(
-                    "{f:>5}  {:>8.3}  {}",
+                trace.push_str(&format!(
+                    "{f:>5}  {:>8.3}  {}\n",
                     report.th_trace[f],
                     if report.degraded_trace[f] { "yes" } else { "" }
-                );
+                ));
             }
+            emit(trace);
         }
         Err(e) => {
             eprintln!("feedback blackout failed: {e}");
             std::process::exit(1);
         }
+    }
+
+    if telemetry {
+        println!("{}", tel.report().to_json());
     }
 }

@@ -3,15 +3,21 @@
 //! worker-count sweep showing that the work-stealing pool turns extra
 //! cores into aggregate frames/second on the same session load.
 //!
-//! Usage: `cargo run --release -p pbpair-eval --bin serve [-- --smoke]`
+//! Usage: `cargo run --release -p pbpair-eval --bin serve \
+//!   [-- --smoke] [--telemetry] [--workers N]`
 //!
 //! `--smoke` runs the minimal CI configuration (4 sessions × 16 frames)
 //! and exits nonzero unless the fleet reports nonzero throughput.
+//! `--telemetry` instruments the smoke run and prints the full
+//! [`pbpair_telemetry::TelemetryReport`] as JSON on stdout (the human
+//! summary moves to stderr so stdout stays machine-parseable); its
+//! `"deterministic"` section is byte-identical for any `--workers N`.
 //! `PBPAIR_FRAMES` overrides the frames-per-session depth of the sweeps.
 
 use pbpair_eval::experiments::frames_from_env;
 use pbpair_eval::report::{fmt_f, Table};
-use pbpair_serve::{run, ServeConfig};
+use pbpair_serve::{run, run_instrumented, ServeConfig};
+use pbpair_telemetry::Telemetry;
 
 fn base_config(sessions: usize, frames: usize, workers: usize) -> ServeConfig {
     ServeConfig {
@@ -23,9 +29,16 @@ fn base_config(sessions: usize, frames: usize, workers: usize) -> ServeConfig {
     }
 }
 
-fn smoke() -> Result<(), String> {
-    let report = run(&base_config(4, 16, 2))?;
-    println!(
+fn smoke(workers: usize, telemetry: bool) -> Result<(), String> {
+    let cfg = base_config(4, 16, workers);
+    let tel = if telemetry {
+        // One shard per session keeps concurrent flushes contention-free.
+        Telemetry::with_config(cfg.sessions, true)
+    } else {
+        Telemetry::disabled()
+    };
+    let report = run_instrumented(&cfg, &tel)?;
+    let summary = format!(
         "serve smoke: {} frames, {:.1} fps, mean PSNR {:.2} dB, \
          p50 {:.2} ms, p99 {:.2} ms, {} shed",
         report.total_frames,
@@ -35,6 +48,13 @@ fn smoke() -> Result<(), String> {
         report.timing.p99_frame_ms,
         report.shed_count
     );
+    if telemetry {
+        // Keep stdout pure JSON for downstream tooling.
+        eprintln!("{summary}");
+        println!("{}", tel.report().to_json());
+    } else {
+        println!("{summary}");
+    }
     if report.total_frames != 64 {
         return Err(format!("expected 64 frames, got {}", report.total_frames));
     }
@@ -161,8 +181,19 @@ fn overload_demo(frames: usize) {
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--smoke") {
-        if let Err(e) = smoke() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        let telemetry = args.iter().any(|a| a == "--telemetry");
+        let workers = args
+            .iter()
+            .position(|a| a == "--workers")
+            .and_then(|i| args.get(i + 1))
+            .map(|v| {
+                v.parse::<usize>()
+                    .unwrap_or_else(|_| panic!("--workers expects a number, got {v:?}"))
+            })
+            .unwrap_or(2);
+        if let Err(e) = smoke(workers, telemetry) {
             eprintln!("serve smoke failed: {e}");
             std::process::exit(1);
         }

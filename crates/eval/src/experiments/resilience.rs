@@ -30,6 +30,7 @@ use pbpair_netsim::{
     CorruptingChannel, CorruptionProfile, Delivery, FeedbackLink, FeedbackLinkStats, Packetizer,
     ScriptedLoss, UniformLoss, WindowPlrEstimator,
 };
+use pbpair_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 /// One intensity point of the corruption sweep.
@@ -66,14 +67,28 @@ pub struct CorruptionSweep {
 ///
 /// Returns an error for invalid PBPAIR configurations.
 pub fn run_corruption_sweep(frames: usize, intensities: &[f64]) -> Result<CorruptionSweep, String> {
+    run_corruption_sweep_instrumented(frames, intensities, &Telemetry::disabled())
+}
+
+/// Like [`run_corruption_sweep`], but every stage (encoder, resilient
+/// decoder, corrupting channel) reports into `tel`.
+///
+/// # Errors
+///
+/// Returns an error for invalid PBPAIR configurations.
+pub fn run_corruption_sweep_instrumented(
+    frames: usize,
+    intensities: &[f64],
+    tel: &Telemetry,
+) -> Result<CorruptionSweep, String> {
     let mut points = Vec::with_capacity(intensities.len());
     for &intensity in intensities {
-        points.push(sweep_point(frames, intensity)?);
+        points.push(sweep_point(frames, intensity, tel)?);
     }
     Ok(CorruptionSweep { points, frames })
 }
 
-fn sweep_point(frames: usize, intensity: f64) -> Result<SweepPoint, String> {
+fn sweep_point(frames: usize, intensity: f64, tel: &Telemetry) -> Result<SweepPoint, String> {
     let mut policy = PbpairPolicy::new(
         VideoFormat::QCIF,
         PbpairConfig {
@@ -92,6 +107,9 @@ fn sweep_point(frames: usize, intensity: f64) -> Result<SweepPoint, String> {
         CorruptionProfile::with_intensity(intensity),
         7001,
     );
+    encoder.set_telemetry(tel);
+    decoder.set_telemetry(tel);
+    channel.set_telemetry(tel);
 
     let mut quality = QualityStats::new();
     let mut decode = DecodeReport::default();
@@ -249,6 +267,19 @@ impl BlackoutReport {
 ///
 /// Returns an error for invalid PBPAIR or controller configurations.
 pub fn run_feedback_blackout(frames: usize) -> Result<BlackoutReport, String> {
+    run_feedback_blackout_instrumented(frames, &Telemetry::disabled())
+}
+
+/// Like [`run_feedback_blackout`], but the codec and channel report
+/// into `tel`.
+///
+/// # Errors
+///
+/// Returns an error for invalid PBPAIR or controller configurations.
+pub fn run_feedback_blackout_instrumented(
+    frames: usize,
+    tel: &Telemetry,
+) -> Result<BlackoutReport, String> {
     let blackout = (frames as u64 / 3, 2 * frames as u64 / 3);
     let degradation = DegradationConfig {
         base_th: 0.9,
@@ -276,6 +307,9 @@ pub fn run_feedback_blackout(frames: usize) -> Result<BlackoutReport, String> {
         CorruptionProfile::light(),
         9099,
     );
+    encoder.set_telemetry(tel);
+    decoder.set_telemetry(tel);
+    channel.set_telemetry(tel);
     // One report per frame → report seq == frame index, so a scripted
     // drop of seqs in [b0, b1) is exactly the blackout window.
     let mut link = FeedbackLink::new(Box::new(ScriptedLoss::new(blackout.0..blackout.1)), 2);

@@ -38,6 +38,7 @@ use crate::channel::LossyChannel;
 use crate::loss::LossModel;
 use crate::packet::{ChannelStats, Packet};
 use bytes::Bytes;
+use pbpair_telemetry::{Counter, Stage, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -347,6 +348,62 @@ impl Delivery {
 pub struct CorruptingChannel {
     inner: LossyChannel,
     corrupter: Corrupter,
+    /// Pre-resolved telemetry handles; `None` until
+    /// [`CorruptingChannel::set_telemetry`] attaches an enabled context.
+    /// Flushed per transmit call as deltas of the already-deterministic
+    /// loss/corruption tallies.
+    tel: Option<ChannelTelemetry>,
+}
+
+/// Telemetry handles the channel flushes per transmit call.
+#[derive(Debug)]
+struct ChannelTelemetry {
+    /// Stage `"channel"`; virtual units = payload bytes offered.
+    stage: Stage,
+    packets_sent: Counter,
+    packets_lost: Counter,
+    packets_corrupted: Counter,
+    bits_flipped: Counter,
+    bytes_sent: Counter,
+    bytes_lost: Counter,
+}
+
+impl ChannelTelemetry {
+    fn new(tel: &Telemetry) -> Self {
+        ChannelTelemetry {
+            stage: tel.stage("channel"),
+            packets_sent: tel.counter("net.packets_sent"),
+            packets_lost: tel.counter("net.packets_lost"),
+            packets_corrupted: tel.counter("net.packets_corrupted"),
+            bits_flipped: tel.counter("net.bits_flipped"),
+            bytes_sent: tel.counter("net.bytes_sent"),
+            bytes_lost: tel.counter("net.bytes_lost"),
+        }
+    }
+
+    /// Flushes the difference between two (loss, corruption) snapshots.
+    fn note_delta(
+        &self,
+        loss_before: &ChannelStats,
+        loss_after: &ChannelStats,
+        corr_before: &CorruptionStats,
+        corr_after: &CorruptionStats,
+    ) {
+        self.stage
+            .record(loss_after.bytes_sent - loss_before.bytes_sent);
+        self.packets_sent
+            .inc(loss_after.packets_sent - loss_before.packets_sent);
+        self.packets_lost
+            .inc(loss_after.packets_lost - loss_before.packets_lost);
+        self.packets_corrupted
+            .inc(corr_after.packets_damaged - corr_before.packets_damaged);
+        self.bits_flipped
+            .inc(corr_after.bits_flipped - corr_before.bits_flipped);
+        self.bytes_sent
+            .inc(loss_after.bytes_sent - loss_before.bytes_sent);
+        self.bytes_lost
+            .inc(loss_after.bytes_lost - loss_before.bytes_lost);
+    }
 }
 
 impl std::fmt::Debug for CorruptingChannel {
@@ -365,12 +422,24 @@ impl CorruptingChannel {
         CorruptingChannel {
             inner: LossyChannel::new(model),
             corrupter: Corrupter::new(profile, seed),
+            tel: None,
         }
     }
 
     /// Composes an existing lossy channel with an existing corrupter.
     pub fn from_parts(inner: LossyChannel, corrupter: Corrupter) -> Self {
-        CorruptingChannel { inner, corrupter }
+        CorruptingChannel {
+            inner,
+            corrupter,
+            tel: None,
+        }
+    }
+
+    /// Attaches a telemetry context; subsequent transmissions flush
+    /// their deterministic loss/corruption deltas into it (`net.*`
+    /// metrics and the `"channel"` stage). A disabled context detaches.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel = tel.is_enabled().then(|| ChannelTelemetry::new(tel));
     }
 
     /// Packet-loss statistics (from the wrapped [`LossyChannel`]).
@@ -386,11 +455,20 @@ impl CorruptingChannel {
     /// Transmits one frame's packets: loss first, then corruption, then
     /// best-effort reassembly.
     pub fn transmit_frame(&mut self, packets: &[Packet]) -> Delivery {
+        let loss_before = *self.inner.stats();
         let survivors = self.inner.transmit(packets);
         let lost_some = survivors.len() != packets.len();
         let before = *self.corrupter.stats();
         let delivered = self.corrupter.corrupt_stream(&survivors);
         let altered = *self.corrupter.stats() != before;
+        if let Some(t) = &self.tel {
+            t.note_delta(
+                &loss_before,
+                self.inner.stats(),
+                &before,
+                self.corrupter.stats(),
+            );
+        }
         if delivered.is_empty() {
             return Delivery::Lost;
         }
@@ -408,8 +486,19 @@ impl CorruptingChannel {
     /// parity recovery must run on the surviving packet set before any
     /// reassembly collapses it to bytes.
     pub fn transmit_packets(&mut self, packets: &[Packet]) -> Vec<Packet> {
+        let loss_before = *self.inner.stats();
+        let corr_before = *self.corrupter.stats();
         let survivors = self.inner.transmit(packets);
-        self.corrupter.corrupt_stream(&survivors)
+        let out = self.corrupter.corrupt_stream(&survivors);
+        if let Some(t) = &self.tel {
+            t.note_delta(
+                &loss_before,
+                self.inner.stats(),
+                &corr_before,
+                self.corrupter.stats(),
+            );
+        }
+        out
     }
 }
 

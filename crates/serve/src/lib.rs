@@ -46,7 +46,7 @@ pub mod sched;
 pub mod session;
 
 pub use admission::{AdmissionConfig, AdmissionController, RoundDecision, ServiceLevel};
-pub use manager::{run, ServeConfig};
+pub use manager::{run, run_instrumented, ServeConfig};
 pub use report::{FleetTiming, ServeReport, SessionReport};
 pub use sched::WorkStealingPool;
 pub use session::{FrameOutcome, Session, SessionConfig, SessionStats};

@@ -20,6 +20,7 @@ use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::report::{quantile_ms, FleetTiming, ServeReport, SessionReport};
 use crate::sched::WorkStealingPool;
 use crate::session::{FrameOutcome, Session, SessionConfig};
+use pbpair_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -126,11 +127,26 @@ struct Slot {
 ///
 /// Returns an error for invalid configuration; the run itself is total.
 pub fn run(cfg: &ServeConfig) -> Result<ServeReport, String> {
+    run_instrumented(cfg, &Telemetry::disabled())
+}
+
+/// Like [`run`], but with every pipeline stage reporting into `tel`:
+/// the codec (`enc.*`/`dec.*`), the channels (`net.*`), the sessions and
+/// scheduler (`serve.*`), plus a `serve.frame_latency_ms` timing
+/// histogram. Each session writes through `tel.shard(id)` so concurrent
+/// flushes touch disjoint cache lines; the report's deterministic
+/// section is identical for any worker count (the counter sums commute).
+///
+/// # Errors
+///
+/// Returns an error for invalid configuration; the run itself is total.
+pub fn run_instrumented(cfg: &ServeConfig, tel: &Telemetry) -> Result<ServeReport, String> {
     cfg.validate()?;
     let mut controller = AdmissionController::new(cfg.admission)?;
     let slots: Vec<Arc<Mutex<Slot>>> = (0..cfg.sessions)
         .map(|id| {
-            Session::new(cfg.session_config(id as u32)).map(|session| {
+            Session::new(cfg.session_config(id as u32)).map(|mut session| {
+                session.set_telemetry(&tel.shard(id));
                 Arc::new(Mutex::new(Slot {
                     session,
                     outcome: None,
@@ -144,7 +160,13 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, String> {
     } else {
         cfg.queue_capacity
     };
-    let pool = WorkStealingPool::new(cfg.workers, capacity);
+    let pool = WorkStealingPool::with_telemetry(cfg.workers, capacity, tel);
+    let rounds_counter = tel.counter("serve.rounds");
+    let shed_counter = tel.counter("serve.shed_sessions");
+    let latency_hist = tel.timing_histogram(
+        "serve.frame_latency_ms",
+        &[1, 2, 5, 10, 20, 50, 100, 250, 1000],
+    );
     let latencies: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
 
     let started = Instant::now();
@@ -161,6 +183,7 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, String> {
             }
             let slot = Arc::clone(slot);
             let latencies = Arc::clone(&latencies);
+            let latency_hist = latency_hist.clone();
             let submitted = Instant::now();
             pool.submit_to(
                 id,
@@ -174,14 +197,14 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, String> {
                         Some(slot.session.step_frame())
                     };
                     slot.outcome = outcome;
-                    latencies
-                        .lock()
-                        .expect("latency lock")
-                        .push(submitted.elapsed().as_secs_f64() * 1e3);
+                    let elapsed_ms = submitted.elapsed().as_secs_f64() * 1e3;
+                    latency_hist.record(elapsed_ms as u64);
+                    latencies.lock().expect("latency lock").push(elapsed_ms);
                 }),
             );
         }
         pool.wait_idle();
+        rounds_counter.inc(1);
 
         // Deterministic post-round ledger, in session-id order.
         let mut round_cost = Vec::with_capacity(slots.len());
@@ -197,6 +220,7 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, String> {
         final_lag = decision.lag;
         if let Some(id) = decision.shed {
             slots[id as usize].lock().expect("slot lock").session.shed();
+            shed_counter.inc(1);
         }
     }
     let wall_s = started.elapsed().as_secs_f64();

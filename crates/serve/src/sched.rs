@@ -24,6 +24,7 @@
 //! crossbeam-free batch runner in `pbpair-eval`; the workspace is
 //! offline and carries no external scheduler crates.
 
+use pbpair_telemetry::{Counter, Gauge, Telemetry};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -58,6 +59,17 @@ struct Shared {
     /// central mutex.
     locals: Vec<Mutex<VecDeque<(usize, Job)>>>,
     capacity: usize,
+    /// Scheduler telemetry (timing scope: queue depth and steal counts
+    /// are scheduling artifacts, never part of the deterministic report).
+    tel: Option<PoolTelemetry>,
+}
+
+/// Timing-scope handles the pool updates as it schedules.
+struct PoolTelemetry {
+    /// Jobs in flight, sampled at each submit (gauge: last + max).
+    queue_depth: Gauge,
+    /// Jobs executed away from their submit hint.
+    steals: Counter,
 }
 
 /// Fixed-size work-stealing pool. Dropping the pool shuts it down and
@@ -75,6 +87,17 @@ impl WorkStealingPool {
     ///
     /// Panics if `workers == 0` or `queue_capacity == 0`.
     pub fn new(workers: usize, queue_capacity: usize) -> Self {
+        WorkStealingPool::with_telemetry(workers, queue_capacity, &Telemetry::disabled())
+    }
+
+    /// Like [`WorkStealingPool::new`], but reporting queue depth
+    /// (`serve.queue_depth` gauge) and steals (`serve.steals` timing
+    /// counter) into the given telemetry context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or `queue_capacity == 0`.
+    pub fn with_telemetry(workers: usize, queue_capacity: usize, tel: &Telemetry) -> Self {
         assert!(workers > 0, "pool needs at least one worker");
         assert!(queue_capacity > 0, "queue capacity must be positive");
         let shared = Arc::new(Shared {
@@ -90,6 +113,10 @@ impl WorkStealingPool {
             idle: Condvar::new(),
             locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             capacity: queue_capacity,
+            tel: tel.is_enabled().then(|| PoolTelemetry {
+                queue_depth: tel.gauge("serve.queue_depth"),
+                steals: tel.timing_counter("serve.steals"),
+            }),
         });
         let handles = (0..workers)
             .map(|id| {
@@ -119,6 +146,9 @@ impl WorkStealingPool {
         }
         inner.in_flight += 1;
         inner.submitted += 1;
+        if let Some(t) = &self.shared.tel {
+            t.queue_depth.set(inner.in_flight as i64);
+        }
         // Push and notify while holding the central lock: a worker about
         // to sleep holds it through its final empty-check, so the job is
         // either seen by that check or the notification lands in its
@@ -139,6 +169,9 @@ impl WorkStealingPool {
         }
         inner.in_flight += 1;
         inner.submitted += 1;
+        if let Some(t) = &self.shared.tel {
+            t.queue_depth.set(inner.in_flight as i64);
+        }
         inner.injector.push_back(job);
         self.shared.work.notify_all();
     }
@@ -188,6 +221,9 @@ fn worker_loop(id: usize, shared: &Shared) {
                 let mut inner = shared.inner.lock().expect("pool lock");
                 if hint != id {
                     inner.migrated += 1;
+                    if let Some(t) = &shared.tel {
+                        t.steals.inc(1);
+                    }
                 }
                 inner.in_flight -= 1;
                 let now_idle = inner.in_flight == 0;

@@ -32,6 +32,7 @@ use pbpair_netsim::{
     reassemble_frame, reassemble_frame_damaged, CorruptingChannel, CorruptionProfile, FeedbackLink,
     Packetizer, UniformLoss, WindowPlrEstimator, XorFec,
 };
+use pbpair_telemetry::{Counter, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// Per-session knobs, normally filled in by the manager from a
@@ -156,6 +157,33 @@ pub struct Session {
     quality: QualityStats,
     stats: SessionStats,
     shed: bool,
+    /// Session-level telemetry handles; `None` until
+    /// [`Session::set_telemetry`]. The encoder, decoder, and channel
+    /// carry their own handles wired by the same call.
+    tel: Option<SessionTelemetry>,
+}
+
+/// Telemetry the session flushes per frame slot — all deterministic
+/// quantities (frame outcomes are a pure function of the session seed).
+#[derive(Debug)]
+struct SessionTelemetry {
+    frames_encoded: Counter,
+    frames_rate_dropped: Counter,
+    frames_lost: Counter,
+    frames_damaged: Counter,
+    fec_recovered: Counter,
+}
+
+impl SessionTelemetry {
+    fn new(tel: &Telemetry) -> Self {
+        SessionTelemetry {
+            frames_encoded: tel.counter("serve.frames_encoded"),
+            frames_rate_dropped: tel.counter("serve.frames_rate_dropped"),
+            frames_lost: tel.counter("serve.frames_lost"),
+            frames_damaged: tel.counter("serve.frames_damaged"),
+            fec_recovered: tel.counter("serve.fec_recovered"),
+        }
+    }
 }
 
 impl Session {
@@ -211,8 +239,21 @@ impl Session {
             quality: QualityStats::new(),
             stats: SessionStats::default(),
             shed: false,
+            tel: None,
             cfg,
         })
+    }
+
+    /// Attaches a telemetry context to the session and every pipeline
+    /// stage it owns (encoder, decoder, forward channel). Pass a handle
+    /// pre-bound to a shard (see `Telemetry::shard`) so concurrent
+    /// sessions write to disjoint cache lines; totals are identical for
+    /// any sharding. A disabled context detaches everything.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.encoder.set_telemetry(tel);
+        self.decoder.set_telemetry(tel);
+        self.channel.set_telemetry(tel);
+        self.tel = tel.is_enabled().then(|| SessionTelemetry::new(tel));
     }
 
     /// The session's configuration.
@@ -268,6 +309,9 @@ impl Session {
         let held = self.decoder.last_frame().clone();
         self.quality.record(&original, &held);
         self.stats.frames_rate_dropped += 1;
+        if let Some(t) = &self.tel {
+            t.frames_rate_dropped.inc(1);
+        }
     }
 
     /// Runs one frame through the whole loop. Returns the deterministic
@@ -345,6 +389,13 @@ impl Session {
         self.stats.encoded_bytes += encoded.data.len() as u64;
         self.stats.sent_bytes += sent_bytes;
         self.stats.encode_joules += encode_joules;
+
+        if let Some(t) = &self.tel {
+            t.frames_encoded.inc(1);
+            t.frames_lost.inc(lost as u64);
+            t.frames_damaged.inc(damaged as u64);
+            t.fec_recovered.inc(fec_recovered as u64);
+        }
 
         FrameOutcome {
             encode_joules,

@@ -1,0 +1,391 @@
+//! Report snapshots and hand-rolled JSON/CSV export.
+//!
+//! The workspace's vendored `serde` is a no-op stub, so serialization is
+//! written out by hand. That turns out to be a feature: the emitter
+//! guarantees the byte-level properties the determinism contract needs —
+//! `BTreeMap` iteration gives sorted keys, and the deterministic section
+//! contains only integers, so there is no float formatting to drift.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Merged view of one histogram: bucket counts over inclusive upper
+/// `bounds` plus an implicit overflow bucket (`counts.len() ==
+/// bounds.len() + 1`), with total observation count and value sum.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bucket edges, ascending.
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts; the final entry is the overflow
+    /// bucket above the last bound.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Element-wise merge of two snapshots over the same bounds.
+    /// Addition of per-bucket counts makes this associative and
+    /// commutative (property-tested in `tests/histogram_props.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two snapshots have different bounds.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        assert_eq!(self.bounds, other.bounds, "merging mismatched histograms");
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(a, b)| a + b)
+                .collect(),
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` in `[0, 1]`,
+    /// or the last finite bound for the overflow bucket. `None` when
+    /// empty.
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(match self.bounds.get(i) {
+                    Some(&b) => b,
+                    None => self.bounds.last().copied().unwrap_or(u64::MAX),
+                });
+            }
+        }
+        self.bounds.last().copied()
+    }
+}
+
+/// Last-set value and running max of a gauge.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    pub last: i64,
+    pub max: i64,
+}
+
+/// Accumulated cost of one pipeline stage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageSnapshot {
+    /// Invocations (span drops + direct records).
+    pub calls: u64,
+    /// Deterministic virtual units (ops / bits / MBs — per-stage choice).
+    pub units: u64,
+    /// Wall nanoseconds; zero unless the registry collects wall clock.
+    pub wall_ns: u64,
+}
+
+/// A point-in-time snapshot of every registered metric, split into a
+/// deterministic section (counters, histograms, stage calls/units) and a
+/// timing section (wall clock, gauges, scheduling counters).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TelemetryReport {
+    pub counters: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    pub stages: BTreeMap<String, StageSnapshot>,
+    pub timing_counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, GaugeSnapshot>,
+    pub timing_histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl TelemetryReport {
+    /// Value of a deterministic counter, zero when unregistered.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// True when nothing was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.histograms.is_empty()
+            && self.stages.is_empty()
+            && self.timing_counters.is_empty()
+            && self.gauges.is_empty()
+            && self.timing_histograms.is_empty()
+    }
+
+    /// The deterministic section only, as canonical JSON: sorted keys,
+    /// integers only, no whitespace. For a fixed workload configuration
+    /// this string is byte-identical regardless of worker count or
+    /// thread interleaving — the serve determinism tests compare it
+    /// directly.
+    pub fn deterministic_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"counters\":");
+        write_u64_map(&mut out, &self.counters);
+        out.push_str(",\"histograms\":");
+        write_histogram_map(&mut out, &self.histograms);
+        out.push_str(",\"stages\":{");
+        for (i, (name, s)) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&mut out, name);
+            let _ = write!(out, ":{{\"calls\":{},\"units\":{}}}", s.calls, s.units);
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Full report as JSON: the deterministic section plus a `timing`
+    /// object (scheduling counters, gauges, latency histograms, span
+    /// wall times).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"deterministic\":");
+        out.push_str(&self.deterministic_json());
+        out.push_str(",\"timing\":{\"counters\":");
+        write_u64_map(&mut out, &self.timing_counters);
+        out.push_str(",\"gauges\":{");
+        for (i, (name, g)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&mut out, name);
+            let _ = write!(out, ":{{\"last\":{},\"max\":{}}}", g.last, g.max);
+        }
+        out.push_str("},\"histograms\":");
+        write_histogram_map(&mut out, &self.timing_histograms);
+        out.push_str(",\"stage_wall_ns\":{");
+        for (i, (name, s)) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&mut out, name);
+            let _ = write!(out, ":{}", s.wall_ns);
+        }
+        out.push_str("}}}");
+        out
+    }
+
+    /// Flat CSV export: `section,kind,name,field,value` rows, sorted the
+    /// same way as the JSON (header first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("section,kind,name,field,value\n");
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "deterministic,counter,{},total,{}", csv_field(name), v);
+        }
+        for (name, h) in &self.histograms {
+            write_histogram_csv(&mut out, "deterministic", name, h);
+        }
+        for (name, s) in &self.stages {
+            let name = csv_field(name);
+            let _ = writeln!(out, "deterministic,stage,{},calls,{}", name, s.calls);
+            let _ = writeln!(out, "deterministic,stage,{},units,{}", name, s.units);
+        }
+        for (name, v) in &self.timing_counters {
+            let _ = writeln!(out, "timing,counter,{},total,{}", csv_field(name), v);
+        }
+        for (name, g) in &self.gauges {
+            let name = csv_field(name);
+            let _ = writeln!(out, "timing,gauge,{},last,{}", name, g.last);
+            let _ = writeln!(out, "timing,gauge,{},max,{}", name, g.max);
+        }
+        for (name, h) in &self.timing_histograms {
+            write_histogram_csv(&mut out, "timing", name, h);
+        }
+        for (name, s) in &self.stages {
+            let _ = writeln!(
+                out,
+                "timing,stage,{},wall_ns,{}",
+                csv_field(name),
+                s.wall_ns
+            );
+        }
+        out
+    }
+}
+
+fn write_u64_map(out: &mut String, map: &BTreeMap<String, u64>) {
+    out.push('{');
+    for (i, (name, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_string(out, name);
+        let _ = write!(out, ":{v}");
+    }
+    out.push('}');
+}
+
+fn write_histogram_map(out: &mut String, map: &BTreeMap<String, HistogramSnapshot>) {
+    out.push('{');
+    for (i, (name, h)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_string(out, name);
+        out.push_str(":{\"bounds\":");
+        write_u64_list(out, &h.bounds);
+        out.push_str(",\"counts\":");
+        write_u64_list(out, &h.counts);
+        let _ = write!(out, ",\"count\":{},\"sum\":{}}}", h.count, h.sum);
+    }
+    out.push('}');
+}
+
+fn write_u64_list(out: &mut String, values: &[u64]) {
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+/// Minimal JSON string escaping: quotes, backslashes, and control
+/// characters. Metric names are plain ASCII identifiers in practice,
+/// but the emitter must not produce invalid JSON for any input.
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Metric names avoid commas/quotes by convention; replace them if they
+/// ever appear so a row can't split.
+fn csv_field(s: &str) -> String {
+    s.replace([',', '"', '\n', '\r'], "_")
+}
+
+fn write_histogram_csv(out: &mut String, section: &str, name: &str, h: &HistogramSnapshot) {
+    let name = csv_field(name);
+    for (i, c) in h.counts.iter().enumerate() {
+        let edge = match h.bounds.get(i) {
+            Some(b) => format!("le_{b}"),
+            None => "overflow".to_string(),
+        };
+        let _ = writeln!(out, "{section},histogram,{name},{edge},{c}");
+    }
+    let _ = writeln!(out, "{section},histogram,{name},count,{}", h.count);
+    let _ = writeln!(out, "{section},histogram,{name},sum,{}", h.sum);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_hist() -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: vec![10, 100],
+            counts: vec![2, 3, 1],
+            count: 6,
+            sum: 321,
+        }
+    }
+
+    #[test]
+    fn deterministic_json_is_sorted_and_integer_only() {
+        let mut r = TelemetryReport::default();
+        r.counters.insert("z.last".into(), 2);
+        r.counters.insert("a.first".into(), 1);
+        r.stages.insert(
+            "encode".into(),
+            StageSnapshot {
+                calls: 4,
+                units: 99,
+                wall_ns: 123_456,
+            },
+        );
+        let json = r.deterministic_json();
+        assert_eq!(
+            json,
+            "{\"counters\":{\"a.first\":1,\"z.last\":2},\"histograms\":{},\
+             \"stages\":{\"encode\":{\"calls\":4,\"units\":99}}}"
+        );
+        assert!(!json.contains("123456"), "wall ns must not leak");
+    }
+
+    #[test]
+    fn full_json_nests_timing_section() {
+        let mut r = TelemetryReport::default();
+        r.counters.insert("c".into(), 1);
+        r.timing_counters.insert("steals".into(), 7);
+        r.gauges
+            .insert("depth".into(), GaugeSnapshot { last: 3, max: 9 });
+        r.timing_histograms.insert("lat".into(), sample_hist());
+        r.stages.insert(
+            "s".into(),
+            StageSnapshot {
+                calls: 1,
+                units: 2,
+                wall_ns: 50,
+            },
+        );
+        let json = r.to_json();
+        assert!(json.starts_with("{\"deterministic\":{"));
+        assert!(json.contains("\"timing\":{\"counters\":{\"steals\":7}"));
+        assert!(json.contains("\"gauges\":{\"depth\":{\"last\":3,\"max\":9}}"));
+        assert!(json.contains("\"stage_wall_ns\":{\"s\":50}"));
+        assert!(json.contains("\"count\":6,\"sum\":321"));
+    }
+
+    #[test]
+    fn json_escapes_awkward_names() {
+        let mut r = TelemetryReport::default();
+        r.counters.insert("odd\"name\\x".into(), 1);
+        let json = r.deterministic_json();
+        assert!(json.contains("\"odd\\\"name\\\\x\":1"));
+    }
+
+    #[test]
+    fn csv_rows_cover_every_metric() {
+        let mut r = TelemetryReport::default();
+        r.counters.insert("c".into(), 5);
+        r.histograms.insert("h".into(), sample_hist());
+        r.gauges
+            .insert("g".into(), GaugeSnapshot { last: -1, max: 4 });
+        let csv = r.to_csv();
+        assert!(csv.starts_with("section,kind,name,field,value\n"));
+        assert!(csv.contains("deterministic,counter,c,total,5\n"));
+        assert!(csv.contains("deterministic,histogram,h,le_10,2\n"));
+        assert!(csv.contains("deterministic,histogram,h,overflow,1\n"));
+        assert!(csv.contains("timing,gauge,g,last,-1\n"));
+    }
+
+    #[test]
+    fn merge_adds_element_wise() {
+        let a = sample_hist();
+        let merged = a.merge(&a);
+        assert_eq!(merged.counts, vec![4, 6, 2]);
+        assert_eq!(merged.count, 12);
+        assert_eq!(merged.sum, 642);
+    }
+
+    #[test]
+    fn quantile_bound_picks_bucket_edges() {
+        let h = sample_hist();
+        assert_eq!(h.quantile_bound(0.0), Some(10));
+        assert_eq!(h.quantile_bound(0.5), Some(100));
+        assert_eq!(
+            h.quantile_bound(1.0),
+            Some(100),
+            "overflow reports last bound"
+        );
+        assert_eq!(HistogramSnapshot::default().quantile_bound(0.5), None);
+    }
+}

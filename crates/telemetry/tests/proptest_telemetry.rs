@@ -1,0 +1,92 @@
+//! Property tests of the telemetry aggregation algebra. The whole
+//! determinism story rests on aggregation being order-insensitive:
+//! counter totals and histogram merges must form a commutative monoid
+//! so that *which* shard or worker observed an event cannot leak into
+//! the deterministic export.
+
+use pbpair_telemetry::{HistogramSnapshot, Telemetry};
+use proptest::prelude::*;
+
+const BOUNDS: &[u64] = &[4, 16, 64, 256, 1024];
+
+/// Builds a snapshot by recording `values` through a real registry.
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let tel = Telemetry::with_shards(1);
+    let h = tel.histogram("h", BOUNDS);
+    for &v in values {
+        h.record(v);
+    }
+    tel.report().histograms["h"].clone()
+}
+
+proptest! {
+    #[test]
+    fn histogram_merge_is_commutative(
+        a in prop::collection::vec(0u64..5000, 0..100),
+        b in prop::collection::vec(0u64..5000, 0..100),
+    ) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+    }
+
+    #[test]
+    fn histogram_merge_is_associative(
+        a in prop::collection::vec(0u64..5000, 0..60),
+        b in prop::collection::vec(0u64..5000, 0..60),
+        c in prop::collection::vec(0u64..5000, 0..60),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+    }
+
+    #[test]
+    fn merge_equals_recording_the_concatenation(
+        a in prop::collection::vec(0u64..5000, 0..100),
+        b in prop::collection::vec(0u64..5000, 0..100),
+    ) {
+        // The identity behind worker-count independence: recording two
+        // streams separately and merging equals recording them as one.
+        let merged = snapshot_of(&a).merge(&snapshot_of(&b));
+        let combined: Vec<u64> = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(merged, snapshot_of(&combined));
+    }
+
+    #[test]
+    fn empty_snapshot_is_the_merge_identity(
+        a in prop::collection::vec(0u64..5000, 0..100),
+    ) {
+        let s = snapshot_of(&a);
+        let empty = snapshot_of(&[]);
+        prop_assert_eq!(s.merge(&empty), s.clone());
+        prop_assert_eq!(empty.merge(&s), s);
+    }
+
+    #[test]
+    fn counter_totals_are_shard_insensitive(
+        increments in prop::collection::vec((0usize..8, 1u64..1000), 0..200),
+        shards in 1usize..8,
+    ) {
+        // Spraying increments across arbitrary shards must produce the
+        // same total as a single-shard registry seeing the same stream.
+        let sharded = Telemetry::with_shards(shards);
+        let flat = Telemetry::with_shards(1);
+        for &(shard, n) in &increments {
+            sharded.shard(shard).counter("c").inc(n);
+            flat.counter("c").inc(n);
+        }
+        prop_assert_eq!(
+            sharded.report().counter("c"),
+            flat.report().counter("c")
+        );
+    }
+
+    #[test]
+    fn histogram_count_and_sum_track_observations(
+        values in prop::collection::vec(0u64..10_000, 0..200),
+    ) {
+        let s = snapshot_of(&values);
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(s.counts.iter().sum::<u64>(), s.count);
+    }
+}
