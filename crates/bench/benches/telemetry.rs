@@ -1,11 +1,13 @@
-//! Telemetry overhead guard.
+//! Telemetry and tracing overhead guard.
 //!
 //! The telemetry contract promises that *disabled* instrumentation is
 //! free: a `Telemetry::disabled()` handle reduces every flush to a
-//! branch on a `None`. This bench prices three encode configurations —
-//! no telemetry wired at all, disabled telemetry wired, and an enabled
-//! registry — and **fails** (exit 1) if the disabled mode costs more
-//! than the budgeted fraction of the plain encode hot loop.
+//! branch on a `None`, and a `Tracer::disabled()` handle does the same
+//! for causal-trace emission. This bench prices four encode
+//! configurations — nothing wired, disabled telemetry, a disabled
+//! tracer, and an enabled registry — and **fails** (exit 1) if either
+//! disabled mode costs more than the budgeted fraction of the plain
+//! encode hot loop.
 //!
 //! Run: `cargo bench -p pbpair-bench --bench telemetry`
 //! The gate (percent) can be widened for noisy machines via
@@ -15,14 +17,18 @@ use pbpair_bench::{default_pbpair, frames, BENCH_FRAMES};
 use pbpair_codec::{Encoder, EncoderConfig};
 use pbpair_media::Frame;
 use pbpair_telemetry::Telemetry;
+use pbpair_trace::Tracer;
 use std::hint::black_box;
 use std::time::Instant;
 
-/// One measured encode pass; telemetry wired per `tel`.
-fn encode_pass(frames: &[Frame], tel: Option<&Telemetry>) -> usize {
+/// One measured encode pass; telemetry and tracing wired per args.
+fn encode_pass(frames: &[Frame], tel: Option<&Telemetry>, trace: Option<&Tracer>) -> usize {
     let mut enc = Encoder::new(EncoderConfig::default());
     if let Some(tel) = tel {
         enc.set_telemetry(tel);
+    }
+    if let Some(trace) = trace {
+        enc.set_tracer(trace);
     }
     let mut policy = default_pbpair();
     frames
@@ -55,12 +61,13 @@ fn main() {
     );
     let disabled = Telemetry::disabled();
     let enabled = Telemetry::with_shards(1);
+    let tracer_off = Tracer::disabled();
 
     // Warm-up: page in code, ramp the CPU governor.
-    encode_pass(&fs, None);
-    encode_pass(&fs, Some(&enabled));
+    encode_pass(&fs, None, None);
+    encode_pass(&fs, Some(&enabled), None);
 
-    // Time the three modes back-to-back each round and compare *within*
+    // Time the four modes back-to-back each round and compare *within*
     // the round: the per-round ratio cancels frequency drift between
     // rounds. Each pass is long enough (~tens of ms) that interference
     // averages out inside it; the median over rounds (with the order
@@ -68,20 +75,24 @@ fn main() {
     let reps = 9;
     let mut plain_s = f64::INFINITY;
     let mut disabled_ratios = Vec::with_capacity(reps);
+    let mut tracer_ratios = Vec::with_capacity(reps);
     let mut enabled_ratios = Vec::with_capacity(reps);
     for rep in 0..reps {
-        let (p, d, e);
+        let (p, d, t, e);
         if rep % 2 == 0 {
-            p = timed(&mut || encode_pass(&fs, None));
-            d = timed(&mut || encode_pass(&fs, Some(&disabled)));
-            e = timed(&mut || encode_pass(&fs, Some(&enabled)));
+            p = timed(&mut || encode_pass(&fs, None, None));
+            d = timed(&mut || encode_pass(&fs, Some(&disabled), None));
+            t = timed(&mut || encode_pass(&fs, None, Some(&tracer_off)));
+            e = timed(&mut || encode_pass(&fs, Some(&enabled), None));
         } else {
-            e = timed(&mut || encode_pass(&fs, Some(&enabled)));
-            d = timed(&mut || encode_pass(&fs, Some(&disabled)));
-            p = timed(&mut || encode_pass(&fs, None));
+            e = timed(&mut || encode_pass(&fs, Some(&enabled), None));
+            t = timed(&mut || encode_pass(&fs, None, Some(&tracer_off)));
+            d = timed(&mut || encode_pass(&fs, Some(&disabled), None));
+            p = timed(&mut || encode_pass(&fs, None, None));
         }
         plain_s = plain_s.min(p);
         disabled_ratios.push(d / p);
+        tracer_ratios.push(t / p);
         enabled_ratios.push(e / p);
     }
     let median = |v: &mut Vec<f64>| {
@@ -89,6 +100,7 @@ fn main() {
         v[v.len() / 2]
     };
     let disabled_s = plain_s * median(&mut disabled_ratios);
+    let tracer_s = plain_s * median(&mut tracer_ratios);
     let enabled_s = plain_s * median(&mut enabled_ratios);
 
     let pct = |t: f64| (t - plain_s) / plain_s * 100.0;
@@ -103,6 +115,11 @@ fn main() {
         pct(disabled_s)
     );
     println!(
+        "  disabled tracer    {:>9.3} ms  ({:+.2}%)",
+        tracer_s * 1e3,
+        pct(tracer_s)
+    );
+    println!(
         "  enabled registry   {:>9.3} ms  ({:+.2}%)",
         enabled_s * 1e3,
         pct(enabled_s)
@@ -112,6 +129,13 @@ fn main() {
         eprintln!(
             "FAIL: disabled-mode telemetry costs {:.2}% (> {gate_pct}% budget)",
             pct(disabled_s)
+        );
+        std::process::exit(1);
+    }
+    if pct(tracer_s) > gate_pct {
+        eprintln!(
+            "FAIL: disabled-mode tracing costs {:.2}% (> {gate_pct}% budget)",
+            pct(tracer_s)
         );
         std::process::exit(1);
     }

@@ -24,6 +24,7 @@ use crate::vlc;
 use crate::zigzag;
 use pbpair_media::{Frame, MbGrid, MbIndex, VideoFormat};
 use pbpair_telemetry::{Counter, Stage, Telemetry};
+use pbpair_trace::{Event as TraceEvent, Tracer};
 use std::error::Error;
 use std::fmt;
 
@@ -187,6 +188,11 @@ pub struct Decoder {
     /// once per decode call from the already-deterministic
     /// [`DecodeReport`] quantities.
     tel: Option<DecoderTelemetry>,
+    /// Trace handle; `None` until [`Decoder::set_tracer`] attaches an
+    /// enabled tracer. Concealment/resync events are stamped with the
+    /// frame index the pipeline owner published via
+    /// [`Tracer::set_frame`].
+    trace: Option<Tracer>,
 }
 
 /// Telemetry handles the decoder flushes per decode/conceal call.
@@ -244,6 +250,7 @@ impl Decoder {
             last_mvs: vec![SubPelVector::ZERO; grid.len()],
             grid,
             tel: None,
+            trace: None,
         }
     }
 
@@ -252,6 +259,19 @@ impl Decoder {
     /// and the `"decode"` stage). A disabled context detaches.
     pub fn set_telemetry(&mut self, tel: &Telemetry) {
         self.tel = tel.is_enabled().then(|| DecoderTelemetry::new(tel));
+    }
+
+    /// Attaches a tracer; subsequent concealment and resync actions
+    /// emit trace events. A disabled tracer detaches.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.trace = tracer.is_enabled().then(|| tracer.clone());
+    }
+
+    /// Emits a trace event stamped with the published frame index.
+    fn trace_emit(&self, make: impl FnOnce(u32) -> TraceEvent) {
+        if let Some(t) = &self.trace {
+            t.emit(make(t.current_frame()));
+        }
     }
 
     /// The picture format this decoder expects.
@@ -387,6 +407,8 @@ impl Decoder {
             t.lost_frames.inc(1);
             t.mbs_concealed.inc(self.grid.len() as u64);
         }
+        let mbs = self.grid.len() as u16;
+        self.trace_emit(|frame| TraceEvent::FrameConcealed { frame, mbs });
         self.conceal_lost_frame_inner()
     }
 
@@ -486,6 +508,8 @@ impl Decoder {
                 report.frames_decoded += 1;
                 report.frames_recovered += 1;
                 report.mbs_concealed += self.grid.len() as u64;
+                let mbs = self.grid.len() as u16;
+                self.trace_emit(|frame| TraceEvent::FrameConcealed { frame, mbs });
                 let frame = self.conceal_lost_frame_inner();
                 if let Some(t) = &self.tel {
                     t.note_report(&report, data.len());
@@ -495,10 +519,15 @@ impl Decoder {
             report.bytes_skipped += delta as u64;
             if offset + delta > 0 {
                 report.resyncs += 1;
+                let skipped = delta as u32;
+                self.trace_emit(|frame| TraceEvent::Resync {
+                    frame,
+                    bytes_skipped: skipped,
+                });
             }
             offset += delta;
             let mut r = BitReader::new(&data[offset..]);
-            match self.decode_picture_resilient(&mut r) {
+            match self.decode_picture_resilient(&mut r, false) {
                 PictureOutcome::Clean { frame } => {
                     report.frames_decoded += 1;
                     if let Some(t) = &self.tel {
@@ -513,12 +542,18 @@ impl Decoder {
                     report.frames_decoded += 1;
                     report.frames_recovered += 1;
                     report.mbs_concealed += mbs_concealed;
+                    let start = (self.grid.len() as u64 - mbs_concealed) as u16;
+                    self.trace_emit(|fidx| TraceEvent::MbConcealed {
+                        frame: fidx,
+                        mb_start: start,
+                        count: mbs_concealed as u16,
+                    });
                     if let Some(t) = &self.tel {
                         t.note_report(&report, data.len());
                     }
                     return (frame, report);
                 }
-                PictureOutcome::HeaderLost(_) => {
+                PictureOutcome::HeaderLost(_) | PictureOutcome::Phantom => {
                     // False or damaged start code: step past it, rescan.
                     report.bytes_skipped += 1;
                     offset += 1;
@@ -531,10 +566,22 @@ impl Decoder {
     /// payloads fused by damaged packetization), resynchronizing on
     /// picture start codes after damage. Returns every picture that
     /// could be emitted, clean or partially concealed.
+    ///
+    /// After a partially-concealed picture the scanner resumes inside
+    /// the damaged tail, where payload bits can emulate a start code
+    /// and parse as a plausible header. Such a *phantom* picture would
+    /// conceal — and count — the same frame's macroblocks a second
+    /// time, so while in the damaged tail a candidate whose first
+    /// macroblock already fails is rejected as an emulation (skipped
+    /// byte-by-byte) instead of being emitted. A candidate that
+    /// decodes at least one macroblock is accepted as a genuine
+    /// picture, and a clean picture ends the suspect state.
     pub fn decode_stream(&mut self, data: &[u8]) -> (Vec<Frame>, DecodeReport) {
         let mut report = DecodeReport::default();
         let mut frames = Vec::new();
         let mut offset = 0usize;
+        // True while scanning the damaged tail of a recovered picture.
+        let mut suspect_tail = false;
         while offset < data.len() {
             let Some(delta) = find_start_code(&data[offset..]) else {
                 report.bytes_skipped += (data.len() - offset) as u64;
@@ -543,13 +590,19 @@ impl Decoder {
             report.bytes_skipped += delta as u64;
             if delta > 0 {
                 report.resyncs += 1;
+                let skipped = delta as u32;
+                self.trace_emit(|frame| TraceEvent::Resync {
+                    frame,
+                    bytes_skipped: skipped,
+                });
             }
             offset += delta;
             let mut r = BitReader::new(&data[offset..]);
-            match self.decode_picture_resilient(&mut r) {
+            match self.decode_picture_resilient(&mut r, suspect_tail) {
                 PictureOutcome::Clean { frame } => {
                     frames.push(frame);
                     report.frames_decoded += 1;
+                    suspect_tail = false;
                     // The encoder byte-aligns each picture, so the next
                     // one starts at the following byte boundary.
                     offset += (r.position() as usize).div_ceil(8).max(1);
@@ -562,11 +615,18 @@ impl Decoder {
                     report.frames_decoded += 1;
                     report.frames_recovered += 1;
                     report.mbs_concealed += mbs_concealed;
+                    let start = (self.grid.len() as u64 - mbs_concealed) as u16;
+                    self.trace_emit(|fidx| TraceEvent::MbConcealed {
+                        frame: fidx,
+                        mb_start: start,
+                        count: mbs_concealed as u16,
+                    });
+                    suspect_tail = true;
                     // Resume scanning after the bits that decoded before
                     // the damage; the scan ahead finds the next picture.
                     offset += ((r.position() / 8) as usize).max(1);
                 }
-                PictureOutcome::HeaderLost(_) => {
+                PictureOutcome::HeaderLost(_) | PictureOutcome::Phantom => {
                     report.bytes_skipped += 1;
                     offset += 1;
                 }
@@ -581,7 +641,18 @@ impl Decoder {
     /// Decodes one picture, capturing mid-stream damage: on the first
     /// bad macroblock the remaining range is concealed and the partial
     /// picture is committed as the new reference.
-    fn decode_picture_resilient(&mut self, r: &mut BitReader<'_>) -> PictureOutcome {
+    ///
+    /// With `reject_empty` set, a picture whose very first macroblock
+    /// fails is treated as a start-code emulation: nothing is
+    /// committed and [`PictureOutcome::Phantom`] is returned. Callers
+    /// set this only while scanning the damaged tail of a recovered
+    /// picture, where emulations would double-conceal (and
+    /// double-count) the same frame's macroblocks.
+    fn decode_picture_resilient(
+        &mut self,
+        r: &mut BitReader<'_>,
+        reject_empty: bool,
+    ) -> PictureOutcome {
         let header = match self.parse_header(r) {
             Ok(h) => h,
             Err(e) => return PictureOutcome::HeaderLost(e),
@@ -631,6 +702,9 @@ impl Decoder {
                 }
             }
             Some(k) => {
+                if reject_empty && k == 0 {
+                    return PictureOutcome::Phantom;
+                }
                 self.conceal_mb_range(&mut new_recon, &mb_list[k..]);
                 // No deblocking: filtering across the decoded/concealed
                 // seam would smear the damage outward.
@@ -870,6 +944,10 @@ enum PictureOutcome {
     },
     /// The header was unusable; nothing was committed.
     HeaderLost(#[allow(dead_code)] DecodeError),
+    /// A start-code emulation inside a damaged tail: the header
+    /// parsed but not a single macroblock decoded. Nothing was
+    /// committed; the caller skips past the false start code.
+    Phantom,
 }
 
 /// Finds the byte offset of the next picture start code in `data`.
@@ -1301,6 +1379,82 @@ mod tests {
         assert_eq!(report.frames_decoded, 2);
         assert_eq!(report.resyncs, 1, "one forward scan past the garbage");
         assert_eq!(report.bytes_skipped, garbage.len() as u64);
+    }
+
+    /// Builds a byte-aligned Inter QCIF picture header with a valid
+    /// quantizer and no payload — exactly what a start-code emulation
+    /// in a damaged tail can look like.
+    fn phantom_header() -> Vec<u8> {
+        use crate::bitstream::BitWriter;
+        let mut w = BitWriter::new();
+        w.put_bits(PICTURE_START_CODE, PICTURE_START_CODE_LEN);
+        w.put_bits(5, 8); // temporal_ref
+        w.put_bit(true); // Inter
+        w.put_bits(8, 5); // valid QP
+        w.put_bit(false); // half_pel
+        w.put_bit(false); // deblock
+        w.put_bits(1, 2); // format = QCIF
+        w.finish()
+    }
+
+    #[test]
+    fn decode_stream_does_not_double_count_phantom_picture_in_damaged_tail() {
+        // A truncated picture leaves the scanner inside its damaged
+        // tail, where a start-code emulation that parses as a header
+        // but decodes zero MBs used to be emitted as a second
+        // whole-frame concealment — double-counting the same frame's
+        // MBs. The stream must decode identically to feeding the
+        // pictures through decode_frame_resilient one at a time.
+        let mut enc = Encoder::new(EncoderConfig::default());
+        let mut policy = NaturalPolicy::new();
+        let mut seq = SyntheticSequence::foreman_class(19);
+        let e0 = enc.encode_frame(&seq.next_frame(), &mut policy);
+        let e1 = enc.encode_frame(&seq.next_frame(), &mut policy);
+        let cut = &e1.data[..e1.data.len() / 2];
+
+        let mut blob = e0.data.clone();
+        blob.extend_from_slice(cut);
+        blob.extend_from_slice(&phantom_header());
+
+        let mut reference = Decoder::new(VideoFormat::QCIF);
+        let (r0_frame, r0) = reference.decode_frame_resilient(&e0.data);
+        let (r1_frame, r1) = reference.decode_frame_resilient(cut);
+        assert_eq!(r0.frames_recovered, 0);
+        assert_eq!(r1.frames_recovered, 1);
+
+        let mut dec = Decoder::new(VideoFormat::QCIF);
+        let (frames, report) = dec.decode_stream(&blob);
+        assert_eq!(
+            frames,
+            vec![r0_frame, r1_frame],
+            "the phantom header must not become a third picture"
+        );
+        assert_eq!(report.frames_decoded, 2);
+        assert_eq!(report.frames_recovered, 1);
+        assert_eq!(
+            report.mbs_concealed, r1.mbs_concealed,
+            "each MB may be counted at most once per frame"
+        );
+        assert!(
+            (report.mbs_concealed as usize) < MbGrid::new(VideoFormat::QCIF).len(),
+            "only the damaged tail of the cut picture is concealed"
+        );
+    }
+
+    #[test]
+    fn decode_frame_resilient_still_conceals_header_only_picture() {
+        // Outside a damaged tail a header with no payload is a
+        // genuinely truncated picture and must still be concealed
+        // (the phantom rejection only applies in-stream after damage).
+        let mut dec = Decoder::new(VideoFormat::QCIF);
+        let (frame, report) = dec.decode_frame_resilient(&phantom_header());
+        assert_eq!(frame.format(), VideoFormat::QCIF);
+        assert_eq!(report.frames_decoded, 1);
+        assert_eq!(report.frames_recovered, 1);
+        assert_eq!(
+            report.mbs_concealed as usize,
+            MbGrid::new(VideoFormat::QCIF).len()
+        );
     }
 
     #[test]

@@ -35,6 +35,7 @@ use crate::vlc;
 use crate::zigzag;
 use pbpair_media::{Frame, MbGrid, MbIndex, VideoFormat};
 use pbpair_telemetry::{Counter, Histogram, Stage, Telemetry};
+use pbpair_trace::{event as trace_event, Event as TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
 
 /// The 17-bit picture start code (16 zeros and a one, H.263 style).
@@ -148,6 +149,14 @@ pub struct Encoder {
     /// flush is one batch of atomic adds per *frame*, so the per-MB hot
     /// loop carries no instrumentation cost at all.
     tel: Option<EncoderTelemetry>,
+    /// Trace handle; `None` until [`Encoder::set_tracer`] attaches an
+    /// enabled tracer. When attached, every macroblock's coding
+    /// decision (mode, motion vector, bitstream range) is recorded as
+    /// provenance for the causal replay pass.
+    trace: Option<Tracer>,
+    /// Integer-pel motion vector of the most recently coded inter MB,
+    /// stashed by `code_p_mb` for the provenance event.
+    last_mb_mv: MotionVector,
 }
 
 /// Telemetry handles the encoder flushes once per encoded frame. All
@@ -214,6 +223,8 @@ impl Encoder {
             ops: OpCounts::new(),
             frame_me_invocations: 0,
             tel: None,
+            trace: None,
+            last_mb_mv: MotionVector::ZERO,
         }
     }
 
@@ -222,6 +233,13 @@ impl Encoder {
     /// the `"encode"` stage). A disabled context detaches.
     pub fn set_telemetry(&mut self, tel: &Telemetry) {
         self.tel = tel.is_enabled().then(|| EncoderTelemetry::new(tel));
+    }
+
+    /// Attaches a tracer; subsequent frames record per-MB provenance
+    /// events (mode, motion vector, bitstream bit range). A disabled
+    /// tracer detaches.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.trace = tracer.is_enabled().then(|| tracer.clone());
     }
 
     /// The configuration in effect.
@@ -346,6 +364,22 @@ impl Encoder {
                 }
             };
             let mb_bits = w.bit_len() - mb_bits_before;
+            if let Some(t) = &self.trace {
+                let (mode_code, mv) = match mode {
+                    MbMode::Intra => (trace_event::MODE_INTRA, MotionVector::ZERO),
+                    MbMode::Inter => (trace_event::MODE_INTER, self.last_mb_mv),
+                    MbMode::Skip => (trace_event::MODE_SKIP, MotionVector::ZERO),
+                };
+                t.emit(TraceEvent::MbCoded {
+                    frame: self.frame_index as u32,
+                    mb: self.grid.flat_index(mb) as u16,
+                    mode: mode_code,
+                    mv_x: mv.x,
+                    mv_y: mv.y,
+                    bit_start: mb_bits_before as u32,
+                    bit_len: mb_bits as u32,
+                });
+            }
             match mode {
                 MbMode::Intra => {
                     stats.intra_mbs += 1;
@@ -490,16 +524,18 @@ impl Encoder {
             _ => self.code_inter_mb(w, frame, new_recon, mb, mv),
         };
 
+        let outcome_mv = if final_mode == MbMode::Inter {
+            mv.int
+        } else {
+            MotionVector::ZERO
+        };
+        self.last_mb_mv = outcome_mv;
         policy.mb_coded(
             fctx,
             &MbOutcome {
                 mb,
                 mode: final_mode,
-                mv: if final_mode == MbMode::Inter {
-                    mv.int
-                } else {
-                    MotionVector::ZERO
-                },
+                mv: outcome_mv,
                 sad_mv,
                 me_performed,
                 colocated_sad,

@@ -3,12 +3,14 @@
 //! the feedback-blackout scenario (the degradation controller backing
 //! `Intra_Th` off while the return channel is dark, then recovering).
 //!
-//! Usage: `cargo run --release -p pbpair-eval --bin resilience [-- --telemetry]`
+//! Usage: `cargo run --release -p pbpair-eval --bin resilience \
+//!   [-- --telemetry] [--trace-out <path>]`
 //!
 //! With `--telemetry` both experiments run instrumented and the merged
 //! [`pbpair_telemetry::TelemetryReport`] is printed as JSON on stdout;
 //! the human-readable tables move to stderr so stdout stays
-//! machine-parseable.
+//! machine-parseable. `--trace-out <path>` (implies `--telemetry`)
+//! writes that JSON to a file instead, leaving the tables on stdout.
 
 use pbpair_eval::experiments::frames_from_env;
 use pbpair_eval::experiments::resilience::{
@@ -17,15 +19,24 @@ use pbpair_eval::experiments::resilience::{
 use pbpair_telemetry::Telemetry;
 
 fn main() {
-    let telemetry = std::env::args().any(|a| a == "--telemetry");
+    let args: Vec<String> = std::env::args().collect();
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let telemetry = args.iter().any(|a| a == "--telemetry") || trace_out.is_some();
     let tel = if telemetry {
         Telemetry::with_config(1, true)
     } else {
         Telemetry::disabled()
     };
-    // With --telemetry, tables go to stderr and stdout carries only JSON.
+    // With --telemetry on stdout, tables move to stderr so stdout
+    // carries only JSON; with --trace-out the JSON goes to a file and
+    // the tables keep stdout.
+    let json_on_stdout = telemetry && trace_out.is_none();
     let emit = |text: String| {
-        if telemetry {
+        if json_on_stdout {
             eprintln!("{text}");
         } else {
             println!("{text}");
@@ -64,6 +75,16 @@ fn main() {
     }
 
     if telemetry {
-        println!("{}", tel.report().to_json());
+        let json = tel.report().to_json();
+        match &trace_out {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, &json) {
+                    eprintln!("failed to write {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("telemetry report written to {path}");
+            }
+            None => println!("{json}"),
+        }
     }
 }

@@ -4,7 +4,8 @@
 //! cores into aggregate frames/second on the same session load.
 //!
 //! Usage: `cargo run --release -p pbpair-eval --bin serve \
-//!   [-- --smoke] [--telemetry] [--workers N]`
+//!   [-- --smoke] [--telemetry] [--workers N] [--trace] \
+//!   [--trace-out <path>] [--trace-chrome <path>]`
 //!
 //! `--smoke` runs the minimal CI configuration (4 sessions × 16 frames)
 //! and exits nonzero unless the fleet reports nonzero throughput.
@@ -12,11 +13,17 @@
 //! [`pbpair_telemetry::TelemetryReport`] as JSON on stdout (the human
 //! summary moves to stderr so stdout stays machine-parseable); its
 //! `"deterministic"` section is byte-identical for any `--workers N`.
+//! `--trace` attaches the causal tracer to every session of the smoke
+//! fleet and emits the deterministic [`pbpair_serve::FleetTrace`]
+//! report (blast radii, `C^k` calibration, incident dumps) — to stdout
+//! by default, or to a file with `--trace-out <path>`. `--trace-chrome
+//! <path>` additionally writes the flight-recorder timeline as a
+//! `chrome://tracing` / Perfetto JSON file.
 //! `PBPAIR_FRAMES` overrides the frames-per-session depth of the sweeps.
 
 use pbpair_eval::experiments::frames_from_env;
 use pbpair_eval::report::{fmt_f, Table};
-use pbpair_serve::{run, run_instrumented, ServeConfig};
+use pbpair_serve::{run, run_instrumented, run_traced, ServeConfig};
 use pbpair_telemetry::Telemetry;
 
 fn base_config(sessions: usize, frames: usize, workers: usize) -> ServeConfig {
@@ -29,7 +36,14 @@ fn base_config(sessions: usize, frames: usize, workers: usize) -> ServeConfig {
     }
 }
 
-fn smoke(workers: usize, telemetry: bool) -> Result<(), String> {
+/// What the smoke run should trace and where the outputs go.
+struct TraceArgs {
+    enabled: bool,
+    out: Option<String>,
+    chrome: Option<String>,
+}
+
+fn smoke(workers: usize, telemetry: bool, trace_args: &TraceArgs) -> Result<(), String> {
     let cfg = base_config(4, 16, workers);
     let tel = if telemetry {
         // One shard per session keeps concurrent flushes contention-free.
@@ -37,7 +51,25 @@ fn smoke(workers: usize, telemetry: bool) -> Result<(), String> {
     } else {
         Telemetry::disabled()
     };
-    let report = run_instrumented(&cfg, &tel)?;
+    let report = if trace_args.enabled {
+        let (report, trace) = run_traced(&cfg, &tel)?;
+        let json = trace.deterministic_json();
+        match &trace_args.out {
+            Some(path) => {
+                std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+                eprintln!("trace report written to {path}");
+            }
+            None => println!("{json}"),
+        }
+        if let Some(path) = &trace_args.chrome {
+            std::fs::write(path, trace.chrome_trace_json())
+                .map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("chrome://tracing timeline written to {path}");
+        }
+        report
+    } else {
+        run_instrumented(&cfg, &tel)?
+    };
     let summary = format!(
         "serve smoke: {} frames, {:.1} fps, mean PSNR {:.2} dB, \
          p50 {:.2} ms, p99 {:.2} ms, {} shed",
@@ -48,12 +80,16 @@ fn smoke(workers: usize, telemetry: bool) -> Result<(), String> {
         report.timing.p99_frame_ms,
         report.shed_count
     );
-    if telemetry {
-        // Keep stdout pure JSON for downstream tooling.
+    // Keep stdout pure JSON for downstream tooling whenever a JSON
+    // stream (telemetry or trace) is being emitted there.
+    let stdout_is_json = telemetry || (trace_args.enabled && trace_args.out.is_none());
+    if stdout_is_json {
         eprintln!("{summary}");
-        println!("{}", tel.report().to_json());
     } else {
         println!("{summary}");
+    }
+    if telemetry {
+        println!("{}", tel.report().to_json());
     }
     if report.total_frames != 64 {
         return Err(format!("expected 64 frames, got {}", report.total_frames));
@@ -182,18 +218,26 @@ fn overload_demo(frames: usize) {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    if args.iter().any(|a| a == "--smoke") {
-        let telemetry = args.iter().any(|a| a == "--telemetry");
-        let workers = args
-            .iter()
-            .position(|a| a == "--workers")
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
             .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let trace_args = TraceArgs {
+        enabled: args.iter().any(|a| a == "--trace"),
+        out: flag_value("--trace-out"),
+        chrome: flag_value("--trace-chrome"),
+    };
+    if args.iter().any(|a| a == "--smoke") || trace_args.enabled {
+        let telemetry = args.iter().any(|a| a == "--telemetry");
+        let workers = flag_value("--workers")
             .map(|v| {
                 v.parse::<usize>()
                     .unwrap_or_else(|_| panic!("--workers expects a number, got {v:?}"))
             })
             .unwrap_or(2);
-        if let Err(e) = smoke(workers, telemetry) {
+        if let Err(e) = smoke(workers, telemetry, &trace_args) {
             eprintln!("serve smoke failed: {e}");
             std::process::exit(1);
         }

@@ -1,0 +1,102 @@
+//! Causal-tracing evaluation: sweeps the `(PLR, Intra_Th)` grid with
+//! traced serve fleets and reports `C^k` calibration (Brier score plus
+//! reliability bins) and per-event blast radii.
+//!
+//! Usage: `cargo run --release -p pbpair-eval --bin trace \
+//!   [-- --smoke] [--workers N] [--trace-out <path>]`
+//!
+//! The deterministic JSON report goes to stdout by default;
+//! `--trace-out <path>` redirects it to a file (human tables then stay
+//! on stdout, otherwise they move to stderr so stdout remains
+//! machine-parseable). The JSON is byte-identical for any `--workers N`
+//! — that invariance is what makes the calibration numbers trustworthy
+//! artifacts rather than scheduling accidents. `PBPAIR_FRAMES`
+//! overrides the frames-per-session depth.
+
+use pbpair_eval::experiments::frames_from_env;
+use pbpair_eval::experiments::trace::run_trace_sweep;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let workers = flag_value(&args, "--workers")
+        .map(|v| {
+            v.parse::<usize>()
+                .unwrap_or_else(|_| panic!("--workers expects a number, got {v:?}"))
+        })
+        .unwrap_or(2);
+    let trace_out = flag_value(&args, "--trace-out");
+
+    let (frames, plrs, intra_ths): (usize, &[f64], &[f64]) = if smoke {
+        (frames_from_env(12), &[0.15], &[0.5, 0.9])
+    } else {
+        (frames_from_env(24), &[0.05, 0.10, 0.20], &[0.3, 0.6, 0.9])
+    };
+
+    eprintln!(
+        "trace: {} x {} grid, {frames} frames/session, {workers} workers",
+        plrs.len(),
+        intra_ths.len()
+    );
+    let exp = match run_trace_sweep(frames, plrs, intra_ths, workers) {
+        Ok(exp) => exp,
+        Err(e) => {
+            eprintln!("trace sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let json = exp.deterministic_json();
+    let emit_tables_to_stdout = trace_out.is_some();
+    let emit = |text: String| {
+        if emit_tables_to_stdout {
+            println!("{text}");
+        } else {
+            eprintln!("{text}");
+        }
+    };
+    emit(exp.table().to_string());
+    for p in &exp.points {
+        emit(format!(
+            "reliability bins at PLR {:.2}, Intra_Th {:.2}:\n{}",
+            p.plr,
+            p.intra_th,
+            p.calibration.table()
+        ));
+    }
+    emit(format!(
+        "overall Brier (fixed point e9): {}",
+        exp.overall_brier_e9()
+    ));
+
+    match &trace_out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("deterministic trace report written to {path}");
+        }
+        None => println!("{json}"),
+    }
+
+    if smoke {
+        // Smoke gate: every point scored observations, and damage
+        // events were both recorded and attributed.
+        if exp.points.iter().any(|p| p.calibration.count == 0) {
+            eprintln!("smoke gate failed: a grid point scored no MBs");
+            std::process::exit(1);
+        }
+        if exp.points.iter().all(|p| p.events() == 0) {
+            eprintln!("smoke gate failed: no damage events recorded");
+            std::process::exit(1);
+        }
+    }
+}

@@ -9,6 +9,7 @@ pub mod fig6;
 pub mod headline;
 pub mod resilience;
 pub mod sweeps;
+pub mod trace;
 
 /// Reads the frame-count override from `PBPAIR_FRAMES` (smoke runs), or
 /// returns the paper's default.

@@ -39,6 +39,7 @@ use crate::loss::LossModel;
 use crate::packet::{ChannelStats, Packet};
 use bytes::Bytes;
 use pbpair_telemetry::{Counter, Stage, Telemetry};
+use pbpair_trace::{Event as TraceEvent, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -166,6 +167,7 @@ pub struct Corrupter {
     rng: StdRng,
     seed: u64,
     stats: CorruptionStats,
+    trace: Tracer,
 }
 
 impl Corrupter {
@@ -176,7 +178,14 @@ impl Corrupter {
             rng: StdRng::seed_from_u64(seed),
             seed,
             stats: CorruptionStats::default(),
+            trace: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a causal tracer; every damaged packet then emits a
+    /// `packet_corrupted` event carrying the packet→fragment mapping.
+    pub fn set_tracer(&mut self, trace: &Tracer) {
+        self.trace = trace.clone();
     }
 
     /// The damage profile.
@@ -245,6 +254,13 @@ impl Corrupter {
         let mut payload = packet.payload.to_vec();
         if self.corrupt_bytes(&mut payload) {
             self.stats.packets_damaged += 1;
+            self.trace.emit(TraceEvent::PacketCorrupted {
+                frame: packet.frame_index as u32,
+                seq: packet.seq,
+                frag: packet.fragment_index,
+                frag_count: packet.fragment_count,
+                len: packet.payload.len() as u32,
+            });
             Packet {
                 payload: Bytes::from(payload),
                 ..packet.clone()
@@ -353,6 +369,35 @@ pub struct CorruptingChannel {
     /// Flushed per transmit call as deltas of the already-deterministic
     /// loss/corruption tallies.
     tel: Option<ChannelTelemetry>,
+    /// Causal tracer; loss events are emitted here per dropped packet
+    /// (the corrupter holds its own clone for damage events).
+    trace: Tracer,
+}
+
+/// Emits one `packet_lost` event per offered packet missing from the
+/// survivor set. [`LossyChannel::transmit`] keeps survivors as an
+/// in-order subset of the offered sequence, so a two-pointer walk over
+/// the RTP sequence numbers recovers exactly the dropped packets.
+fn emit_losses(trace: &Tracer, offered: &[Packet], survivors: &[Packet]) {
+    if !trace.is_enabled() || offered.len() == survivors.len() {
+        return;
+    }
+    let mut rest = survivors.iter();
+    let mut next = rest.next();
+    for p in offered {
+        if next.map(|q| q.seq) == Some(p.seq) {
+            next = rest.next();
+        } else {
+            trace.emit(TraceEvent::PacketLost {
+                frame: p.frame_index as u32,
+                seq: p.seq,
+                frag: p.fragment_index,
+                frag_count: p.fragment_count,
+                len: p.payload.len() as u32,
+                parity: p.parity,
+            });
+        }
+    }
 }
 
 /// Telemetry handles the channel flushes per transmit call.
@@ -423,6 +468,7 @@ impl CorruptingChannel {
             inner: LossyChannel::new(model),
             corrupter: Corrupter::new(profile, seed),
             tel: None,
+            trace: Tracer::disabled(),
         }
     }
 
@@ -432,7 +478,16 @@ impl CorruptingChannel {
             inner,
             corrupter,
             tel: None,
+            trace: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a causal tracer to the channel and its corrupter;
+    /// subsequent transmissions emit per-packet loss and corruption
+    /// events carrying the packet→fragment mapping the replay joins on.
+    pub fn set_tracer(&mut self, trace: &Tracer) {
+        self.trace = trace.clone();
+        self.corrupter.set_tracer(trace);
     }
 
     /// Attaches a telemetry context; subsequent transmissions flush
@@ -457,6 +512,7 @@ impl CorruptingChannel {
     pub fn transmit_frame(&mut self, packets: &[Packet]) -> Delivery {
         let loss_before = *self.inner.stats();
         let survivors = self.inner.transmit(packets);
+        emit_losses(&self.trace, packets, &survivors);
         let lost_some = survivors.len() != packets.len();
         let before = *self.corrupter.stats();
         let delivered = self.corrupter.corrupt_stream(&survivors);
@@ -489,6 +545,7 @@ impl CorruptingChannel {
         let loss_before = *self.inner.stats();
         let corr_before = *self.corrupter.stats();
         let survivors = self.inner.transmit(packets);
+        emit_losses(&self.trace, packets, &survivors);
         let out = self.corrupter.corrupt_stream(&survivors);
         if let Some(t) = &self.tel {
             t.note_delta(

@@ -44,9 +44,11 @@ pub mod manager;
 pub mod report;
 pub mod sched;
 pub mod session;
+pub mod trace;
 
 pub use admission::{AdmissionConfig, AdmissionController, RoundDecision, ServiceLevel};
-pub use manager::{run, run_instrumented, ServeConfig};
+pub use manager::{run, run_instrumented, run_traced, ServeConfig};
 pub use report::{FleetTiming, ServeReport, SessionReport};
 pub use sched::WorkStealingPool;
 pub use session::{FrameOutcome, Session, SessionConfig, SessionStats};
+pub use trace::{FleetTrace, SessionTrace, TraceDump, TRACE_RING_CAPACITY};

@@ -20,6 +20,7 @@ use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::report::{quantile_ms, FleetTiming, ServeReport, SessionReport};
 use crate::sched::WorkStealingPool;
 use crate::session::{FrameOutcome, Session, SessionConfig};
+use crate::trace::{FleetTrace, TraceState};
 use pbpair_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 use std::sync::{Arc, Mutex};
@@ -46,6 +47,9 @@ pub struct ServeConfig {
     pub fec_group: Option<usize>,
     /// Payload MTU.
     pub mtu: usize,
+    /// Anchor `Intra_Th` operating point every session starts from
+    /// (the degradation controller moves around it).
+    pub base_intra_th: f64,
     /// Per-frame transmission/pacing wait in microseconds (wall-clock
     /// only; see [`SessionConfig::pacing_us`]). Waits overlap across
     /// workers, so this is what makes added workers pay off even when
@@ -70,6 +74,7 @@ impl Default for ServeConfig {
             corruption: 0.2,
             fec_group: None,
             mtu: pbpair_netsim::DEFAULT_MTU,
+            base_intra_th: 0.9,
             pacing_us: 3000,
             admission: AdmissionConfig::default(),
         }
@@ -109,6 +114,7 @@ impl ServeConfig {
         cfg.corruption = self.corruption;
         cfg.fec_group = self.fec_group;
         cfg.mtu = self.mtu;
+        cfg.base_intra_th = self.base_intra_th;
         cfg.pacing_us = self.pacing_us;
         cfg
     }
@@ -141,12 +147,40 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, String> {
 ///
 /// Returns an error for invalid configuration; the run itself is total.
 pub fn run_instrumented(cfg: &ServeConfig, tel: &Telemetry) -> Result<ServeReport, String> {
+    run_internal(cfg, tel, None).map(|(report, _)| report)
+}
+
+/// Like [`run_instrumented`], but with a causal tracer attached to every
+/// session: the encoder records per-MB coding provenance, the channel
+/// per-packet loss/corruption, the decoder concealment/resync — and the
+/// run replays the joined log into per-event blast radii plus a fleet
+/// `C^k` calibration score. Flight-recorder rings are dumped whenever
+/// the admission controller raises the service-degradation level or a
+/// decoder resync fires. The returned [`FleetTrace`]'s deterministic
+/// report is byte-identical for any worker count.
+///
+/// # Errors
+///
+/// Returns an error for invalid configuration; the run itself is total.
+pub fn run_traced(cfg: &ServeConfig, tel: &Telemetry) -> Result<(ServeReport, FleetTrace), String> {
+    let (report, trace) = run_internal(cfg, tel, Some(TraceState::new(cfg.sessions)))?;
+    Ok((report, trace.expect("tracing was enabled")))
+}
+
+fn run_internal(
+    cfg: &ServeConfig,
+    tel: &Telemetry,
+    mut tracing: Option<TraceState>,
+) -> Result<(ServeReport, Option<FleetTrace>), String> {
     cfg.validate()?;
     let mut controller = AdmissionController::new(cfg.admission)?;
     let slots: Vec<Arc<Mutex<Slot>>> = (0..cfg.sessions)
         .map(|id| {
             Session::new(cfg.session_config(id as u32)).map(|mut session| {
                 session.set_telemetry(&tel.shard(id));
+                if let Some(ts) = &tracing {
+                    session.set_tracer(ts.tracer(id));
+                }
                 Arc::new(Mutex::new(Slot {
                     session,
                     outcome: None,
@@ -222,6 +256,38 @@ pub fn run_instrumented(cfg: &ServeConfig, tel: &Telemetry) -> Result<ServeRepor
             slots[id as usize].lock().expect("slot lock").session.shed();
             shed_counter.inc(1);
         }
+        if let Some(ts) = tracing.as_mut() {
+            // Deterministic: derived from the admission decision and
+            // per-session decode counters, both seed-pure.
+            let level = if decision.shed.is_some() {
+                3
+            } else if drop_frames {
+                2
+            } else if floor_th > 0.0 {
+                1
+            } else {
+                0
+            };
+            let affected: Vec<bool> = slots
+                .iter()
+                .enumerate()
+                .map(|(id, slot)| {
+                    decision.shed == Some(id as u32)
+                        || !slot.lock().expect("slot lock").session.is_shed()
+                })
+                .collect();
+            ts.note_degrade(round as u32, level, &affected);
+            for (id, slot) in slots.iter().enumerate() {
+                let resyncs = slot
+                    .lock()
+                    .expect("slot lock")
+                    .session
+                    .stats()
+                    .decode
+                    .resyncs;
+                ts.note_resyncs(round as u32, id, resyncs);
+            }
+        }
     }
     let wall_s = started.elapsed().as_secs_f64();
     let migrations = pool.migrations();
@@ -277,7 +343,7 @@ pub fn run_instrumented(cfg: &ServeConfig, tel: &Telemetry) -> Result<ServeRepor
         migrations,
     };
 
-    Ok(ServeReport {
+    let report = ServeReport {
         workers: cfg.workers,
         rounds: cfg.frames,
         sessions,
@@ -293,7 +359,8 @@ pub fn run_instrumented(cfg: &ServeConfig, tel: &Telemetry) -> Result<ServeRepor
         },
         total_encode_joules: total_joules,
         timing,
-    })
+    };
+    Ok((report, tracing.map(|ts| ts.finish(cfg))))
 }
 
 #[cfg(test)]

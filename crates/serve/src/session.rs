@@ -33,6 +33,7 @@ use pbpair_netsim::{
     Packetizer, UniformLoss, WindowPlrEstimator, XorFec,
 };
 use pbpair_telemetry::{Counter, Telemetry};
+use pbpair_trace::{Event as TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
 
 /// Per-session knobs, normally filled in by the manager from a
@@ -161,6 +162,9 @@ pub struct Session {
     /// [`Session::set_telemetry`]. The encoder, decoder, and channel
     /// carry their own handles wired by the same call.
     tel: Option<SessionTelemetry>,
+    /// Causal tracer; disabled until [`Session::set_tracer`]. The
+    /// encoder, decoder, and forward channel share clones of it.
+    trace: Tracer,
 }
 
 /// Telemetry the session flushes per frame slot — all deterministic
@@ -240,6 +244,7 @@ impl Session {
             stats: SessionStats::default(),
             shed: false,
             tel: None,
+            trace: Tracer::disabled(),
             cfg,
         })
     }
@@ -254,6 +259,18 @@ impl Session {
         self.decoder.set_telemetry(tel);
         self.channel.set_telemetry(tel);
         self.tel = tel.is_enabled().then(|| SessionTelemetry::new(tel));
+    }
+
+    /// Attaches a causal tracer to the session and every stage it owns.
+    /// The encoder then records per-MB coding provenance, the channel
+    /// per-packet loss/corruption events, the decoder
+    /// concealment/resync events, and the session itself the `C^k`
+    /// snapshots and per-MB pixel cost the replay joins against.
+    pub fn set_tracer(&mut self, trace: &Tracer) {
+        self.encoder.set_tracer(trace);
+        self.decoder.set_tracer(trace);
+        self.channel.set_tracer(trace);
+        self.trace = trace.clone();
     }
 
     /// The session's configuration.
@@ -334,6 +351,12 @@ impl Session {
         let frame_ops = *self.encoder.ops() - self.ops_snapshot;
         self.ops_snapshot = *self.encoder.ops();
         let encode_joules = self.energy.encoding_energy(&frame_ops).get();
+        // Publish the frame index for stages that can't know it (the
+        // decoder), and snapshot the committed C^k predictions the
+        // calibration scorer tests against ground truth.
+        self.trace.set_frame(encoded.index);
+        self.trace
+            .record_sigma(encoded.index, self.policy.matrix().sigma_values());
 
         // Packetize (+ FEC) and transmit at packet granularity.
         let packets = self.packetizer.packetize(encoded.index, &encoded.data);
@@ -374,6 +397,27 @@ impl Session {
             None => self.decoder.conceal_lost_frame(),
         };
         self.quality.record(&original, &displayed);
+        if self.trace.is_enabled() {
+            if fec_recovered {
+                self.trace.emit(TraceEvent::FecRecovered {
+                    frame: encoded.index as u32,
+                });
+            }
+            // Per-MB pixel cost ground truth: receiver picture vs the
+            // encoder's own reconstruction (what a loss-free receiver
+            // would display), so blast radii price only channel damage.
+            let grid = pbpair_media::MbGrid::new(pbpair_media::VideoFormat::QCIF);
+            let enc_y = self.encoder.reconstructed().y();
+            let dec_y = displayed.y();
+            let sad: Vec<u64> = grid
+                .iter()
+                .map(|mb| {
+                    let (x, y) = mb.luma_origin();
+                    dec_y.sad_colocated(enc_y, x, y, 16, 16)
+                })
+                .collect();
+            self.trace.record_mb_sad(encoded.index, sad);
+        }
 
         // Receiver-side PLR estimation and feedback.
         self.plr_estimator.record(lost);

@@ -1,0 +1,271 @@
+//! Fleet-level causal tracing: one [`Tracer`] per session, flight
+//! recorder dumps on control transitions, and the joined deterministic
+//! report (blast radii + `C^k` calibration).
+//!
+//! The split mirrors the telemetry crate's: everything in
+//! [`FleetTrace::deterministic_json`] is a pure function of the
+//! [`ServeConfig`] — byte-identical for any worker
+//! count — while wall-clock timestamps live only in the flight-recorder
+//! rings and surface through [`FleetTrace::chrome_trace_json`], which
+//! loads directly into `chrome://tracing` / Perfetto.
+
+use crate::manager::ServeConfig;
+use pbpair_media::VideoFormat;
+use pbpair_trace::json::{push_field, push_string_field};
+use pbpair_trace::{analyze, Analysis, AnalyzeParams, Calibration, RecordedEvent, Tracer};
+
+/// Flight-recorder slots per session. Big enough to hold several
+/// frames' worth of transport/decode events around a control incident;
+/// small enough that the recorder stays resident and overwrite-cheap.
+pub const TRACE_RING_CAPACITY: usize = 512;
+
+/// A snapshot of one session's flight-recorder ring, taken when the
+/// admission controller changed service level or a decoder resync
+/// fired — the "what just happened" record for that incident.
+#[derive(Clone, Debug)]
+pub struct TraceDump {
+    /// Session whose ring was dumped.
+    pub session: u32,
+    /// Round (frame slot) the incident landed in.
+    pub round: u32,
+    /// `"degraded"` (service-level transition) or `"resync"` (the
+    /// decoder scanned forward past damage this round).
+    pub reason: &'static str,
+    /// Ring contents at dump time, oldest first.
+    pub events: Vec<RecordedEvent>,
+}
+
+/// One session's replayed trace.
+#[derive(Clone, Debug)]
+pub struct SessionTrace {
+    /// Session id.
+    pub id: u32,
+    /// Causal replay: DAG, per-event blast radii, calibration.
+    pub analysis: Analysis,
+    /// Final flight-recorder contents.
+    pub ring: Vec<RecordedEvent>,
+    /// Total events pushed through the ring over the session.
+    pub ring_pushed: u64,
+}
+
+/// Everything tracing captured across one fleet run.
+#[derive(Clone, Debug)]
+pub struct FleetTrace {
+    /// Per-session replays, in session-id order.
+    pub sessions: Vec<SessionTrace>,
+    /// Fleet-wide `C^k` calibration (per-session scores merged in id
+    /// order; the merge is commutative integer addition, so this is
+    /// identical for any worker count).
+    pub calibration: Calibration,
+    /// Incident dumps in the order they were taken (round-major,
+    /// session-id order within a round — deterministic).
+    pub dumps: Vec<TraceDump>,
+}
+
+impl FleetTrace {
+    /// The deterministic report: calibration, every blast radius, and
+    /// incident-dump summaries. Integer-only JSON, byte-identical
+    /// across worker counts; wall-clock timestamps are deliberately
+    /// excluded (see [`FleetTrace::chrome_trace_json`]).
+    pub fn deterministic_json(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        let mut first = true;
+        push_field(&mut out, &mut first, "sessions", self.sessions.len());
+        out.push_str(",\"calibration\":");
+        out.push_str(&self.calibration.deterministic_json());
+        out.push_str(",\"blasts\":[");
+        let mut first_blast = true;
+        for s in &self.sessions {
+            for b in &s.analysis.blasts {
+                if !first_blast {
+                    out.push(',');
+                }
+                first_blast = false;
+                b.push_json(&mut out, s.id as u64);
+            }
+        }
+        out.push_str("],\"per_session\":[");
+        for (i, s) in self.sessions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            let mut f = true;
+            push_field(&mut out, &mut f, "id", s.id);
+            push_field(&mut out, &mut f, "blasts", s.analysis.blasts.len());
+            push_field(
+                &mut out,
+                &mut f,
+                "dirty_mbs",
+                s.analysis
+                    .dirty
+                    .values()
+                    .map(|m| m.iter().filter(|&&d| d).count() as u64)
+                    .sum::<u64>(),
+            );
+            push_field(
+                &mut out,
+                &mut f,
+                "brier_e9",
+                s.analysis.calibration.brier_e9(),
+            );
+            push_field(&mut out, &mut f, "ring_pushed", s.ring_pushed);
+            out.push('}');
+        }
+        out.push_str("],\"dumps\":[");
+        for (i, d) in self.dumps.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            let mut f = true;
+            push_field(&mut out, &mut f, "session", d.session);
+            push_field(&mut out, &mut f, "round", d.round);
+            push_string_field(&mut out, &mut f, "reason", d.reason);
+            out.push_str(",\"events\":[");
+            for (j, e) in d.events.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('{');
+                let mut g = true;
+                push_field(&mut out, &mut g, "ticket", e.ticket);
+                push_string_field(&mut out, &mut g, "name", e.event.name());
+                push_field(&mut out, &mut g, "frame", e.event.frame());
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The timing-side export: every session's final ring as
+    /// `chrome://tracing` instant events (`ph: "i"`), one pid per
+    /// session. Timestamps are microseconds since the tracer's epoch.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        for s in &self.sessions {
+            for e in &s.ring {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push('{');
+                let mut f = true;
+                push_string_field(&mut out, &mut f, "name", e.event.name());
+                push_string_field(&mut out, &mut f, "ph", "i");
+                push_string_field(&mut out, &mut f, "s", "t");
+                push_field(&mut out, &mut f, "ts", e.ts_us);
+                push_field(&mut out, &mut f, "pid", s.id);
+                push_field(&mut out, &mut f, "tid", 0);
+                out.push_str(",\"args\":{");
+                let mut g = true;
+                push_field(&mut out, &mut g, "frame", e.event.frame());
+                push_field(&mut out, &mut g, "ticket", e.ticket);
+                out.push_str("}}");
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Run-time tracing state the manager threads through its round loop.
+pub(crate) struct TraceState {
+    tracers: Vec<Tracer>,
+    dumps: Vec<TraceDump>,
+    /// Last seen `decode.resyncs` per session, for per-round deltas.
+    resync_seen: Vec<u64>,
+    /// Current fleet service-degradation level (0 none … 3 shed).
+    degrade_level: u8,
+}
+
+impl TraceState {
+    pub fn new(sessions: usize) -> TraceState {
+        TraceState {
+            tracers: (0..sessions)
+                .map(|_| Tracer::new(TRACE_RING_CAPACITY))
+                .collect(),
+            dumps: Vec::new(),
+            resync_seen: vec![0; sessions],
+            degrade_level: 0,
+        }
+    }
+
+    pub fn tracer(&self, id: usize) -> &Tracer {
+        &self.tracers[id]
+    }
+
+    /// Records the fleet's service level after a round's admission
+    /// decision. On a level *increase* every affected session gets a
+    /// `degraded` marker event and a ring dump — the flight recorder's
+    /// reason to exist.
+    pub fn note_degrade(&mut self, round: u32, level: u8, affected: &[bool]) {
+        if level > self.degrade_level {
+            for (id, tracer) in self.tracers.iter().enumerate() {
+                if !affected[id] {
+                    continue;
+                }
+                tracer.emit(pbpair_trace::Event::Degraded { round, level });
+                self.dumps.push(TraceDump {
+                    session: id as u32,
+                    round,
+                    reason: "degraded",
+                    events: tracer.ring_snapshot(),
+                });
+            }
+        }
+        self.degrade_level = level;
+    }
+
+    /// Checks one session's post-round resync total; a delta dumps its
+    /// ring.
+    pub fn note_resyncs(&mut self, round: u32, id: usize, resyncs_total: u64) {
+        if resyncs_total > self.resync_seen[id] {
+            self.resync_seen[id] = resyncs_total;
+            self.dumps.push(TraceDump {
+                session: id as u32,
+                round,
+                reason: "resync",
+                events: self.tracers[id].ring_snapshot(),
+            });
+        }
+    }
+
+    /// Replays every session's log and assembles the fleet report.
+    /// Sessions are analyzed and calibration merged in id order, so the
+    /// result is independent of scheduling.
+    pub fn finish(self, cfg: &ServeConfig) -> FleetTrace {
+        let format = VideoFormat::QCIF;
+        let params = AnalyzeParams {
+            cols: format.mb_cols(),
+            rows: format.mb_rows(),
+            mtu: cfg.mtu,
+            frames: cfg.frames as u32,
+        };
+        let mut calibration = Calibration::default();
+        let sessions: Vec<SessionTrace> = self
+            .tracers
+            .iter()
+            .enumerate()
+            .map(|(id, tracer)| {
+                let analysis = analyze(&tracer.log_snapshot(), params);
+                calibration.merge(&analysis.calibration);
+                SessionTrace {
+                    id: id as u32,
+                    analysis,
+                    ring: tracer.ring_snapshot(),
+                    ring_pushed: tracer.ring_pushed(),
+                }
+            })
+            .collect();
+        FleetTrace {
+            sessions,
+            calibration,
+            dumps: self.dumps,
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Minimal hand-rolled JSON emission helpers.
+//!
+//! The workspace's `serde` is a vendored no-op stub, so — like
+//! `pbpair-telemetry` — all machine output is written by hand. The
+//! deterministic exports in this crate use only integers and
+//! pre-sorted keys so the bytes are identical across worker counts.
+
+/// Appends `s` as a JSON string literal (quotes, backslashes, and
+/// control characters escaped).
+pub fn push_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `key: value` where value is a bare number already
+/// formatted by the caller.
+pub fn push_field(out: &mut String, first: &mut bool, key: &str, value: impl std::fmt::Display) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    push_string(out, key);
+    out.push(':');
+    out.push_str(&value.to_string());
+}
+
+/// Appends `key: "value"` with the value escaped as a JSON string.
+pub fn push_string_field(out: &mut String, first: &mut bool, key: &str, value: &str) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    push_string(out, key);
+    out.push(':');
+    push_string(out, value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        push_string(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn fields_are_comma_separated() {
+        let mut s = String::from("{");
+        let mut first = true;
+        push_field(&mut s, &mut first, "a", 1);
+        push_field(&mut s, &mut first, "b", 2);
+        push_string_field(&mut s, &mut first, "c", "x");
+        s.push('}');
+        assert_eq!(s, "{\"a\":1,\"b\":2,\"c\":\"x\"}");
+    }
+}

@@ -1,0 +1,197 @@
+//! Fixed-size lock-free flight-recorder ring.
+//!
+//! The ring keeps the most recent transport/decode/control events of a
+//! session so that a dump at the moment the admission controller
+//! degrades the session (or a decode resync fires) shows the lead-up,
+//! not just the aggregate. Writers claim a ticket with one
+//! `fetch_add` and publish through a per-slot sequence word (seqlock
+//! style), so pushes never block and never allocate; readers detect
+//! and skip slots that are mid-write. Everything is a plain atomic —
+//! no `unsafe`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::event::Event;
+
+/// One event captured by the ring, with its publication ticket (a
+/// global per-recorder sequence number) and a microsecond timestamp
+/// relative to the owning tracer's epoch. Tickets are deterministic
+/// for a single-producer session; timestamps are wall-clock and belong
+/// to the timing side of the export split.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecordedEvent {
+    /// Monotone publication index (0-based) within this recorder.
+    pub ticket: u64,
+    /// Microseconds since the tracer was created. Timing-only.
+    pub ts_us: u64,
+    /// The event payload.
+    pub event: Event,
+}
+
+struct Slot {
+    /// Seqlock word: `2*ticket + 1` while the slot is being written,
+    /// `2*ticket + 2` once the words below are published.
+    seq: AtomicU64,
+    ts_us: AtomicU64,
+    words: [AtomicU64; 3],
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Slot {
+            seq: AtomicU64::new(0),
+            ts_us: AtomicU64::new(0),
+            words: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+        }
+    }
+}
+
+/// Lock-free ring buffer of packed [`Event`]s.
+pub struct FlightRecorder {
+    mask: u64,
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl FlightRecorder {
+    /// Creates a ring holding at least `capacity` events (rounded up
+    /// to a power of two, minimum 8).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(8).next_power_of_two();
+        let slots: Vec<Slot> = (0..cap).map(|_| Slot::empty()).collect();
+        FlightRecorder {
+            mask: cap as u64 - 1,
+            head: AtomicU64::new(0),
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of events ever pushed (not bounded by capacity).
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Records an event. Never blocks; overwrites the oldest slot once
+    /// the ring is full.
+    pub fn push(&self, ts_us: u64, event: Event) {
+        let ticket = self.head.fetch_add(1, Ordering::AcqRel);
+        let slot = &self.slots[(ticket & self.mask) as usize];
+        let words = event.pack();
+        slot.seq.store(ticket * 2 + 1, Ordering::Release);
+        slot.ts_us.store(ts_us, Ordering::Relaxed);
+        for (w, v) in slot.words.iter().zip(words) {
+            w.store(v, Ordering::Relaxed);
+        }
+        slot.seq.store(ticket * 2 + 2, Ordering::Release);
+    }
+
+    /// Snapshot of the surviving events in publication order. Slots
+    /// that are mid-write (possible only with concurrent producers)
+    /// are skipped rather than returned torn.
+    pub fn snapshot(&self) -> Vec<RecordedEvent> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut out = Vec::with_capacity((head - start) as usize);
+        for ticket in start..head {
+            let slot = &self.slots[(ticket & self.mask) as usize];
+            let expect = ticket * 2 + 2;
+            if slot.seq.load(Ordering::Acquire) != expect {
+                continue;
+            }
+            let ts_us = slot.ts_us.load(Ordering::Relaxed);
+            let mut words = [0u64; 3];
+            for (out_w, w) in words.iter_mut().zip(slot.words.iter()) {
+                *out_w = w.load(Ordering::Relaxed);
+            }
+            if slot.seq.load(Ordering::Acquire) != expect {
+                continue;
+            }
+            if let Some(event) = Event::unpack(words) {
+                out.push(RecordedEvent {
+                    ticket,
+                    ts_us,
+                    event,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resync(frame: u32, bytes_skipped: u32) -> Event {
+        Event::Resync {
+            frame,
+            bytes_skipped,
+        }
+    }
+
+    #[test]
+    fn keeps_most_recent_events_once_full() {
+        let ring = FlightRecorder::new(8);
+        for i in 0..20u32 {
+            ring.push(u64::from(i), resync(i, i));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 8);
+        assert_eq!(snap.first().unwrap().event, resync(12, 12));
+        assert_eq!(snap.last().unwrap().event, resync(19, 19));
+        assert_eq!(ring.pushed(), 20);
+        // Publication order is preserved.
+        for pair in snap.windows(2) {
+            assert!(pair[0].ticket < pair[1].ticket);
+        }
+    }
+
+    #[test]
+    fn snapshot_of_partial_ring_returns_only_pushed() {
+        let ring = FlightRecorder::new(64);
+        ring.push(5, resync(1, 2));
+        ring.push(6, resync(3, 4));
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].ts_us, 5);
+        assert_eq!(snap[1].event, resync(3, 4));
+    }
+
+    #[test]
+    fn concurrent_pushes_never_tear() {
+        use std::sync::Arc;
+        let ring = Arc::new(FlightRecorder::new(32));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let r = Arc::clone(&ring);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u32 {
+                    r.push(0, resync(t, i));
+                }
+            }));
+        }
+        let reader = {
+            let r = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for _ in 0..200 {
+                    // Every returned event must be a valid roundtrip;
+                    // torn slots are skipped, not surfaced.
+                    for rec in r.snapshot() {
+                        assert!(matches!(rec.event, Event::Resync { .. }));
+                    }
+                }
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        reader.join().unwrap();
+        assert_eq!(ring.pushed(), 4000);
+    }
+}
