@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Validates the schema and invariants of a perf-benchmark JSON file
+(`BENCH_PR5.json` or a CI `--smoke` run).
+
+Usage: python3 ci/validate_bench.py <bench.json>
+
+Checks:
+  * schema: meta block + per-result field names and types;
+  * every (clip, variant) cell present: naive/fast at 1 thread plus
+    slice-parallel at 2 and 4 threads;
+  * the optimized single-thread path actually saves SAD work, and its
+    measured speedup clears a floor (1.2x here — a soft CI gate; the
+    committed BENCH_PR5.json records ~1.8x on a quiet machine);
+  * single-thread steady state performs zero allocations per frame;
+  * slice-parallel SAD work is identical for 2 and 4 threads (the
+    determinism argument in DESIGN.md depends on it).
+"""
+
+import json
+import sys
+
+SPEEDUP_FLOOR = 1.2
+
+META_FIELDS = {"bench", "config", "warmup_frames", "measured_frames_per_clip"}
+RESULT_FIELDS = {
+    "name": str,
+    "threads": int,
+    "clip": str,
+    "frames": int,
+    "fps": (int, float),
+    "sad_ops_per_frame": (int, float),
+    "allocs_per_frame": (int, float),
+    "speedup_vs_naive": (int, float),
+}
+EXPECTED_VARIANTS = {
+    ("naive", 1),
+    ("fast", 1),
+    ("fast-2slices", 2),
+    ("fast-4slices", 4),
+}
+
+
+def fail(msg):
+    print(f"bench validation FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    if set(doc) != {"meta", "results"}:
+        fail(f"top-level keys {sorted(doc)} != ['meta', 'results']")
+    if set(doc["meta"]) != META_FIELDS:
+        fail(f"meta keys {sorted(doc['meta'])} != {sorted(META_FIELDS)}")
+    results = doc["results"]
+    if not results:
+        fail("empty results")
+
+    by_clip = {}
+    for r in results:
+        if set(r) != set(RESULT_FIELDS):
+            fail(f"result keys {sorted(r)} != {sorted(RESULT_FIELDS)}")
+        for field, ty in RESULT_FIELDS.items():
+            if not isinstance(r[field], ty):
+                fail(f"{r['name']}: {field} is {type(r[field]).__name__}")
+        if r["frames"] != doc["meta"]["measured_frames_per_clip"]:
+            fail(f"{r['name']}: frames != meta.measured_frames_per_clip")
+        if r["fps"] <= 0:
+            fail(f"{r['name']}: non-positive fps")
+        variant = r["name"].rsplit("/", 1)[0]
+        by_clip.setdefault(r["clip"], {})[variant] = r
+
+    for clip, cells in sorted(by_clip.items()):
+        have = {(v, r["threads"]) for v, r in cells.items()}
+        if have != EXPECTED_VARIANTS:
+            fail(f"{clip}: variants {sorted(have)} != {sorted(EXPECTED_VARIANTS)}")
+        naive, fast = cells["naive"], cells["fast"]
+        if fast["sad_ops_per_frame"] >= naive["sad_ops_per_frame"]:
+            fail(f"{clip}: fast path saved no SAD work")
+        if fast["speedup_vs_naive"] < SPEEDUP_FLOOR:
+            fail(
+                f"{clip}: fast single-thread speedup {fast['speedup_vs_naive']}"
+                f" below floor {SPEEDUP_FLOOR}"
+            )
+        for v in ("naive", "fast"):
+            if cells[v]["allocs_per_frame"] != 0:
+                fail(f"{clip}: {v} steady state allocates")
+        if cells["fast-2slices"]["sad_ops_per_frame"] != cells["fast-4slices"]["sad_ops_per_frame"]:
+            fail(f"{clip}: slice-parallel SAD work depends on the thread count")
+
+    print(
+        f"bench OK: {len(results)} results over {sorted(by_clip)}, "
+        "speedups "
+        + ", ".join(
+            f"{clip}={cells['fast']['speedup_vs_naive']:.2f}x"
+            for clip, cells in sorted(by_clip.items())
+        )
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        fail("usage: validate_bench.py <bench.json>")
+    main(sys.argv[1])

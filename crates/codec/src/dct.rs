@@ -18,11 +18,13 @@ pub const BLOCK: usize = 8;
 pub const BLOCK_LEN: usize = BLOCK * BLOCK;
 
 /// Fixed-point fractional bits of the basis matrix.
-const Q: i64 = 12;
-const HALF: i64 = 1 << (Q - 1);
+pub(crate) const Q: i64 = 12;
+pub(crate) const HALF: i64 = 1 << (Q - 1);
 
 /// The Q12 orthonormal DCT-II basis: `BASIS[k][n] = α_k cos((2n+1)kπ/16)`.
-fn basis() -> &'static [[i32; BLOCK]; BLOCK] {
+/// Shared with the fused transform kernel (`crate::fused`), which must
+/// multiply by the exact same table to stay bit-identical.
+pub(crate) fn basis() -> &'static [[i32; BLOCK]; BLOCK] {
     static B: OnceLock<[[i32; BLOCK]; BLOCK]> = OnceLock::new();
     B.get_or_init(|| {
         let mut m = [[0i32; BLOCK]; BLOCK];

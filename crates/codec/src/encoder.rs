@@ -16,24 +16,39 @@
 //!
 //! All primitive operations are tallied in an [`OpCounts`], the input to
 //! the energy model.
+//!
+//! # Hot-path optimizations
+//!
+//! [`OptConfig`] gates three optimizations that keep the bitstream
+//! **bit-identical** to the retained naive path (the golden-vector tests
+//! prove it):
+//!
+//! * **predicted-MV fast search** — each P-macroblock seeds the search
+//!   with the median of its left/top/top-right neighbours, the zero
+//!   vector, and its previous-frame colocated vector, and every sweep
+//!   candidate's SAD accumulation terminates early once it exceeds the
+//!   running best (see [`me::search_fast`]);
+//! * **fused transform** — DCT, quantization, and zigzag run as one
+//!   kernel with no intermediate 8×8 buffers ([`crate::fused`]);
+//! * **zero-allocation steady state** — the bit writer, reconstruction
+//!   target, and motion-vector history are persistent scratch reused
+//!   across frames, so [`Encoder::encode_frame_into`] performs no heap
+//!   allocation after warm-up (a counting-allocator test asserts this).
 
 use crate::bitstream::BitWriter;
-use crate::block::{
-    load_block, residual_block, store_block_clamped, store_pred, store_pred_plus_residual,
-};
-use crate::blockcode::{block_is_coded, write_coeff_block};
-use crate::dct;
 use crate::mb::{FrameStats, MbMode, MotionVector, SubPelVector};
-use crate::mc::{predict_chroma_subpel, predict_luma_subpel, CHROMA_BLOCK, LUMA_BLOCK};
-use crate::me::{self, MeConfig};
+use crate::mbcode::{code_inter_mb, code_intra_mb, BlockCodeCfg};
+use crate::mc::LUMA_BLOCK;
+use crate::me::{self, MeConfig, MvCandidates};
 use crate::ops::OpCounts;
+use crate::par::{self, ParScratch};
 use crate::policy::{
-    FrameContext, FrameKind, MbContext, MbOutcome, PostMeDecision, PreMeDecision, RefreshPolicy,
+    FrameContext, FrameKind, FrozenMeBias, MbContext, MbOutcome, PostMeDecision, PreMeDecision,
+    RefreshPolicy,
 };
-use crate::quant::{dequantize_block, quantize_block, Qp};
-use crate::vlc;
-use crate::zigzag;
+use crate::quant::Qp;
 use pbpair_media::{Frame, MbGrid, MbIndex, VideoFormat};
+use pbpair_sched::WorkStealingPool;
 use pbpair_telemetry::{Counter, Histogram, Stage, Telemetry};
 use pbpair_trace::{event as trace_event, Event as TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
@@ -42,6 +57,55 @@ use serde::{Deserialize, Serialize};
 pub const PICTURE_START_CODE: u32 = 1;
 /// Bits in the picture start code.
 pub const PICTURE_START_CODE_LEN: u32 = 17;
+
+/// Hot-path optimization switches. Every combination produces the exact
+/// same bitstream; these only trade CPU time. The defaults enable the
+/// single-threaded optimizations and keep encoding serial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OptConfig {
+    /// Predicted-MV candidate seeding plus SAD early termination in the
+    /// motion search ([`me::search_fast`]). Off = the naive exhaustive
+    /// accounting path ([`me::search`]).
+    #[serde(default)]
+    pub fast_me: bool,
+    /// The fused `dct→quant→zigzag` block kernel
+    /// ([`crate::fused::fdct_quant_scan`]). Off = the separate
+    /// three-pass pipeline.
+    #[serde(default)]
+    pub fused_transform: bool,
+    /// Number of slice-encoding threads. `0` and `1` both mean serial.
+    /// Values above 1 enable slice-parallel encoding *when the active
+    /// policy provides a frame-frozen ME bias*
+    /// ([`crate::policy::RefreshPolicy::frame_frozen_bias`]); otherwise
+    /// the encoder transparently falls back to serial. The assembled
+    /// bitstream is deterministic and independent of the thread count.
+    #[serde(default)]
+    pub slices: u8,
+}
+
+impl Default for OptConfig {
+    /// Fast ME and the fused transform on; serial (1 slice).
+    fn default() -> Self {
+        OptConfig {
+            fast_me: true,
+            fused_transform: true,
+            slices: 1,
+        }
+    }
+}
+
+impl OptConfig {
+    /// The retained naive reference path: no fast ME, no fused kernel,
+    /// serial. Benchmarks use this as the speedup baseline and the
+    /// differential tests as the ground truth.
+    pub fn naive() -> Self {
+        OptConfig {
+            fast_me: false,
+            fused_transform: false,
+            slices: 1,
+        }
+    }
+}
 
 /// Encoder configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -65,6 +129,9 @@ pub struct EncoderConfig {
     /// In-loop deblocking filter (see [`crate::deblock`]). Carried in the
     /// picture header; off in all paper experiments.
     pub deblock: bool,
+    /// Hot-path optimization switches (bitstream-neutral).
+    #[serde(default)]
+    pub opt: OptConfig,
 }
 
 impl Default for EncoderConfig {
@@ -78,6 +145,7 @@ impl Default for EncoderConfig {
             intra_bias: 500,
             half_pel: false,
             deblock: false,
+            opt: OptConfig::default(),
         }
     }
 }
@@ -114,6 +182,20 @@ pub struct EncodedFrame {
     /// Final mode of each macroblock in raster order (diagnostic side
     /// info; not part of the bitstream).
     pub mb_modes: Vec<MbMode>,
+}
+
+impl EncodedFrame {
+    /// An empty frame suitable as the reusable output slot of
+    /// [`Encoder::encode_frame_into`].
+    pub fn empty() -> Self {
+        EncodedFrame {
+            index: 0,
+            kind: FrameKind::Intra,
+            data: Vec::new(),
+            stats: FrameStats::default(),
+            mb_modes: Vec::new(),
+        }
+    }
 }
 
 /// The encoder. Owns the reconstruction loop (its reference frame is the
@@ -157,6 +239,25 @@ pub struct Encoder {
     /// Integer-pel motion vector of the most recently coded inter MB,
     /// stashed by `code_p_mb` for the provenance event.
     last_mb_mv: MotionVector,
+    /// Persistent bit writer, reused across frames (taken at frame start,
+    /// restored after `finish_into`). Part of the zero-allocation loop.
+    writer: BitWriter,
+    /// Reusable reconstruction target: after each frame it holds the
+    /// retired two-frames-ago reconstruction, whose every pixel is
+    /// overwritten before use (the MB grid tiles the frame exactly).
+    scratch_recon: Option<Frame>,
+    /// Integer MV of each macroblock of the previous frame (raster
+    /// order); seeds the fast search's temporal candidate.
+    prev_mvs: Vec<MotionVector>,
+    /// Integer MV of each macroblock coded so far in the current frame;
+    /// seeds the spatial (left/top/top-right) candidates.
+    cur_mvs: Vec<MotionVector>,
+    /// Slice-encoding worker pool, lazily created on the first frame that
+    /// engages the staged parallel path (`opt.slices > 1` and a policy
+    /// with a frame-frozen bias).
+    pool: Option<WorkStealingPool>,
+    /// Persistent per-row/per-MB scratch of the staged parallel path.
+    par: Option<ParScratch>,
 }
 
 /// Telemetry handles the encoder flushes once per encoded frame. All
@@ -214,9 +315,11 @@ impl Encoder {
     /// Creates an encoder; the first frame passed to
     /// [`Encoder::encode_frame`] is always coded intra.
     pub fn new(cfg: EncoderConfig) -> Self {
+        let grid = MbGrid::new(cfg.format);
+        let mbs = grid.len();
         Encoder {
             cfg,
-            grid: MbGrid::new(cfg.format),
+            grid,
             recon: Frame::new(cfg.format),
             prev_original: Frame::new(cfg.format),
             frame_index: 0,
@@ -225,6 +328,12 @@ impl Encoder {
             tel: None,
             trace: None,
             last_mb_mv: MotionVector::ZERO,
+            writer: BitWriter::new(),
+            scratch_recon: Some(Frame::new(cfg.format)),
+            prev_mvs: vec![MotionVector::ZERO; mbs],
+            cur_mvs: vec![MotionVector::ZERO; mbs],
+            pool: None,
+            par: None,
         }
     }
 
@@ -283,6 +392,26 @@ impl Encoder {
     ///
     /// Panics if `frame`'s format differs from the configured format.
     pub fn encode_frame(&mut self, frame: &Frame, policy: &mut dyn RefreshPolicy) -> EncodedFrame {
+        let mut out = EncodedFrame::empty();
+        self.encode_frame_into(frame, policy, &mut out);
+        out
+    }
+
+    /// Encodes one frame into a caller-owned output slot, reusing its
+    /// `data` and `mb_modes` buffers. In steady state (slot capacity
+    /// established, serial mode, no tracer) this performs **no heap
+    /// allocation** — the property `tests/alloc_count.rs` asserts with a
+    /// counting allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame`'s format differs from the configured format.
+    pub fn encode_frame_into(
+        &mut self,
+        frame: &Frame,
+        policy: &mut dyn RefreshPolicy,
+        out: &mut EncodedFrame,
+    ) {
         assert_eq!(
             frame.format(),
             self.cfg.format,
@@ -301,7 +430,8 @@ impl Encoder {
             policy.begin_frame(&fctx)
         };
 
-        let mut w = BitWriter::new();
+        let mut w = std::mem::take(&mut self.writer);
+        w.reset();
         w.put_bits(PICTURE_START_CODE, PICTURE_START_CODE_LEN);
         w.put_bits((self.frame_index & 0xFF) as u32, 8);
         w.put_bit(kind == FrameKind::Inter);
@@ -323,78 +453,46 @@ impl Encoder {
             }
         }
 
-        let mut new_recon = Frame::new(self.cfg.format);
+        // Every pixel of the scratch frame is overwritten below (the MB
+        // grid tiles the frame exactly), so stale content is harmless.
+        let mut new_recon = self
+            .scratch_recon
+            .take()
+            .unwrap_or_else(|| Frame::new(self.cfg.format));
         let mut stats = FrameStats::default();
-        let mut mb_modes = Vec::with_capacity(self.grid.len());
+        out.mb_modes.clear();
 
-        for mb in self.grid.iter().collect::<Vec<_>>() {
-            let mb_bits_before = w.bit_len();
-            let mode = match kind {
-                FrameKind::Intra => {
-                    self.code_intra_mb(&mut w, frame, &mut new_recon, mb);
-                    // Policies observe I-frame macroblocks too (GOP resets
-                    // its cycle; PBPAIR refreshes its matrix). The
-                    // colocated SAD is computed as for P-frames; for frame
-                    // 0 the previous original is black, so similarity-based
-                    // policies correctly see "nothing to conceal from".
-                    let (ox, oy) = mb.luma_origin();
-                    let colocated_sad = frame.y().sad_colocated(
-                        self.prev_original.y(),
-                        ox,
-                        oy,
-                        LUMA_BLOCK,
-                        LUMA_BLOCK,
-                    );
-                    self.ops.sad_ops += 256;
-                    policy.mb_coded(
-                        &fctx,
-                        &MbOutcome {
-                            mb,
-                            mode: MbMode::Intra,
-                            mv: MotionVector::ZERO,
-                            sad_mv: None,
-                            me_performed: false,
-                            colocated_sad,
-                        },
-                    );
-                    MbMode::Intra
-                }
-                FrameKind::Inter => {
-                    self.code_p_mb(&mut w, frame, &mut new_recon, mb, policy, &fctx)
-                }
-            };
-            let mb_bits = w.bit_len() - mb_bits_before;
-            if let Some(t) = &self.trace {
-                let (mode_code, mv) = match mode {
-                    MbMode::Intra => (trace_event::MODE_INTRA, MotionVector::ZERO),
-                    MbMode::Inter => (trace_event::MODE_INTER, self.last_mb_mv),
-                    MbMode::Skip => (trace_event::MODE_SKIP, MotionVector::ZERO),
-                };
-                t.emit(TraceEvent::MbCoded {
-                    frame: self.frame_index as u32,
-                    mb: self.grid.flat_index(mb) as u16,
-                    mode: mode_code,
-                    mv_x: mv.x,
-                    mv_y: mv.y,
-                    bit_start: mb_bits_before as u32,
-                    bit_len: mb_bits as u32,
-                });
-            }
-            match mode {
-                MbMode::Intra => {
-                    stats.intra_mbs += 1;
-                    stats.intra_bits += mb_bits;
-                }
-                MbMode::Inter => {
-                    stats.inter_mbs += 1;
-                    stats.inter_bits += mb_bits;
-                }
-                MbMode::Skip => {
-                    stats.skip_mbs += 1;
-                    stats.skip_bits += mb_bits;
-                }
-            }
-            mb_modes.push(mode);
+        // Slice-parallel encoding engages only when configured AND the
+        // policy can freeze its ME bias for the frame; otherwise the
+        // serial path runs (identical bitstream either way).
+        let frozen = if self.cfg.opt.slices > 1 && self.grid.rows() > 1 {
+            policy.frame_frozen_bias(&fctx)
+        } else {
+            None
+        };
+        if let Some(frozen) = frozen {
+            self.encode_mbs_staged(
+                frame,
+                policy,
+                &fctx,
+                kind,
+                &frozen,
+                &mut w,
+                &mut new_recon,
+                &mut stats,
+                out,
+            );
+        } else {
+            self.encode_mbs_serial(
+                frame,
+                policy,
+                &fctx,
+                kind,
+                &mut w,
+                &mut new_recon,
+                &mut stats,
+                out,
+            );
         }
 
         if self.cfg.deblock {
@@ -405,7 +503,8 @@ impl Encoder {
         stats.me_invocations = self.frame_me_invocations;
         self.frame_me_invocations = 0;
 
-        let data = w.finish();
+        w.finish_into(&mut out.data);
+        self.writer = w;
         self.ops.frames += 1;
         self.ops.intra_mbs += stats.intra_mbs as u64;
         self.ops.inter_mbs += stats.inter_mbs as u64;
@@ -437,24 +536,509 @@ impl Encoder {
             }
         }
 
-        self.recon = new_recon;
-        self.prev_original = frame.clone();
-        let index = self.frame_index;
-        self.frame_index += 1;
+        std::mem::swap(&mut self.recon, &mut new_recon);
+        self.scratch_recon = Some(new_recon);
+        self.prev_original.copy_from(frame);
+        std::mem::swap(&mut self.prev_mvs, &mut self.cur_mvs);
 
-        EncodedFrame {
-            index,
-            kind,
-            data,
-            stats,
-            mb_modes,
+        out.index = self.frame_index;
+        out.kind = kind;
+        out.stats = stats;
+        self.frame_index += 1;
+    }
+
+    /// The serial macroblock loop: one raster pass doing pre-ME, search,
+    /// post-ME, and block coding per macroblock.
+    #[allow(clippy::too_many_arguments)]
+    fn encode_mbs_serial(
+        &mut self,
+        frame: &Frame,
+        policy: &mut dyn RefreshPolicy,
+        fctx: &FrameContext,
+        kind: FrameKind,
+        w: &mut BitWriter,
+        new_recon: &mut Frame,
+        stats: &mut FrameStats,
+        out: &mut EncodedFrame,
+    ) {
+        let (rows, cols) = (self.grid.rows(), self.grid.cols());
+        for row in 0..rows {
+            for col in 0..cols {
+                let mb = MbIndex::new(row, col);
+                let flat = row * cols + col;
+                let mb_bits_before = w.bit_len();
+                let mode = match kind {
+                    FrameKind::Intra => {
+                        code_intra_mb(&self.block_cfg(), w, frame, new_recon, mb, &mut self.ops);
+                        self.cur_mvs[flat] = MotionVector::ZERO;
+                        // Policies observe I-frame macroblocks too (GOP
+                        // resets its cycle; PBPAIR refreshes its matrix).
+                        // The colocated SAD is computed as for P-frames;
+                        // for frame 0 the previous original is black, so
+                        // similarity-based policies correctly see
+                        // "nothing to conceal from".
+                        let (ox, oy) = mb.luma_origin();
+                        let colocated_sad = frame.y().sad_colocated(
+                            self.prev_original.y(),
+                            ox,
+                            oy,
+                            LUMA_BLOCK,
+                            LUMA_BLOCK,
+                        );
+                        self.ops.sad_ops += 256;
+                        policy.mb_coded(
+                            fctx,
+                            &MbOutcome {
+                                mb,
+                                mode: MbMode::Intra,
+                                mv: MotionVector::ZERO,
+                                sad_mv: None,
+                                me_performed: false,
+                                colocated_sad,
+                            },
+                        );
+                        MbMode::Intra
+                    }
+                    FrameKind::Inter => {
+                        let cands = self.predicted_candidates(row, col);
+                        let mode = self.code_p_mb(w, frame, new_recon, mb, policy, fctx, &cands);
+                        self.cur_mvs[flat] = self.last_mb_mv;
+                        mode
+                    }
+                };
+                let mb_bits = w.bit_len() - mb_bits_before;
+                if let Some(t) = &self.trace {
+                    let (mode_code, mv) = match mode {
+                        MbMode::Intra => (trace_event::MODE_INTRA, MotionVector::ZERO),
+                        MbMode::Inter => (trace_event::MODE_INTER, self.last_mb_mv),
+                        MbMode::Skip => (trace_event::MODE_SKIP, MotionVector::ZERO),
+                    };
+                    t.emit(TraceEvent::MbCoded {
+                        frame: self.frame_index as u32,
+                        mb: flat as u16,
+                        mode: mode_code,
+                        mv_x: mv.x,
+                        mv_y: mv.y,
+                        bit_start: mb_bits_before as u32,
+                        bit_len: mb_bits as u32,
+                    });
+                }
+                match mode {
+                    MbMode::Intra => {
+                        stats.intra_mbs += 1;
+                        stats.intra_bits += mb_bits;
+                    }
+                    MbMode::Inter => {
+                        stats.inter_mbs += 1;
+                        stats.inter_bits += mb_bits;
+                    }
+                    MbMode::Skip => {
+                        stats.skip_mbs += 1;
+                        stats.skip_bits += mb_bits;
+                    }
+                }
+                out.mb_modes.push(mode);
+            }
         }
+    }
+
+    /// The slice-parallel macroblock loop: a five-stage pipeline that
+    /// produces a bitstream **bit-identical** to the serial path.
+    ///
+    /// 1. *serial* — colocated SADs and the policy's pre-ME decisions in
+    ///    raster order (so sequential policy state like PBPAIR's refresh
+    ///    cap replays exactly);
+    /// 2. *parallel rows* — motion search with the frame-frozen bias. The
+    ///    fast search's prepass candidates (zero, colocated-previous, the
+    ///    row's previous winner) only ever tighten the pruning bound and
+    ///    never select the winner, so the result is the same vector the
+    ///    serial search finds even though its candidate list differs —
+    ///    and it is row-local, making the operation count independent of
+    ///    the thread count;
+    /// 3. *serial* — the natural intra test and the policy's post-ME
+    ///    overrides in raster order;
+    /// 4. *parallel rows* — half-pel refinement, block coding into
+    ///    per-row writers, and per-row reconstruction;
+    /// 5. *serial* — row writers appended in order, then per-macroblock
+    ///    bookkeeping (trace, stats, policy observation, MV history) in
+    ///    raster order.
+    ///
+    /// Policy hooks run in the same per-hook order as the serial path;
+    /// the hooks are *interleaved* differently (all pre-ME before any
+    /// `mb_coded`), which is exactly what
+    /// [`RefreshPolicy::frame_frozen_bias`] certifies as safe.
+    #[allow(clippy::too_many_arguments)]
+    fn encode_mbs_staged(
+        &mut self,
+        frame: &Frame,
+        policy: &mut dyn RefreshPolicy,
+        fctx: &FrameContext,
+        kind: FrameKind,
+        frozen: &FrozenMeBias,
+        w: &mut BitWriter,
+        new_recon: &mut Frame,
+        stats: &mut FrameStats,
+        out: &mut EncodedFrame,
+    ) {
+        let (rows, cols) = (self.grid.rows(), self.grid.cols());
+        if self.par.is_none() {
+            self.par = Some(ParScratch::new(self.cfg.format));
+        }
+        let workers = (self.cfg.opt.slices as usize).min(rows).max(1);
+        if self.pool.as_ref().map(|p| p.workers()) != Some(workers) {
+            self.pool = Some(WorkStealingPool::new(workers, rows.max(16)));
+        }
+        let mut par = self.par.take().expect("par scratch initialized above");
+
+        // Stage 1 (serial): content similarity + pre-ME decisions.
+        match kind {
+            FrameKind::Intra => {
+                for st in &mut par.mbs {
+                    *st = par::MbStage::default();
+                    st.force_intra = true;
+                }
+            }
+            FrameKind::Inter => {
+                for row in 0..rows {
+                    for col in 0..cols {
+                        let mb = MbIndex::new(row, col);
+                        let flat = row * cols + col;
+                        let (ox, oy) = mb.luma_origin();
+                        let colocated_sad = frame.y().sad_colocated(
+                            self.prev_original.y(),
+                            ox,
+                            oy,
+                            LUMA_BLOCK,
+                            LUMA_BLOCK,
+                        );
+                        self.ops.sad_ops += 256;
+                        let ctx = MbContext {
+                            frame_index: self.frame_index,
+                            mb,
+                            cur_luma: frame.y(),
+                            ref_luma: self.recon.y(),
+                            colocated_sad,
+                        };
+                        let st = &mut par.mbs[flat];
+                        st.colocated_sad = colocated_sad;
+                        st.force_intra = policy.pre_me_mode(&ctx) == PreMeDecision::ForceIntra;
+                        st.inter_mv = None;
+                    }
+                }
+            }
+        }
+
+        // Stage 2 (parallel rows): motion search with the frozen bias.
+        if kind == FrameKind::Inter {
+            let recon = &self.recon;
+            let prev_mvs = &self.prev_mvs;
+            let me_cfg = self.cfg.me;
+            let fast_me = self.cfg.opt.fast_me;
+            let ParScratch { mbs, rows: rowscr } = &mut par;
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = mbs
+                .chunks_mut(cols)
+                .zip(rowscr.iter_mut())
+                .enumerate()
+                .map(|(row, (stages, rs))| {
+                    Box::new(move || {
+                        rs.ops = OpCounts::new();
+                        rs.me_invocations = 0;
+                        // The row's previous ME winner seeds the next
+                        // MB's pruning bound (the serial path uses the
+                        // median of coded neighbours instead; either list
+                        // is sound because the prepass cannot change the
+                        // winner).
+                        let mut left: Option<MotionVector> = None;
+                        for (col, st) in stages.iter_mut().enumerate() {
+                            if st.force_intra {
+                                left = None;
+                                continue;
+                            }
+                            let mb = MbIndex::new(row, col);
+                            let flat = row * cols + col;
+                            let mut cands = MvCandidates::default();
+                            if fast_me {
+                                cands.push_clamped(MotionVector::ZERO, me_cfg.search_range);
+                                cands.push_clamped(prev_mvs[flat], me_cfg.search_range);
+                                if let Some(lv) = left {
+                                    cands.push_clamped(lv, me_cfg.search_range);
+                                }
+                            }
+                            let mut bias = |mv: MotionVector| frozen(mb, mv);
+                            let me_result = if fast_me {
+                                me::search_fast(frame.y(), recon.y(), mb, me_cfg, &mut bias, &cands)
+                            } else {
+                                me::search(frame.y(), recon.y(), mb, me_cfg, &mut bias)
+                            };
+                            rs.ops.me_invocations += 1;
+                            rs.me_invocations += 1;
+                            rs.ops.sad_candidates += me_result.candidates as u64;
+                            rs.ops.sad_ops += me_result.sad_ops;
+                            st.me = me_result;
+                            st.sad_self = me::sad_self(frame.y(), mb);
+                            rs.ops.sad_ops += 512; // mean + deviation pass
+                            left = Some(me_result.mv);
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            self.pool
+                .as_ref()
+                .expect("pool initialized above")
+                .run_scoped(jobs);
+        }
+
+        // Stage 3 (serial): natural intra test + post-ME overrides.
+        if kind == FrameKind::Inter {
+            for row in 0..rows {
+                for col in 0..cols {
+                    let flat = row * cols + col;
+                    let st = &mut par.mbs[flat];
+                    if st.force_intra {
+                        continue;
+                    }
+                    let mb = MbIndex::new(row, col);
+                    let ctx = MbContext {
+                        frame_index: self.frame_index,
+                        mb,
+                        cur_luma: frame.y(),
+                        ref_luma: self.recon.y(),
+                        colocated_sad: st.colocated_sad,
+                    };
+                    let natural_intra = st.me.sad > st.sad_self + self.cfg.intra_bias as u64;
+                    let post = policy.post_me_mode(&ctx, &st.me);
+                    st.inter_mv = if natural_intra || post == PostMeDecision::ForceIntra {
+                        None
+                    } else {
+                        Some(st.me.mv)
+                    };
+                }
+            }
+        }
+
+        // Stage 4 (parallel rows): refinement + block coding into per-row
+        // writers and reconstruction bands.
+        {
+            let bcfg = self.block_cfg();
+            let recon = &self.recon;
+            let half_pel = self.cfg.half_pel;
+            let ParScratch { mbs, rows: rowscr } = &mut par;
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = mbs
+                .chunks_mut(cols)
+                .zip(rowscr.iter_mut())
+                .enumerate()
+                .map(|(row, (stages, rs))| {
+                    Box::new(move || {
+                        rs.writer.reset();
+                        if kind == FrameKind::Intra {
+                            rs.ops = OpCounts::new();
+                            rs.me_invocations = 0;
+                        }
+                        for (col, st) in stages.iter_mut().enumerate() {
+                            let mb = MbIndex::new(row, col);
+                            let bit_start = rs.writer.bit_len();
+                            if kind == FrameKind::Intra {
+                                code_intra_mb(
+                                    &bcfg,
+                                    &mut rs.writer,
+                                    frame,
+                                    &mut rs.recon,
+                                    mb,
+                                    &mut rs.ops,
+                                );
+                                st.final_mode = MbMode::Intra;
+                                st.final_mv = MotionVector::ZERO;
+                                st.sad_mv = None;
+                            } else if let Some(int_mv) = st.inter_mv {
+                                let (mv, sad) = if half_pel {
+                                    let refined = me::refine_half_pel(
+                                        frame.y(),
+                                        recon.y(),
+                                        mb,
+                                        int_mv,
+                                        st.me.sad,
+                                    );
+                                    rs.ops.sad_ops += refined.sad_ops;
+                                    (refined.mv, refined.sad)
+                                } else {
+                                    (SubPelVector::integer(int_mv), st.me.sad)
+                                };
+                                let final_mode = code_inter_mb(
+                                    &bcfg,
+                                    &mut rs.writer,
+                                    frame,
+                                    recon,
+                                    &mut rs.recon,
+                                    mb,
+                                    mv,
+                                    &mut rs.ops,
+                                );
+                                st.final_mode = final_mode;
+                                st.final_mv = if final_mode == MbMode::Inter {
+                                    mv.int
+                                } else {
+                                    MotionVector::ZERO
+                                };
+                                st.sad_mv = Some(sad);
+                            } else {
+                                rs.writer.put_bit(false); // COD = 0: coded
+                                rs.writer.put_bit(true); // intra
+                                code_intra_mb(
+                                    &bcfg,
+                                    &mut rs.writer,
+                                    frame,
+                                    &mut rs.recon,
+                                    mb,
+                                    &mut rs.ops,
+                                );
+                                st.final_mode = MbMode::Intra;
+                                st.final_mv = MotionVector::ZERO;
+                                st.sad_mv = if st.force_intra {
+                                    None
+                                } else {
+                                    Some(st.me.sad)
+                                };
+                            }
+                            st.bit_start = bit_start;
+                            st.bit_len = rs.writer.bit_len() - bit_start;
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            self.pool
+                .as_ref()
+                .expect("pool initialized above")
+                .run_scoped(jobs);
+        }
+
+        // Stage 5 (serial): deterministic assembly in row order, then
+        // per-MB bookkeeping in raster order (matching the serial path's
+        // `mb_coded` sequence).
+        {
+            let ParScratch { mbs, rows: rowscr } = &mut par;
+            for (row, rs) in rowscr.iter_mut().enumerate() {
+                let row_start = w.bit_len();
+                w.append(&rs.writer);
+                self.ops += rs.ops;
+                self.frame_me_invocations += rs.me_invocations;
+                for col in 0..cols {
+                    let flat = row * cols + col;
+                    let st = &mbs[flat];
+                    let mb = MbIndex::new(row, col);
+                    let colocated_sad = if kind == FrameKind::Intra {
+                        let (ox, oy) = mb.luma_origin();
+                        let sad = frame.y().sad_colocated(
+                            self.prev_original.y(),
+                            ox,
+                            oy,
+                            LUMA_BLOCK,
+                            LUMA_BLOCK,
+                        );
+                        self.ops.sad_ops += 256;
+                        sad
+                    } else {
+                        st.colocated_sad
+                    };
+                    if let Some(t) = &self.trace {
+                        let (mode_code, mv) = match st.final_mode {
+                            MbMode::Intra => (trace_event::MODE_INTRA, MotionVector::ZERO),
+                            MbMode::Inter => (trace_event::MODE_INTER, st.final_mv),
+                            MbMode::Skip => (trace_event::MODE_SKIP, MotionVector::ZERO),
+                        };
+                        t.emit(TraceEvent::MbCoded {
+                            frame: self.frame_index as u32,
+                            mb: flat as u16,
+                            mode: mode_code,
+                            mv_x: mv.x,
+                            mv_y: mv.y,
+                            bit_start: (row_start + st.bit_start) as u32,
+                            bit_len: st.bit_len as u32,
+                        });
+                    }
+                    match st.final_mode {
+                        MbMode::Intra => {
+                            stats.intra_mbs += 1;
+                            stats.intra_bits += st.bit_len;
+                        }
+                        MbMode::Inter => {
+                            stats.inter_mbs += 1;
+                            stats.inter_bits += st.bit_len;
+                        }
+                        MbMode::Skip => {
+                            stats.skip_mbs += 1;
+                            stats.skip_bits += st.bit_len;
+                        }
+                    }
+                    out.mb_modes.push(st.final_mode);
+                    policy.mb_coded(
+                        fctx,
+                        &MbOutcome {
+                            mb,
+                            mode: st.final_mode,
+                            mv: st.final_mv,
+                            sad_mv: st.sad_mv,
+                            me_performed: kind == FrameKind::Inter && !st.force_intra,
+                            colocated_sad,
+                        },
+                    );
+                    self.cur_mvs[flat] = st.final_mv;
+                    self.last_mb_mv = st.final_mv;
+                }
+                par::copy_row_band(new_recon, &rs.recon, row);
+            }
+        }
+        self.par = Some(par);
+    }
+
+    /// The block-coding parameters for the current frame.
+    fn block_cfg(&self) -> BlockCodeCfg {
+        BlockCodeCfg {
+            qp: self.cfg.qp,
+            half_pel: self.cfg.half_pel,
+            fused: self.cfg.opt.fused_transform,
+        }
+    }
+
+    /// Builds the fast search's predicted-MV candidate list for the
+    /// macroblock at `(row, col)`: the component-wise median of the
+    /// left/top/top-right neighbours coded this frame, the zero vector,
+    /// and the colocated vector of the previous frame. Empty when fast
+    /// ME is off (the naive search takes no prepass).
+    fn predicted_candidates(&self, row: usize, col: usize) -> MvCandidates {
+        let mut cands = MvCandidates::default();
+        if !self.cfg.opt.fast_me {
+            return cands;
+        }
+        let cols = self.grid.cols();
+        let flat = row * cols + col;
+        let range = self.cfg.me.search_range;
+        let zero = MotionVector::ZERO;
+        let left = if col > 0 {
+            self.cur_mvs[flat - 1]
+        } else {
+            zero
+        };
+        let top = if row > 0 {
+            self.cur_mvs[flat - cols]
+        } else {
+            zero
+        };
+        let top_right = if row > 0 && col + 1 < cols {
+            self.cur_mvs[flat - cols + 1]
+        } else {
+            zero
+        };
+        cands.push_clamped(me::median_mv(left, top, top_right), range);
+        cands.push_clamped(zero, range);
+        cands.push_clamped(self.prev_mvs[flat], range);
+        cands
     }
 }
 
 // The per-frame ME counter lives on the struct to avoid threading it
 // through every call; it is reset at each frame end.
 impl Encoder {
+    #[allow(clippy::too_many_arguments)]
     fn code_p_mb(
         &mut self,
         w: &mut BitWriter,
@@ -463,6 +1047,7 @@ impl Encoder {
         mb: MbIndex,
         policy: &mut dyn RefreshPolicy,
         fctx: &FrameContext,
+        cands: &MvCandidates,
     ) -> MbMode {
         let (ox, oy) = mb.luma_origin();
         // Content-similarity measurement (SAD against the colocated MB of
@@ -485,9 +1070,20 @@ impl Encoder {
         let (mode, mv, sad_mv, me_performed) = if pre == PreMeDecision::ForceIntra {
             (MbMode::Intra, SubPelVector::ZERO, None, false)
         } else {
-            let me_result = me::search(frame.y(), self.recon.y(), mb, self.cfg.me, &mut |mv| {
-                policy.me_bias(&ctx, mv)
-            });
+            let me_result = if self.cfg.opt.fast_me {
+                me::search_fast(
+                    frame.y(),
+                    self.recon.y(),
+                    mb,
+                    self.cfg.me,
+                    &mut |mv| policy.me_bias(&ctx, mv),
+                    cands,
+                )
+            } else {
+                me::search(frame.y(), self.recon.y(), mb, self.cfg.me, &mut |mv| {
+                    policy.me_bias(&ctx, mv)
+                })
+            };
             self.ops.me_invocations += 1;
             self.frame_me_invocations += 1;
             self.ops.sad_candidates += me_result.candidates as u64;
@@ -518,10 +1114,19 @@ impl Encoder {
             MbMode::Intra => {
                 w.put_bit(false); // COD = 0: coded
                 w.put_bit(true); // intra
-                self.code_intra_mb(w, frame, new_recon, mb);
+                code_intra_mb(&self.block_cfg(), w, frame, new_recon, mb, &mut self.ops);
                 MbMode::Intra
             }
-            _ => self.code_inter_mb(w, frame, new_recon, mb, mv),
+            _ => code_inter_mb(
+                &self.block_cfg(),
+                w,
+                frame,
+                &self.recon,
+                new_recon,
+                mb,
+                mv,
+                &mut self.ops,
+            ),
         };
 
         let outcome_mv = if final_mode == MbMode::Inter {
@@ -542,236 +1147,6 @@ impl Encoder {
             },
         );
         final_mode
-    }
-
-    /// Codes one intra macroblock (shared by I-frames and forced-intra MBs
-    /// of P-frames; the caller writes any COD/mode bits first).
-    fn code_intra_mb(
-        &mut self,
-        w: &mut BitWriter,
-        frame: &Frame,
-        new_recon: &mut Frame,
-        mb: MbIndex,
-    ) {
-        let (lx, ly) = mb.luma_origin();
-        let (cx, cy) = mb.chroma_origin();
-        // Block order: Y0 Y1 Y2 Y3 (raster 8×8 quadrants), Cb, Cr.
-        let mut levels: Vec<[i32; 64]> = Vec::with_capacity(6);
-        let mut cbp = 0u8;
-        for (i, (px, py, plane)) in [
-            (lx, ly, frame.y()),
-            (lx + 8, ly, frame.y()),
-            (lx, ly + 8, frame.y()),
-            (lx + 8, ly + 8, frame.y()),
-            (cx, cy, frame.cb()),
-            (cx, cy, frame.cr()),
-        ]
-        .into_iter()
-        .enumerate()
-        {
-            let spatial = load_block(plane, px, py);
-            let mut freq = [0i32; 64];
-            dct::forward(&spatial, &mut freq);
-            let quantized = quantize_block(&freq, self.cfg.qp, true);
-            let zig = zigzag::scan(&quantized);
-            if block_is_coded(&zig, 1) {
-                cbp |= 1 << (5 - i);
-            }
-            levels.push(zig);
-            self.ops.dct_blocks += 1;
-            self.ops.quant_blocks += 1;
-        }
-
-        vlc::write_cbp(w, cbp);
-        for (i, zig) in levels.iter().enumerate() {
-            w.put_bits(zig[0].clamp(0, 255) as u32, 8); // intra DC carrier
-            if cbp & (1 << (5 - i)) != 0 {
-                write_coeff_block(w, zig, 1);
-            }
-        }
-
-        // Reconstruction (identical to the decoder).
-        for (i, zig) in levels.iter().enumerate() {
-            let quantized = zigzag::unscan(zig);
-            let coefs = dequantize_block(&quantized, self.cfg.qp, true);
-            let mut spatial = [0i32; 64];
-            dct::inverse(&coefs, &mut spatial);
-            self.ops.dequant_blocks += 1;
-            self.ops.idct_blocks += 1;
-            let (dx, dy, plane) = match i {
-                0 => (lx, ly, new_recon.y_mut()),
-                1 => (lx + 8, ly, new_recon.y_mut()),
-                2 => (lx, ly + 8, new_recon.y_mut()),
-                3 => (lx + 8, ly + 8, new_recon.y_mut()),
-                4 => (cx, cy, new_recon.cb_mut()),
-                _ => (cx, cy, new_recon.cr_mut()),
-            };
-            store_block_clamped(plane, dx, dy, &spatial);
-        }
-    }
-
-    /// Codes one inter macroblock, with automatic demotion to skip when
-    /// the vector is zero and every block quantizes to nothing. Returns
-    /// the final mode ([`MbMode::Inter`] or [`MbMode::Skip`]).
-    fn code_inter_mb(
-        &mut self,
-        w: &mut BitWriter,
-        frame: &Frame,
-        new_recon: &mut Frame,
-        mb: MbIndex,
-        mv: SubPelVector,
-    ) -> MbMode {
-        let (lx, ly) = mb.luma_origin();
-        let (cx, cy) = mb.chroma_origin();
-
-        // Predictions.
-        let mut pred_y = [0u8; LUMA_BLOCK * LUMA_BLOCK];
-        predict_luma_subpel(self.recon.y(), mb, mv, &mut pred_y);
-        let mut pred_cb = [0u8; CHROMA_BLOCK * CHROMA_BLOCK];
-        let mut pred_cr = [0u8; CHROMA_BLOCK * CHROMA_BLOCK];
-        predict_chroma_subpel(self.recon.cb(), mb, mv, &mut pred_cb);
-        predict_chroma_subpel(self.recon.cr(), mb, mv, &mut pred_cr);
-        self.ops.mc_luma_blocks += 1;
-        self.ops.mc_chroma_blocks += 2;
-
-        // Residual transform per block.
-        let sub = [(0usize, 0usize), (8, 0), (0, 8), (8, 8)];
-        let mut levels: Vec<[i32; 64]> = Vec::with_capacity(6);
-        let mut cbp = 0u8;
-        for (i, &(sx, sy)) in sub.iter().enumerate() {
-            let resid = residual_block(frame.y(), lx + sx, ly + sy, &pred_y, LUMA_BLOCK, sx, sy);
-            let mut freq = [0i32; 64];
-            dct::forward(&resid, &mut freq);
-            let quantized = quantize_block(&freq, self.cfg.qp, false);
-            let zig = zigzag::scan(&quantized);
-            if block_is_coded(&zig, 0) {
-                cbp |= 1 << (5 - i);
-            }
-            levels.push(zig);
-            self.ops.dct_blocks += 1;
-            self.ops.quant_blocks += 1;
-        }
-        for (i, (plane, pred)) in [(frame.cb(), &pred_cb), (frame.cr(), &pred_cr)]
-            .into_iter()
-            .enumerate()
-        {
-            let resid = residual_block(plane, cx, cy, pred, CHROMA_BLOCK, 0, 0);
-            let mut freq = [0i32; 64];
-            dct::forward(&resid, &mut freq);
-            let quantized = quantize_block(&freq, self.cfg.qp, false);
-            let zig = zigzag::scan(&quantized);
-            if block_is_coded(&zig, 0) {
-                cbp |= 1 << (1 - i);
-            }
-            levels.push(zig);
-            self.ops.dct_blocks += 1;
-            self.ops.quant_blocks += 1;
-        }
-
-        if mv.is_zero() && cbp == 0 {
-            // Skip: single COD bit, reconstruction = colocated copy.
-            w.put_bit(true);
-            store_pred(
-                new_recon.y_mut(),
-                lx,
-                ly,
-                &pred_y,
-                LUMA_BLOCK,
-                0,
-                0,
-                LUMA_BLOCK,
-            );
-            store_pred(
-                new_recon.cb_mut(),
-                cx,
-                cy,
-                &pred_cb,
-                CHROMA_BLOCK,
-                0,
-                0,
-                CHROMA_BLOCK,
-            );
-            store_pred(
-                new_recon.cr_mut(),
-                cx,
-                cy,
-                &pred_cr,
-                CHROMA_BLOCK,
-                0,
-                0,
-                CHROMA_BLOCK,
-            );
-            return MbMode::Skip;
-        }
-
-        w.put_bit(false); // COD = 0
-        w.put_bit(false); // inter
-        if self.cfg.half_pel {
-            let (hx, hy) = mv.to_half_units();
-            vlc::write_mvd(w, hx);
-            vlc::write_mvd(w, hy);
-        } else {
-            vlc::write_mvd(w, mv.int.x);
-            vlc::write_mvd(w, mv.int.y);
-        }
-        vlc::write_cbp(w, cbp);
-        for (i, zig) in levels.iter().enumerate() {
-            if cbp & (1 << (5 - i)) != 0 {
-                write_coeff_block(w, zig, 0);
-            }
-        }
-
-        // Reconstruction.
-        for (i, zig) in levels.iter().enumerate() {
-            let coded = cbp & (1 << (5 - i)) != 0;
-            let resid = if coded {
-                let quantized = zigzag::unscan(zig);
-                let coefs = dequantize_block(&quantized, self.cfg.qp, false);
-                let mut spatial = [0i32; 64];
-                dct::inverse(&coefs, &mut spatial);
-                self.ops.dequant_blocks += 1;
-                self.ops.idct_blocks += 1;
-                spatial
-            } else {
-                [0i32; 64]
-            };
-            match i {
-                0..=3 => {
-                    let (sx, sy) = sub[i];
-                    store_pred_plus_residual(
-                        new_recon.y_mut(),
-                        lx + sx,
-                        ly + sy,
-                        &pred_y,
-                        LUMA_BLOCK,
-                        sx,
-                        sy,
-                        &resid,
-                    );
-                }
-                4 => store_pred_plus_residual(
-                    new_recon.cb_mut(),
-                    cx,
-                    cy,
-                    &pred_cb,
-                    CHROMA_BLOCK,
-                    0,
-                    0,
-                    &resid,
-                ),
-                _ => store_pred_plus_residual(
-                    new_recon.cr_mut(),
-                    cx,
-                    cy,
-                    &pred_cr,
-                    CHROMA_BLOCK,
-                    0,
-                    0,
-                    &resid,
-                ),
-            }
-        }
-        MbMode::Inter
     }
 }
 
@@ -865,6 +1240,125 @@ mod tests {
         let e = enc.encode_frame(&flat, &mut policy);
         assert_eq!(e.stats.skip_mbs, 99, "static frame should fully skip");
         assert!(e.stats.bits < 200, "a fully skipped frame is ~1 bit/MB");
+    }
+
+    #[test]
+    fn optimizations_do_not_change_the_bitstream() {
+        // Fast ME + fused transform vs. the retained naive path: the
+        // bitstreams and side info must be identical frame by frame, and
+        // the fast path must execute strictly fewer SAD operations.
+        let mut fast = Encoder::new(EncoderConfig::default());
+        let mut naive = Encoder::new(EncoderConfig {
+            opt: OptConfig::naive(),
+            ..EncoderConfig::default()
+        });
+        let mut pf = NaturalPolicy::new();
+        let mut pn = NaturalPolicy::new();
+        let mut seq_f = SyntheticSequence::foreman_class(11);
+        let mut seq_n = SyntheticSequence::foreman_class(11);
+        for i in 0..5 {
+            let ef = fast.encode_frame(&seq_f.next_frame(), &mut pf);
+            let en = naive.encode_frame(&seq_n.next_frame(), &mut pn);
+            assert_eq!(ef.data, en.data, "bitstream diverged at frame {i}");
+            assert_eq!(ef.stats, en.stats, "stats diverged at frame {i}");
+            assert_eq!(ef.mb_modes, en.mb_modes, "modes diverged at frame {i}");
+        }
+        assert!(
+            fast.ops().sad_ops < naive.ops().sad_ops,
+            "fast path must save SAD ops: {} vs {}",
+            fast.ops().sad_ops,
+            naive.ops().sad_ops
+        );
+    }
+
+    #[test]
+    fn slice_parallel_encoding_is_bit_identical_and_deterministic() {
+        // The staged pipeline must reproduce the serial bitstream exactly
+        // at every thread count, and its operation counts must not depend
+        // on the thread count (row-local candidate seeding).
+        let encode = |slices: u8| {
+            let mut enc = Encoder::new(EncoderConfig {
+                opt: OptConfig {
+                    slices,
+                    ..OptConfig::default()
+                },
+                ..EncoderConfig::default()
+            });
+            let mut policy = NaturalPolicy::new();
+            let mut seq = SyntheticSequence::foreman_class(21);
+            let frames: Vec<_> = (0..5)
+                .map(|_| enc.encode_frame(&seq.next_frame(), &mut policy))
+                .collect();
+            (frames, *enc.ops())
+        };
+        let (serial, _) = encode(1);
+        let (two, ops2) = encode(2);
+        let (four, ops4) = encode(4);
+        for i in 0..serial.len() {
+            assert_eq!(
+                serial[i].data, two[i].data,
+                "2 slices diverged at frame {i}"
+            );
+            assert_eq!(
+                serial[i].data, four[i].data,
+                "4 slices diverged at frame {i}"
+            );
+            assert_eq!(serial[i].stats, two[i].stats, "stats diverged at frame {i}");
+            assert_eq!(
+                serial[i].stats, four[i].stats,
+                "stats diverged at frame {i}"
+            );
+            assert_eq!(serial[i].mb_modes, two[i].mb_modes);
+            assert_eq!(serial[i].mb_modes, four[i].mb_modes);
+        }
+        assert_eq!(
+            ops2, ops4,
+            "operation counts must be independent of the thread count"
+        );
+    }
+
+    #[test]
+    fn slice_parallel_without_frozen_bias_falls_back_to_serial() {
+        // A policy that cannot freeze its bias (the default `None`) must
+        // still encode correctly with slices configured: the encoder
+        // silently takes the serial path.
+        struct Unfreezable;
+        impl RefreshPolicy for Unfreezable {
+            fn label(&self) -> String {
+                "unfreezable".into()
+            }
+        }
+        let mut parallel = Encoder::new(EncoderConfig {
+            opt: OptConfig {
+                slices: 4,
+                ..OptConfig::default()
+            },
+            ..EncoderConfig::default()
+        });
+        let mut serial = Encoder::new(EncoderConfig::default());
+        let mut seq_a = SyntheticSequence::foreman_class(22);
+        let mut seq_b = SyntheticSequence::foreman_class(22);
+        for i in 0..3 {
+            let a = parallel.encode_frame(&seq_a.next_frame(), &mut Unfreezable);
+            let b = serial.encode_frame(&seq_b.next_frame(), &mut Unfreezable);
+            assert_eq!(a, b, "fallback diverged at frame {i}");
+        }
+    }
+
+    #[test]
+    fn encode_frame_into_reuses_the_output_slot() {
+        let mut enc = Encoder::new(EncoderConfig::default());
+        let mut policy = NaturalPolicy::new();
+        let mut seq = SyntheticSequence::foreman_class(6);
+        let mut out = EncodedFrame::empty();
+        let mut reference = Encoder::new(EncoderConfig::default());
+        let mut ref_policy = NaturalPolicy::new();
+        let mut ref_seq = SyntheticSequence::foreman_class(6);
+        for i in 0..4 {
+            enc.encode_frame_into(&seq.next_frame(), &mut policy, &mut out);
+            let want = reference.encode_frame(&ref_seq.next_frame(), &mut ref_policy);
+            assert_eq!(out, want, "frame {i} diverged between into/owned APIs");
+        }
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Fused `DCT → quantize → zigzag` block kernel.
+//!
+//! The separate pipeline ([`crate::dct::forward`], then
+//! [`crate::quant::quantize_block`], then [`crate::zigzag::scan`])
+//! materializes two intermediate natural-order 8×8 buffers and runs a
+//! per-coefficient intra-DC branch plus a dead-zone sign branch. This
+//! kernel performs all three steps in one pass: the column stage of the
+//! separable DCT quantizes each coefficient the moment it is produced
+//! (branchlessly) and scatters it directly into its zigzag slot.
+//!
+//! The output is **bit-identical** to the separate pipeline for every
+//! input — `tests/kernel_equiv.rs` proves it by exhaustive property
+//! testing over random blocks and the full QP range — because it
+//! multiplies by the exact same Q12 basis table with the same rounding,
+//! and the branchless quantizer is algebraically equal to
+//! [`crate::quant::quantize_ac`].
+
+use crate::dct::{basis, BLOCK, BLOCK_LEN, HALF, Q};
+use crate::quant::{quantize_intra_dc, Qp};
+use crate::zigzag::ZIGZAG;
+
+/// Zigzag position of each natural-order coefficient — the inverse
+/// permutation of [`ZIGZAG`], computed at compile time.
+const UNZIGZAG: [usize; BLOCK_LEN] = {
+    let mut inv = [0usize; BLOCK_LEN];
+    let mut i = 0;
+    while i < BLOCK_LEN {
+        inv[ZIGZAG[i]] = i;
+        i += 1;
+    }
+    inv
+};
+
+/// Branch-free H.263 dead-zone quantizer, equal to
+/// [`crate::quant::quantize_ac`] for all DCT-range inputs:
+/// `(mag − q/2)/(2q)` truncates to 0 whenever the numerator is negative
+/// (it is bounded below by `−q/2 > −2q`), so clamping the numerator at 0
+/// first changes nothing; the clamp-to-127 acts on a non-negative
+/// quotient, so `min` suffices; and the sign is re-applied by two's-
+/// complement folding instead of a branch.
+#[inline(always)]
+fn quantize_ac_branchless(coef: i32, q: i32, dead_zone: i32) -> i32 {
+    let level = ((coef.abs() - dead_zone).max(0) / (2 * q)).min(127);
+    let s = coef >> 31; // 0 or -1
+    (level ^ s) - s
+}
+
+/// Forward-transforms `spatial`, quantizes at `qp`, and writes the levels
+/// in zigzag order into `zig`. Returns whether the block is coded: any
+/// non-zero level at zigzag position ≥ 1 for intra (the DC travels
+/// separately) or ≥ 0 for inter — the same value
+/// [`crate::blockcode::block_is_coded`] would report.
+pub fn fdct_quant_scan(
+    spatial: &[i32; BLOCK_LEN],
+    qp: Qp,
+    intra: bool,
+    zig: &mut [i32; BLOCK_LEN],
+) -> bool {
+    let b = basis();
+    let q = qp.get() as i32;
+    let dead_zone = q / 2;
+    let first = usize::from(intra);
+    // Row stage, identical to `dct::forward`.
+    let mut tmp = [0i64; BLOCK_LEN];
+    for y in 0..BLOCK {
+        for k in 0..BLOCK {
+            let mut acc = 0i64;
+            for n in 0..BLOCK {
+                acc += spatial[y * BLOCK + n] as i64 * b[k][n] as i64;
+            }
+            tmp[y * BLOCK + k] = (acc + HALF) >> Q;
+        }
+    }
+    // Column stage: quantize each coefficient as it is produced and
+    // scatter it straight to its zigzag slot.
+    let mut coded = false;
+    for (k, bk) in b.iter().enumerate() {
+        for x in 0..BLOCK {
+            let mut acc = 0i64;
+            for n in 0..BLOCK {
+                acc += bk[n] as i64 * tmp[n * BLOCK + x];
+            }
+            let coef = ((acc + HALF) >> Q) as i32;
+            let nat = k * BLOCK + x;
+            let level = if intra && nat == 0 {
+                quantize_intra_dc(coef)
+            } else {
+                quantize_ac_branchless(coef, q, dead_zone)
+            };
+            let zpos = UNZIGZAG[nat];
+            zig[zpos] = level;
+            coded |= level != 0 && zpos >= first;
+        }
+    }
+    coded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blockcode::block_is_coded;
+    use crate::quant::quantize_block;
+    use crate::zigzag::scan;
+    use crate::{dct, quant};
+
+    /// The separate three-pass pipeline the fused kernel replaces.
+    fn reference(spatial: &[i32; BLOCK_LEN], qp: Qp, intra: bool) -> ([i32; BLOCK_LEN], bool) {
+        let mut freq = [0i32; BLOCK_LEN];
+        dct::forward(spatial, &mut freq);
+        let levels = quantize_block(&freq, qp, intra);
+        let zig = scan(&levels);
+        let coded = block_is_coded(&zig, usize::from(intra));
+        (zig, coded)
+    }
+
+    #[test]
+    fn fused_matches_reference_on_structured_blocks() {
+        let patterns: [fn(usize) -> i32; 4] = [
+            |i| (i as i32 % 13) * 17 - 80,
+            |i| if i == 0 { 255 } else { 0 },
+            |i| ((i * i) % 511) as i32 - 255,
+            |_| 0,
+        ];
+        for (pi, pat) in patterns.iter().enumerate() {
+            let spatial: [i32; BLOCK_LEN] = std::array::from_fn(pat);
+            for qp_v in [1u8, 2, 8, 17, 31] {
+                let qp = Qp::new(qp_v).unwrap();
+                for intra in [false, true] {
+                    let (want_zig, want_coded) = reference(&spatial, qp, intra);
+                    let mut got_zig = [0i32; BLOCK_LEN];
+                    let got_coded = fdct_quant_scan(&spatial, qp, intra, &mut got_zig);
+                    assert_eq!(got_zig, want_zig, "pattern {pi} qp {qp_v} intra {intra}");
+                    assert_eq!(
+                        got_coded, want_coded,
+                        "pattern {pi} qp {qp_v} intra {intra}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn branchless_quantizer_equals_quantize_ac_exhaustively() {
+        for qp_v in 1..=31u8 {
+            let qp = Qp::new(qp_v).unwrap();
+            let q = qp_v as i32;
+            for coef in -2500..=2500 {
+                assert_eq!(
+                    quantize_ac_branchless(coef, q, q / 2),
+                    quant::quantize_ac(coef, qp),
+                    "qp={qp_v} coef={coef}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unzigzag_inverts_zigzag() {
+        for (zpos, &nat) in ZIGZAG.iter().enumerate() {
+            assert_eq!(UNZIGZAG[nat], zpos);
+        }
+    }
+}

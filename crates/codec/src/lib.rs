@@ -49,10 +49,13 @@ pub mod dct;
 pub mod deblock;
 pub mod decoder;
 pub mod encoder;
+pub mod fused;
 pub mod mb;
+pub(crate) mod mbcode;
 pub mod mc;
 pub mod me;
 pub mod ops;
+pub(crate) mod par;
 pub mod policy;
 pub mod quant;
 pub mod rate;
@@ -61,13 +64,13 @@ pub mod zigzag;
 
 pub use bitstream::BitstreamError;
 pub use decoder::{Concealment, DecodeError, DecodeReport, DecodedInfo, Decoder};
-pub use encoder::{EncodedFrame, Encoder, EncoderConfig};
+pub use encoder::{EncodedFrame, Encoder, EncoderConfig, OptConfig};
 pub use mb::{FrameStats, MbMode, MotionVector};
 pub use me::{MeConfig, MeResult, SearchStrategy};
 pub use ops::OpCounts;
 pub use policy::{
-    FrameContext, FrameKind, MbContext, MbOutcome, NaturalPolicy, PostMeDecision, PreMeDecision,
-    RefreshPolicy,
+    FrameContext, FrameKind, FrozenMeBias, MbContext, MbOutcome, NaturalPolicy, PostMeDecision,
+    PreMeDecision, RefreshPolicy,
 };
 pub use quant::Qp;
 pub use rate::RateController;

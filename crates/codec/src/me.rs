@@ -98,6 +98,55 @@ pub fn sad_mb(cur: &Plane, reference: &Plane, mb: MbIndex, mv: MotionVector) -> 
     acc
 }
 
+/// Bounded SAD with early termination: accumulates row by row and
+/// abandons the candidate as soon as the partial sum reaches `limit`
+/// (at which point it can no longer win). Returns the accumulated sum —
+/// a valid full SAD **iff** it is `< limit` — plus the number of
+/// absolute-difference operations actually executed (16 per row
+/// visited, against [`sad_mb`]'s unconditional 256).
+pub fn sad_mb_bounded(
+    cur: &Plane,
+    reference: &Plane,
+    mb: MbIndex,
+    mv: MotionVector,
+    limit: u64,
+) -> (u64, u64) {
+    let (ox, oy) = mb.luma_origin();
+    let rx = ox as isize + mv.x as isize;
+    let ry = oy as isize + mv.y as isize;
+    let w = reference.width() as isize;
+    let h = reference.height() as isize;
+    let mut acc = 0u64;
+    let mut ops = 0u64;
+    if rx >= 0 && ry >= 0 && rx + 16 <= w && ry + 16 <= h {
+        let (rx, ry) = (rx as usize, ry as usize);
+        for dy in 0..16 {
+            let a = &cur.row(oy + dy)[ox..ox + 16];
+            let b = &reference.row(ry + dy)[rx..rx + 16];
+            for (pa, pb) in a.iter().zip(b) {
+                acc += (*pa as i32 - *pb as i32).unsigned_abs() as u64;
+            }
+            ops += 16;
+            if acc >= limit {
+                return (acc, ops);
+            }
+        }
+    } else {
+        for dy in 0..16 {
+            let a = &cur.row(oy + dy)[ox..ox + 16];
+            for (dx, pa) in a.iter().enumerate() {
+                let pb = reference.get_clamped(rx + dx as isize, ry + dy as isize);
+                acc += (*pa as i32 - pb as i32).unsigned_abs() as u64;
+            }
+            ops += 16;
+            if acc >= limit {
+                return (acc, ops);
+            }
+        }
+    }
+    (acc, ops)
+}
+
 /// Sum of absolute deviations of macroblock `mb` from its own mean — the
 /// paper's `SAD_self`, the intra-side term of the inter/intra decision.
 pub fn sad_self(cur: &Plane, mb: MbIndex) -> u64 {
@@ -118,6 +167,46 @@ pub fn sad_self(cur: &Plane, mb: MbIndex) -> u64 {
     acc
 }
 
+/// A small deduplicated list of predicted motion vectors, fed to
+/// [`search_fast`] as a pruning prepass. The encoder fills it with the
+/// median of the causal neighbours (left/top/top-right), the zero
+/// vector, and the co-located previous-frame vector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MvCandidates {
+    mvs: [MotionVector; 4],
+    len: u8,
+}
+
+impl MvCandidates {
+    /// Adds `mv` clamped to the search window `±range`, skipping exact
+    /// duplicates. Silently ignores pushes past capacity (4).
+    pub fn push_clamped(&mut self, mv: MotionVector, range: u8) {
+        let r = range as i16;
+        let clamped = MotionVector::new(mv.x.clamp(-r, r), mv.y.clamp(-r, r));
+        if self.len as usize == self.mvs.len() || self.as_slice().contains(&clamped) {
+            return;
+        }
+        self.mvs[self.len as usize] = clamped;
+        self.len += 1;
+    }
+
+    /// The candidates pushed so far.
+    pub fn as_slice(&self) -> &[MotionVector] {
+        &self.mvs[..self.len as usize]
+    }
+}
+
+/// Component-wise median of three motion vectors — the H.263/H.264
+/// motion-vector predictor over the left/top/top-right neighbours.
+pub fn median_mv(a: MotionVector, b: MotionVector, c: MotionVector) -> MotionVector {
+    fn med(a: i16, b: i16, c: i16) -> i16 {
+        let mut v = [a, b, c];
+        v.sort_unstable();
+        v[1]
+    }
+    MotionVector::new(med(a.x, b.x, c.x), med(a.y, b.y, c.y))
+}
+
 /// Runs the configured search for macroblock `mb`, minimizing
 /// `SAD(mv) + bias(mv)`.
 ///
@@ -134,6 +223,171 @@ pub fn search(
         SearchStrategy::Full => full_search(cur, reference, mb, cfg.search_range, bias),
         SearchStrategy::ThreeStep => three_step(cur, reference, mb, cfg.search_range, bias),
     }
+}
+
+/// The optimized counterpart of [`search`]: returns the **identical**
+/// `(mv, sad, cost)` for any inputs (the winner, its SAD, and its biased
+/// cost are provably the same as the naive search's, including
+/// tie-breaking), but executes far fewer absolute-difference operations.
+/// `candidates` and `sad_ops` report the work actually performed, so they
+/// are smaller than (and not comparable to) the naive search's counts.
+///
+/// * `Full`: the predicted-MV `prepass` list is evaluated first to
+///   establish an upper bound on the winning cost; the exhaustive sweep
+///   then abandons any candidate whose partial SAD proves it cannot beat
+///   both the running best and that bound. The prepass only tightens the
+///   pruning limit — it never replaces the running best directly, which
+///   is what preserves the naive search's first-wins tie-breaking.
+/// * `ThreeStep`: the hill-climb visits exactly the naive trajectory
+///   (prediction can not be folded in without changing the path), with
+///   each candidate's SAD abandoned once it reaches the running best.
+///
+/// `bias` is invoked once per visited candidate, including the prepass —
+/// i.e. potentially more times than the naive search invokes it.
+pub fn search_fast(
+    cur: &Plane,
+    reference: &Plane,
+    mb: MbIndex,
+    cfg: MeConfig,
+    bias: &mut dyn FnMut(MotionVector) -> i64,
+    prepass: &MvCandidates,
+) -> MeResult {
+    match cfg.strategy {
+        SearchStrategy::Full => {
+            full_search_fast(cur, reference, mb, cfg.search_range, bias, prepass)
+        }
+        SearchStrategy::ThreeStep => three_step_fast(cur, reference, mb, cfg.search_range, bias),
+    }
+}
+
+fn full_search_fast(
+    cur: &Plane,
+    reference: &Plane,
+    mb: MbIndex,
+    range: u8,
+    bias: &mut dyn FnMut(MotionVector) -> i64,
+    prepass: &MvCandidates,
+) -> MeResult {
+    let r = range as i16;
+    // Zero vector first, fully evaluated: the tie-breaking anchor.
+    let zero_sad = sad_mb(cur, reference, mb, MotionVector::ZERO);
+    let mut best = MeResult {
+        mv: MotionVector::ZERO,
+        sad: zero_sad,
+        cost: zero_sad as i64 + bias(MotionVector::ZERO),
+        candidates: 1,
+        sad_ops: 256,
+    };
+    // Prepass: each predicted MV is inside the window (push_clamped), so
+    // its cost is an upper bound on the sweep's true minimum. Only the
+    // bound is tightened; `best` is NOT updated here, because adopting a
+    // candidate out of sweep order would change which of several
+    // equal-cost vectors wins.
+    let mut bound = best.cost;
+    for &mv in prepass.as_slice() {
+        if mv == MotionVector::ZERO {
+            continue;
+        }
+        let sad = sad_mb(cur, reference, mb, mv);
+        best.candidates += 1;
+        best.sad_ops += 256;
+        bound = bound.min(sad as i64 + bias(mv));
+    }
+    for dy in -r..=r {
+        for dx in -r..=r {
+            if dx == 0 && dy == 0 {
+                continue;
+            }
+            let mv = MotionVector::new(dx, dy);
+            let b = bias(mv);
+            best.candidates += 1;
+            // A candidate can only be the naive winner with
+            // cost < best.cost and cost ≤ bound, i.e.
+            // sad < min(best.cost, bound + 1) − bias.
+            let limit = best.cost.min(bound.saturating_add(1)).saturating_sub(b);
+            if limit <= 0 {
+                continue;
+            }
+            let (sad, ops) = sad_mb_bounded(cur, reference, mb, mv, limit as u64);
+            best.sad_ops += ops;
+            if sad < limit as u64 {
+                // Fully evaluated and strictly under the limit, hence
+                // strictly under the running best.
+                best.mv = mv;
+                best.sad = sad;
+                best.cost = sad as i64 + b;
+            }
+        }
+    }
+    best
+}
+
+fn three_step_fast(
+    cur: &Plane,
+    reference: &Plane,
+    mb: MbIndex,
+    range: u8,
+    bias: &mut dyn FnMut(MotionVector) -> i64,
+) -> MeResult {
+    let r = range as i16;
+    let zero_sad = sad_mb(cur, reference, mb, MotionVector::ZERO);
+    let mut best = MeResult {
+        mv: MotionVector::ZERO,
+        sad: zero_sad,
+        cost: zero_sad as i64 + bias(MotionVector::ZERO),
+        candidates: 1,
+        sad_ops: 256,
+    };
+    let mut step = 1i16;
+    while step * 2 <= r.max(1) {
+        step *= 2;
+    }
+    let mut center = MotionVector::ZERO;
+    while step >= 1 {
+        let mut improved = true;
+        while improved {
+            improved = false;
+            for dy in [-step, 0, step] {
+                for dx in [-step, 0, step] {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let cand = MotionVector::new(
+                        (center.x + dx).clamp(-r, r),
+                        (center.y + dy).clamp(-r, r),
+                    );
+                    if cand == center {
+                        continue;
+                    }
+                    let b = bias(cand);
+                    best.candidates += 1;
+                    // Update iff sad < best.cost − bias ⇔ the naive
+                    // search's strict cost improvement — so the
+                    // hill-climb follows the identical trajectory.
+                    let limit = best.cost.saturating_sub(b);
+                    if limit <= 0 {
+                        continue;
+                    }
+                    let (sad, ops) = sad_mb_bounded(cur, reference, mb, cand, limit as u64);
+                    best.sad_ops += ops;
+                    if sad < limit as u64 {
+                        best.mv = cand;
+                        best.sad = sad;
+                        best.cost = sad as i64 + b;
+                        improved = true;
+                    }
+                }
+            }
+            if improved {
+                center = best.mv;
+            }
+            if step > 1 {
+                break; // only the final stride hill-climbs repeatedly
+            }
+        }
+        step /= 2;
+    }
+    best
 }
 
 /// Result of a half-pel refinement around an integer winner.
@@ -428,6 +682,113 @@ mod tests {
         assert_eq!(sad_self(&flat, MbIndex::new(0, 0)), 0);
         let (cur, _) = shifted_pair(0, 0);
         assert!(sad_self(&cur, MbIndex::new(3, 3)) > 0);
+    }
+
+    /// All (mb, shift, strategy, bias) combinations the fast search must
+    /// match the naive search on, including window-clamped cases.
+    fn fast_matches_naive_case(
+        dx: isize,
+        dy: isize,
+        mb: MbIndex,
+        range: u8,
+        strategy: SearchStrategy,
+        penalty: i64,
+    ) {
+        let (cur, reference) = shifted_pair(dx, dy);
+        let cfg = MeConfig {
+            search_range: range,
+            strategy,
+        };
+        let penalized = MotionVector::new(dx as i16, dy as i16);
+        let naive = search(&cur, &reference, mb, cfg, &mut |mv| {
+            if mv == penalized {
+                penalty
+            } else {
+                0
+            }
+        });
+        let mut prepass = MvCandidates::default();
+        prepass.push_clamped(MotionVector::new(dx as i16, dy as i16), range);
+        prepass.push_clamped(MotionVector::ZERO, range);
+        prepass.push_clamped(MotionVector::new(-3, 2), range);
+        let fast = search_fast(
+            &cur,
+            &reference,
+            mb,
+            cfg,
+            &mut |mv| if mv == penalized { penalty } else { 0 },
+            &prepass,
+        );
+        assert_eq!(fast.mv, naive.mv, "{strategy:?} shift=({dx},{dy})");
+        assert_eq!(fast.sad, naive.sad, "{strategy:?} shift=({dx},{dy})");
+        assert_eq!(fast.cost, naive.cost, "{strategy:?} shift=({dx},{dy})");
+        if strategy == SearchStrategy::Full {
+            assert!(
+                fast.sad_ops < naive.sad_ops,
+                "pruning must actually cut work: fast {} vs naive {}",
+                fast.sad_ops,
+                naive.sad_ops
+            );
+        }
+    }
+
+    #[test]
+    fn fast_search_matches_naive_winner_everywhere() {
+        for strategy in [SearchStrategy::Full, SearchStrategy::ThreeStep] {
+            fast_matches_naive_case(5, -3, MbIndex::new(4, 5), 7, strategy, 0);
+            fast_matches_naive_case(0, 0, MbIndex::new(0, 0), 7, strategy, 0);
+            // Border MB: candidate windows clamp against the frame edge.
+            fast_matches_naive_case(-4, 6, MbIndex::new(0, 0), 15, strategy, 0);
+            fast_matches_naive_case(3, 3, MbIndex::new(8, 10), 15, strategy, 0);
+            // A bias that vetoes the SAD winner must veto it in both.
+            fast_matches_naive_case(4, 0, MbIndex::new(3, 3), 7, strategy, 1_000_000);
+        }
+    }
+
+    #[test]
+    fn mv_candidates_clamp_and_dedup() {
+        let mut c = MvCandidates::default();
+        c.push_clamped(MotionVector::new(40, -40), 15);
+        c.push_clamped(MotionVector::new(15, -15), 15); // dup after clamp
+        c.push_clamped(MotionVector::ZERO, 15);
+        assert_eq!(
+            c.as_slice(),
+            &[MotionVector::new(15, -15), MotionVector::ZERO]
+        );
+    }
+
+    #[test]
+    fn median_mv_is_componentwise() {
+        assert_eq!(
+            median_mv(
+                MotionVector::new(1, 9),
+                MotionVector::new(5, -4),
+                MotionVector::new(3, 0),
+            ),
+            MotionVector::new(3, 0)
+        );
+    }
+
+    #[test]
+    fn sad_mb_bounded_agrees_with_full_sad_under_limit() {
+        let (cur, reference) = shifted_pair(2, -1);
+        let mb = MbIndex::new(3, 4);
+        for mv in [
+            MotionVector::ZERO,
+            MotionVector::new(2, -1),
+            MotionVector::new(-15, 15), // clamped path
+        ] {
+            let full = sad_mb(&cur, &reference, mb, mv);
+            let (bounded, ops) = sad_mb_bounded(&cur, &reference, mb, mv, u64::MAX);
+            assert_eq!(bounded, full);
+            assert_eq!(ops, 256);
+            // A tight limit must abandon early and report fewer ops.
+            if full > 0 {
+                let (partial, partial_ops) = sad_mb_bounded(&cur, &reference, mb, mv, 1);
+                assert!(partial >= 1);
+                assert!(partial_ops <= 256);
+            }
+        }
     }
 
     #[test]

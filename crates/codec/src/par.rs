@@ -1,0 +1,121 @@
+//! Per-row scratch for slice-parallel encoding.
+//!
+//! The staged pipeline (see `Encoder::encode_mbs_staged`) farms rows of
+//! macroblocks to a [`pbpair_sched::WorkStealingPool`]; each row job owns
+//! one [`RowScratch`] (a private bit writer, reconstruction frame, and
+//! operation tally) plus its row's slice of [`MbStage`] entries. Both are
+//! persistent encoder state, so steady-state parallel encoding reuses
+//! them without reallocating.
+
+use crate::bitstream::BitWriter;
+use crate::mb::{MbMode, MotionVector};
+use crate::me::MeResult;
+use crate::ops::OpCounts;
+use pbpair_media::{Frame, Plane, VideoFormat};
+
+/// Everything the staged pipeline records about one macroblock as it
+/// moves through the stages.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MbStage {
+    /// Stage 1: similarity SAD against the previous original frame.
+    pub colocated_sad: u64,
+    /// Stage 1: the policy's pre-ME decision.
+    pub force_intra: bool,
+    /// Stage 2: motion-search result (meaningless when `force_intra`).
+    pub me: MeResult,
+    /// Stage 2: self-SAD (deviation from the MB mean) for the natural
+    /// intra test.
+    pub sad_self: u64,
+    /// Stage 3: final pre-coding decision — `None` = intra, `Some(mv)` =
+    /// inter with this vector (half-pel refinement still pending).
+    pub inter_mv: Option<MotionVector>,
+    /// Stage 4: the mode the block coder actually produced.
+    pub final_mode: MbMode,
+    /// Stage 4: integer vector of the coded MB (zero for intra/skip).
+    pub final_mv: MotionVector,
+    /// Stage 4: SAD of the chosen vector when ME ran (after refinement).
+    pub sad_mv: Option<u64>,
+    /// Stage 4: bit offset of this MB within its row writer.
+    pub bit_start: u64,
+    /// Stage 4: bits this MB occupies.
+    pub bit_len: u64,
+}
+
+impl Default for MbStage {
+    fn default() -> Self {
+        MbStage {
+            colocated_sad: 0,
+            force_intra: false,
+            me: MeResult {
+                mv: MotionVector::ZERO,
+                sad: 0,
+                cost: 0,
+                candidates: 0,
+                sad_ops: 0,
+            },
+            sad_self: 0,
+            inter_mv: None,
+            final_mode: MbMode::Intra,
+            final_mv: MotionVector::ZERO,
+            sad_mv: None,
+            bit_start: 0,
+            bit_len: 0,
+        }
+    }
+}
+
+/// Private working state of one row job.
+#[derive(Debug)]
+pub(crate) struct RowScratch {
+    /// Row-local bitstream; appended to the frame writer in row order.
+    pub writer: BitWriter,
+    /// Full-size reconstruction frame; only this row's 16-pixel luma band
+    /// (8-pixel chroma band) is written, and only that band is copied out.
+    pub recon: Frame,
+    /// Row-local operation tally, merged in row order.
+    pub ops: OpCounts,
+    /// Motion searches this row performed.
+    pub me_invocations: u32,
+}
+
+/// Persistent scratch for the staged pipeline, lazily created on the
+/// first slice-parallel frame.
+#[derive(Debug)]
+pub(crate) struct ParScratch {
+    /// One entry per macroblock, raster order; rows are handed to jobs
+    /// via `chunks_mut(cols)`.
+    pub mbs: Vec<MbStage>,
+    /// One entry per macroblock row.
+    pub rows: Vec<RowScratch>,
+}
+
+impl ParScratch {
+    pub fn new(format: VideoFormat) -> Self {
+        let grid = pbpair_media::MbGrid::new(format);
+        ParScratch {
+            mbs: vec![MbStage::default(); grid.len()],
+            rows: (0..grid.rows())
+                .map(|_| RowScratch {
+                    writer: BitWriter::new(),
+                    recon: Frame::new(format),
+                    ops: OpCounts::new(),
+                    me_invocations: 0,
+                })
+                .collect(),
+        }
+    }
+}
+
+fn copy_band(dst: &mut Plane, src: &Plane, y0: usize, h: usize) {
+    for y in y0..y0 + h {
+        dst.row_mut(y).copy_from_slice(src.row(y));
+    }
+}
+
+/// Copies macroblock row `mb_row`'s reconstruction band from a row
+/// scratch frame into the frame-level reconstruction.
+pub(crate) fn copy_row_band(dst: &mut Frame, src: &Frame, mb_row: usize) {
+    copy_band(dst.y_mut(), src.y(), mb_row * 16, 16);
+    copy_band(dst.cb_mut(), src.cb(), mb_row * 8, 8);
+    copy_band(dst.cr_mut(), src.cr(), mb_row * 8, 8);
+}

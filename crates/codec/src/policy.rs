@@ -94,6 +94,12 @@ pub struct MbOutcome {
     pub colocated_sad: u64,
 }
 
+/// A frame-frozen snapshot of a policy's ME bias: a pure function of
+/// `(macroblock, candidate vector)` that is safe to evaluate from
+/// multiple slice-encoding threads at once. See
+/// [`RefreshPolicy::frame_frozen_bias`].
+pub type FrozenMeBias = Box<dyn Fn(MbIndex, MotionVector) -> i64 + Send + Sync>;
+
 /// An error-resilience scheme, driven by the encoder once per frame and
 /// once per macroblock.
 ///
@@ -125,6 +131,20 @@ pub trait RefreshPolicy {
     fn post_me_mode(&mut self, ctx: &MbContext<'_>, me: &MeResult) -> PostMeDecision {
         let _ = (ctx, me);
         PostMeDecision::Keep
+    }
+
+    /// A thread-safe snapshot of [`RefreshPolicy::me_bias`] for the frame
+    /// about to be encoded, or `None` (the default) when the bias cannot
+    /// be frozen. Slice-parallel encoding is only engaged when this
+    /// returns `Some`: the parallel path calls the snapshot instead of
+    /// `me_bias`, so a policy must guarantee the snapshot returns exactly
+    /// what `me_bias` would have returned at any point during the frame
+    /// (i.e. its bias does not change mid-frame). Policies with a
+    /// mid-frame-mutating bias keep the `None` default and the encoder
+    /// transparently falls back to serial encoding.
+    fn frame_frozen_bias(&self, ctx: &FrameContext) -> Option<FrozenMeBias> {
+        let _ = ctx;
+        None
     }
 
     /// Observes the final outcome of each macroblock (PBPAIR updates its
@@ -161,6 +181,10 @@ impl NaturalPolicy {
 impl RefreshPolicy for NaturalPolicy {
     fn label(&self) -> String {
         "NO".to_string()
+    }
+
+    fn frame_frozen_bias(&self, _ctx: &FrameContext) -> Option<FrozenMeBias> {
+        Some(Box::new(|_, _| 0))
     }
 }
 

@@ -1,0 +1,77 @@
+//! Proves the zero-allocation steady state of the encode hot path: after
+//! warm-up, [`pbpair_codec::Encoder::encode_frame_into`] must perform no
+//! heap allocation at all. A counting global allocator measures it
+//! directly.
+//!
+//! This file intentionally contains a **single** test: the allocation
+//! counter is process-global, and a sibling test running concurrently
+//! would pollute the count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pbpair_codec::{EncodedFrame, Encoder, EncoderConfig, NaturalPolicy};
+use pbpair_media::synth::SyntheticSequence;
+
+/// Counts every allocation and reallocation (deallocations are free —
+/// the steady state is allowed to drop nothing either, but returning
+/// memory is not the failure mode this guards).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_encoding_performs_no_heap_allocation() {
+    let mut enc = Encoder::new(EncoderConfig::default());
+    let mut policy = NaturalPolicy::new();
+    let mut seq = SyntheticSequence::foreman_class(17);
+    // Materialize the inputs up front — producing a frame allocates, and
+    // that must not be charged to the encoder.
+    let frames: Vec<_> = (0..10).map(|_| seq.next_frame()).collect();
+    let mut out = EncodedFrame::empty();
+
+    // Warm-up: the first frames size the persistent scratch (bit writer,
+    // output slot, reconstruction frames, MV history).
+    for frame in &frames[..4] {
+        enc.encode_frame_into(frame, &mut policy, &mut out);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for frame in &frames[4..] {
+        enc.encode_frame_into(frame, &mut policy, &mut out);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state encode_frame_into must not allocate ({} allocations over {} frames)",
+        after - before,
+        frames.len() - 4,
+    );
+    assert!(out.stats.bits > 0, "sanity: frames actually encoded");
+}

@@ -1,0 +1,206 @@
+//! Differential tests proving the optimized kernels bit-equal to their
+//! retained naive references for *all* inputs:
+//!
+//! * bounded SAD ([`me::sad_mb_bounded`]) vs. the exhaustive
+//!   [`me::sad_mb`], including vectors that reach outside the frame and
+//!   exercise border clamping;
+//! * the fused `dct→quant→zigzag` kernel
+//!   ([`pbpair_codec::fused::fdct_quant_scan`]) vs. the separate
+//!   three-pass pipeline, over the full QP range 1..=31;
+//! * the predicted-candidate pruning search ([`me::search_fast`]) vs.
+//!   the naive [`me::search`], for both strategies and arbitrary
+//!   prepass candidate lists — the optimized search must return the
+//!   *identical* winner (vector, SAD, and cost) while never executing
+//!   more SAD operations.
+
+use pbpair_codec::blockcode::block_is_coded;
+use pbpair_codec::fused::fdct_quant_scan;
+use pbpair_codec::me::{self, MvCandidates};
+use pbpair_codec::quant::quantize_block;
+use pbpair_codec::{dct, zigzag};
+use pbpair_codec::{MeConfig, MotionVector, Qp, SearchStrategy};
+use pbpair_media::{MbIndex, Plane};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic pseudo-random plane. Generating from a seed keeps the
+/// proptest cases small (one u64 shrinks much better than 12k pixels).
+fn random_plane(width: usize, height: usize, seed: u64) -> Plane {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Plane::from_fn(width, height, |_, _| rng.gen())
+}
+
+/// A plane with smooth content plus noise — more like video than white
+/// noise, so searches have meaningful minima.
+fn textured_plane(width: usize, height: usize, seed: u64) -> Plane {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Plane::from_fn(width, height, |x, y| {
+        let base = ((x / 7) * 13 + (y / 5) * 29) as u8;
+        base.wrapping_add(rng.gen_range(0..32))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With an infinite limit the bounded SAD degenerates to the full
+    /// SAD (and charges the full 256 ops); with a finite limit its
+    /// result is a valid SAD whenever it comes back under the limit.
+    /// Vectors deliberately reach past every frame border.
+    #[test]
+    fn bounded_sad_equals_naive_sad(
+        seed in any::<u64>(),
+        mb_row in 0usize..6,
+        mb_col in 0usize..8,
+        mv_x in -24i16..=24,
+        mv_y in -24i16..=24,
+        limit in 1u64..60_000,
+    ) {
+        let cur = random_plane(128, 96, seed);
+        let reference = random_plane(128, 96, seed.wrapping_add(1));
+        let mb = MbIndex::new(mb_row, mb_col);
+        let mv = MotionVector::new(mv_x, mv_y);
+        let naive = me::sad_mb(&cur, &reference, mb, mv);
+
+        let (full, full_ops) = me::sad_mb_bounded(&cur, &reference, mb, mv, u64::MAX);
+        prop_assert_eq!(full, naive);
+        prop_assert_eq!(full_ops, 256);
+
+        let (bounded, ops) = me::sad_mb_bounded(&cur, &reference, mb, mv, limit);
+        prop_assert!(ops <= 256);
+        if bounded < limit {
+            // Came in under the limit ⇒ must be the exact SAD.
+            prop_assert_eq!(bounded, naive);
+            prop_assert_eq!(ops, 256);
+        } else {
+            // Abandoned ⇒ the partial sum is a lower bound on the SAD.
+            prop_assert!(bounded <= naive);
+        }
+    }
+
+    /// The fused kernel's zigzag levels and coded flag equal the separate
+    /// `dct::forward → quantize_block → zigzag::scan` pipeline for every
+    /// QP and both block classes. Intra blocks see pixel-range input,
+    /// inter blocks residual-range input.
+    #[test]
+    fn fused_transform_equals_separate_pipeline(
+        seed in any::<u64>(),
+        qp_v in 1u8..=31,
+        intra in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spatial: [i32; 64] = std::array::from_fn(|_| {
+            if intra { rng.gen_range(0..=255) } else { rng.gen_range(-255..=255) }
+        });
+        let qp = Qp::new(qp_v).unwrap();
+
+        let mut freq = [0i32; 64];
+        dct::forward(&spatial, &mut freq);
+        let levels = quantize_block(&freq, qp, intra);
+        let want_zig = zigzag::scan(&levels);
+        let want_coded = block_is_coded(&want_zig, usize::from(intra));
+
+        let mut got_zig = [0i32; 64];
+        let got_coded = fdct_quant_scan(&spatial, qp, intra, &mut got_zig);
+        prop_assert_eq!(got_zig, want_zig);
+        prop_assert_eq!(got_coded, want_coded);
+    }
+
+    /// `search_fast` returns the naive search's exact winner — vector,
+    /// SAD, and biased cost — for both strategies, any bias, and *any*
+    /// prepass candidate list, while never doing more SAD work. The
+    /// prepass only tightens the pruning bound; it must never be able to
+    /// change the outcome.
+    #[test]
+    fn fast_search_equals_naive_search(
+        seed in any::<u64>(),
+        mb_row in 0usize..6,
+        mb_col in 0usize..8,
+        full in any::<bool>(),
+        range in prop::sample::select(vec![4u8, 7, 15]),
+        bias_scale in 0i64..=40,
+        cand_seeds in prop::collection::vec((-20i16..=20, -20i16..=20), 0..4),
+    ) {
+        let cur = textured_plane(128, 96, seed);
+        let reference = textured_plane(128, 96, seed.wrapping_add(7));
+        let mb = MbIndex::new(mb_row, mb_col);
+        let cfg = MeConfig {
+            search_range: range,
+            strategy: if full { SearchStrategy::Full } else { SearchStrategy::ThreeStep },
+        };
+        let mut bias = |mv: MotionVector| {
+            (mv.x.abs() as i64 + mv.y.abs() as i64) * bias_scale
+        };
+        let mut cands = MvCandidates::default();
+        for (x, y) in cand_seeds {
+            cands.push_clamped(MotionVector::new(x, y), range);
+        }
+
+        let naive = me::search(&cur, &reference, mb, cfg, &mut bias);
+        let fast = me::search_fast(&cur, &reference, mb, cfg, &mut bias, &cands);
+
+        prop_assert_eq!(fast.mv, naive.mv, "winning vector diverged");
+        prop_assert_eq!(fast.sad, naive.sad, "winning SAD diverged");
+        prop_assert_eq!(fast.cost, naive.cost, "winning cost diverged");
+        prop_assert!(
+            fast.sad_ops <= naive.sad_ops,
+            "fast search did more work: {} vs {}",
+            fast.sad_ops,
+            naive.sad_ops
+        );
+    }
+}
+
+/// Corner macroblocks with the window reaching fully outside the frame:
+/// the clamped-border code path of both SAD kernels and both searches.
+#[test]
+fn fast_search_equals_naive_at_frame_borders() {
+    let cur = textured_plane(128, 96, 1001);
+    let reference = textured_plane(128, 96, 1002);
+    // All four corner MBs and the centre of each edge of an 8×6 grid.
+    let corners = [
+        (0, 0),
+        (0, 7),
+        (5, 0),
+        (5, 7),
+        (0, 3),
+        (5, 3),
+        (2, 0),
+        (2, 7),
+    ];
+    for strategy in [SearchStrategy::Full, SearchStrategy::ThreeStep] {
+        let cfg = MeConfig {
+            search_range: 15,
+            strategy,
+        };
+        for (row, col) in corners {
+            let mb = MbIndex::new(row, col);
+            let naive = me::search(&cur, &reference, mb, cfg, &mut |_| 0);
+            let fast = me::search_fast(
+                &cur,
+                &reference,
+                mb,
+                cfg,
+                &mut |_| 0,
+                &MvCandidates::default(),
+            );
+            assert_eq!(fast.mv, naive.mv, "mb ({row},{col}) {strategy:?}");
+            assert_eq!(fast.sad, naive.sad, "mb ({row},{col}) {strategy:?}");
+            assert_eq!(fast.cost, naive.cost, "mb ({row},{col}) {strategy:?}");
+        }
+    }
+}
+
+/// The clamp in `push_clamped` must keep every prepass candidate inside
+/// the legal window even when fed out-of-range predictions, so the fast
+/// search never evaluates an illegal vector.
+#[test]
+fn candidate_clamping_respects_the_search_window() {
+    let mut cands = MvCandidates::default();
+    cands.push_clamped(MotionVector::new(100, -100), 15);
+    cands.push_clamped(MotionVector::new(-3, 127), 7);
+    for mv in cands.as_slice() {
+        assert!(mv.x.abs() <= 15 && mv.y.abs() <= 15, "unclamped {mv:?}");
+    }
+}

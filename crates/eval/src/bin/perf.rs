@@ -1,0 +1,238 @@
+//! Encode hot-path benchmark: frames/sec, SAD ops/frame, and
+//! allocations/frame for the retained naive path, the optimized serial
+//! path, and slice-parallel encoding at 2 and 4 threads, over seeded
+//! synthetic clips. Emits the JSON committed as `BENCH_PR5.json`
+//! (schema enforced by `ci/validate_bench.py`).
+//!
+//! Usage:
+//!   cargo run --release -p pbpair-eval --bin perf              # full run, JSON to stdout
+//!   cargo run --release -p pbpair-eval --bin perf -- --smoke   # CI-sized run
+//!   cargo run --release -p pbpair-eval --bin perf -- --out BENCH_PR5.json
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use pbpair_codec::{EncodedFrame, Encoder, EncoderConfig, NaturalPolicy, OptConfig};
+use pbpair_media::synth::SyntheticSequence;
+use pbpair_media::Frame;
+
+/// Counts heap allocations so the benchmark can report allocations per
+/// steady-state frame (the zero-allocation claim, measured rather than
+/// asserted here).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+const WARMUP: usize = 4;
+
+struct Variant {
+    name: &'static str,
+    threads: u8,
+    opt: OptConfig,
+}
+
+fn variants() -> Vec<Variant> {
+    vec![
+        Variant {
+            name: "naive",
+            threads: 1,
+            opt: OptConfig::naive(),
+        },
+        Variant {
+            name: "fast",
+            threads: 1,
+            opt: OptConfig::default(),
+        },
+        Variant {
+            name: "fast-2slices",
+            threads: 2,
+            opt: OptConfig {
+                slices: 2,
+                ..OptConfig::default()
+            },
+        },
+        Variant {
+            name: "fast-4slices",
+            threads: 4,
+            opt: OptConfig {
+                slices: 4,
+                ..OptConfig::default()
+            },
+        },
+    ]
+}
+
+struct Measurement {
+    name: String,
+    threads: u8,
+    clip: &'static str,
+    frames: usize,
+    fps: f64,
+    sad_ops_per_frame: f64,
+    allocs_per_frame: f64,
+    speedup_vs_naive: f64,
+}
+
+/// Encodes `frames` pre-generated frames and measures throughput, SAD
+/// work, and steady-state allocations. The bitstream digest is returned
+/// so the harness can assert all variants agree.
+fn run_variant(v: &Variant, clip: &'static str, frames: &[Frame]) -> (Measurement, u64) {
+    let mut enc = Encoder::new(EncoderConfig {
+        opt: v.opt,
+        ..EncoderConfig::paper()
+    });
+    let mut policy = NaturalPolicy::new();
+    let mut out = EncodedFrame::empty();
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for frame in &frames[..WARMUP] {
+        enc.encode_frame_into(frame, &mut policy, &mut out);
+        for &b in &out.data {
+            digest ^= b as u64;
+            digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    let _ = enc.take_ops();
+    let measured = &frames[WARMUP..];
+    let allocs_before = ALLOCATIONS.load(Ordering::SeqCst);
+    let t0 = Instant::now();
+    for frame in measured {
+        enc.encode_frame_into(frame, &mut policy, &mut out);
+        for &b in &out.data {
+            digest ^= b as u64;
+            digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst) - allocs_before;
+    let ops = enc.take_ops();
+    let n = measured.len() as f64;
+    (
+        Measurement {
+            name: format!("{}/{}", v.name, clip),
+            threads: v.threads,
+            clip,
+            frames: measured.len(),
+            fps: n / elapsed.max(1e-9),
+            sad_ops_per_frame: ops.sad_ops as f64 / n,
+            allocs_per_frame: allocs as f64 / n,
+            speedup_vs_naive: 0.0, // filled in by the caller
+        },
+        digest,
+    )
+}
+
+fn json_escape_is_unneeded(s: &str) -> bool {
+    s.chars()
+        .all(|c| c.is_ascii_graphic() && c != '"' && c != '\\')
+}
+
+fn emit_json(results: &[Measurement], frames_per_clip: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"meta\": {\n");
+    let _ = writeln!(out, "    \"bench\": \"pr5-encode-hot-path\",");
+    let _ = writeln!(out, "    \"config\": \"paper (full search ±15, QCIF)\",");
+    let _ = writeln!(out, "    \"warmup_frames\": {WARMUP},");
+    let _ = writeln!(out, "    \"measured_frames_per_clip\": {frames_per_clip}");
+    out.push_str("  },\n  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        assert!(json_escape_is_unneeded(&m.name), "unescapable name");
+        out.push_str("    {");
+        let _ = write!(out, "\"name\": \"{}\", ", m.name);
+        let _ = write!(out, "\"threads\": {}, ", m.threads);
+        let _ = write!(out, "\"clip\": \"{}\", ", m.clip);
+        let _ = write!(out, "\"frames\": {}, ", m.frames);
+        let _ = write!(out, "\"fps\": {:.2}, ", m.fps);
+        let _ = write!(out, "\"sad_ops_per_frame\": {:.1}, ", m.sad_ops_per_frame);
+        let _ = write!(out, "\"allocs_per_frame\": {:.3}, ", m.allocs_per_frame);
+        let _ = write!(out, "\"speedup_vs_naive\": {:.3}", m.speedup_vs_naive);
+        out.push_str(if i + 1 == results.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args.get(i + 1).expect("--out requires a path").clone());
+    let frames_per_clip = if smoke { 12 } else { 64 } + WARMUP;
+
+    type MakeSeq = fn(u64) -> SyntheticSequence;
+    let clips: [(&'static str, MakeSeq, u64); 2] = [
+        ("foreman", SyntheticSequence::foreman_class, 42),
+        ("akiyo", SyntheticSequence::akiyo_class, 43),
+    ];
+
+    let mut results = Vec::new();
+    for (clip, make_seq, seed) in &clips {
+        let mut seq = make_seq(*seed);
+        let frames: Vec<Frame> = (0..frames_per_clip).map(|_| seq.next_frame()).collect();
+        let mut naive_fps = 0.0;
+        let mut digest0 = None;
+        for v in variants() {
+            let (mut m, digest) = run_variant(&v, clip, &frames);
+            // Every variant must produce the identical bitstream — a
+            // benchmark that silently measured a divergent encoder would
+            // be meaningless.
+            match digest0 {
+                None => digest0 = Some(digest),
+                Some(d) => assert_eq!(
+                    d, digest,
+                    "variant {} diverged from the naive bitstream on {clip}",
+                    m.name
+                ),
+            }
+            if v.name == "naive" {
+                naive_fps = m.fps;
+            }
+            m.speedup_vs_naive = m.fps / naive_fps;
+            eprintln!(
+                "{:>20}: {:8.2} fps  {:12.0} sad_ops/frame  {:6.3} allocs/frame  {:5.2}x",
+                m.name, m.fps, m.sad_ops_per_frame, m.allocs_per_frame, m.speedup_vs_naive
+            );
+            results.push(m);
+        }
+    }
+
+    let json = emit_json(&results, frames_per_clip - WARMUP);
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, &json).expect("write bench JSON");
+            eprintln!("wrote {p}");
+        }
+        None => print!("{json}"),
+    }
+}

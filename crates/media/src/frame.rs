@@ -114,6 +114,22 @@ impl Frame {
     pub fn planes_mut(&mut self) -> (&mut Plane, &mut Plane, &mut Plane) {
         (&mut self.y, &mut self.cb, &mut self.cr)
     }
+
+    /// Copies all three planes from `other` without reallocating — the
+    /// allocation-free alternative to cloning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frames have different formats.
+    pub fn copy_from(&mut self, other: &Frame) {
+        assert!(
+            self.format == other.format,
+            "copy_from requires equal formats"
+        );
+        self.y.copy_from(&other.y);
+        self.cb.copy_from(&other.cb);
+        self.cr.copy_from(&other.cr);
+    }
 }
 
 #[cfg(test)]

@@ -127,6 +127,20 @@ impl Plane {
         self.data.fill(value);
     }
 
+    /// Copies every sample from `other` into this plane without
+    /// reallocating — the allocation-free alternative to cloning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the planes have different dimensions.
+    pub fn copy_from(&mut self, other: &Plane) {
+        assert!(
+            self.width == other.width && self.height == other.height,
+            "copy_from requires equal dimensions"
+        );
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Returns row `y` as a contiguous slice.
     ///
     /// # Panics
