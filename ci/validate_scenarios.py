@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validates a scenario-matrix JSON report against the committed
+per-scenario resilience bounds, with trend tracking.
+
+Usage: python3 ci/validate_scenarios.py <scenarios.json> [<bounds.json>]
+
+Checks:
+  * schema: 18 cells (3 scenarios x 2 clips x 3 schemes), every field
+    present and integer-valued, nonzero digests and PSNR;
+  * committed bounds per scenario: minimum PSNR, maximum per-cell
+    energy, maximum C^k Brier score, maximum mean frames-to-heal —
+    resilience regressions fail CI the same way bitstream goldens do;
+  * trend: every gated quantity is reported as a drift percentage
+    against the baseline recorded when the bound was committed, so a
+    slow slide toward a bound is visible in CI logs long before it
+    trips.
+"""
+
+import json
+import sys
+
+EXPECTED_CELLS = 18
+EXPECTED_SCENARIOS = {"steady_burst", "handoff_ramp", "feedback_blackout"}
+EXPECTED_CLIPS = {"akiyo", "foreman"}
+EXPECTED_SCHEMES = {"PBPAIR", "GOP-4", "AIR-11"}
+CELL_FIELDS = {
+    "scenario": str,
+    "clip": str,
+    "scheme": str,
+    "digest": str,
+    "psnr_mdb": int,
+    "energy_uj": int,
+    "brier_e9": int,
+    "heal_events": int,
+    "heal_sum": int,
+    "heal_max": int,
+    "frames_lost": int,
+    "impaired": int,
+    "recovered": int,
+}
+
+
+def fail(msg):
+    print(f"scenario validation FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def drift(observed, baseline):
+    """Signed drift of observed vs baseline, as a percentage string."""
+    if baseline == 0:
+        return "n/a"
+    return f"{100.0 * (observed - baseline) / baseline:+.1f}%"
+
+
+def main(report_path, bounds_path):
+    with open(report_path) as f:
+        doc = json.load(f)
+    with open(bounds_path) as f:
+        bounds = json.load(f)["scenarios"]
+
+    if set(doc) != {"frames", "sessions", "cells"}:
+        fail(f"top-level keys {sorted(doc)}")
+    cells = doc["cells"]
+    if len(cells) != EXPECTED_CELLS:
+        fail(f"{len(cells)} cells != {EXPECTED_CELLS}")
+
+    seen = set()
+    per_scenario = {}
+    for c in cells:
+        if set(c) != set(CELL_FIELDS):
+            fail(f"cell keys {sorted(c)} != {sorted(CELL_FIELDS)}")
+        for field, ty in CELL_FIELDS.items():
+            if not isinstance(c[field], ty):
+                fail(f"{c['scenario']}/{c['clip']}/{c['scheme']}: "
+                     f"{field} is {type(c[field]).__name__}")
+        if c["psnr_mdb"] == 0:
+            fail(f"{c['scenario']}/{c['clip']}/{c['scheme']}: zero PSNR")
+        if c["digest"] == "0" * 16:
+            fail(f"{c['scenario']}/{c['clip']}/{c['scheme']}: zero digest")
+        seen.add((c["scenario"], c["clip"], c["scheme"]))
+        agg = per_scenario.setdefault(c["scenario"], {
+            "psnr_min_mdb": 1 << 60,
+            "energy_max_uj": 0,
+            "brier_max_e9": 0,
+            "heal_mean_max": 0.0,
+        })
+        agg["psnr_min_mdb"] = min(agg["psnr_min_mdb"], c["psnr_mdb"])
+        agg["energy_max_uj"] = max(agg["energy_max_uj"], c["energy_uj"])
+        agg["brier_max_e9"] = max(agg["brier_max_e9"], c["brier_e9"])
+        if c["heal_events"] > 0:
+            agg["heal_mean_max"] = max(
+                agg["heal_mean_max"], c["heal_sum"] / c["heal_events"])
+
+    expected_matrix = {
+        (sc, cl, sch)
+        for sc in EXPECTED_SCENARIOS
+        for cl in EXPECTED_CLIPS
+        for sch in EXPECTED_SCHEMES
+    }
+    if seen != expected_matrix:
+        fail(f"matrix coverage mismatch: missing {sorted(expected_matrix - seen)}, "
+             f"extra {sorted(seen - expected_matrix)}")
+    if set(per_scenario) != set(bounds):
+        fail(f"scenarios {sorted(per_scenario)} != bounded {sorted(bounds)}")
+
+    # The gates: lower-is-better quantities against max bounds, PSNR
+    # against its min bound, each with its drift vs committed baseline.
+    for name in sorted(per_scenario):
+        agg, b = per_scenario[name], bounds[name]
+        base = b["baseline"]
+        checks = [
+            ("psnr_min_mdb", agg["psnr_min_mdb"], b["psnr_min_mdb"], "min", "mdB"),
+            ("energy_max_uj", agg["energy_max_uj"], b["energy_max_uj"], "max", "uJ"),
+            ("brier_max_e9", agg["brier_max_e9"], b["brier_max_e9"], "max", "/1e9"),
+            ("heal_mean_max", agg["heal_mean_max"], b["heal_mean_max"], "max", "frames"),
+        ]
+        for key, observed, bound, kind, unit in checks:
+            trend = drift(observed, base[key])
+            print(f"{name}: {key} = {observed:.0f} {unit} "
+                  f"(bound {kind} {bound}, drift vs baseline {trend})")
+            if kind == "min" and observed < bound:
+                fail(f"{name}: {key} {observed} below committed floor {bound}")
+            if kind == "max" and observed > bound:
+                fail(f"{name}: {key} {observed} above committed ceiling {bound}")
+
+    print(f"scenarios OK: {len(cells)} cells, "
+          f"{len(per_scenario)} scenarios within committed bounds")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) not in (2, 3):
+        fail("usage: validate_scenarios.py <scenarios.json> [<bounds.json>]")
+    main(sys.argv[1], sys.argv[2] if len(sys.argv) == 3 else "ci/scenario_bounds.json")

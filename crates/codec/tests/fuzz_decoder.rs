@@ -12,6 +12,7 @@
 use pbpair_codec::{DecodeReport, Decoder, Encoder, EncoderConfig, NaturalPolicy};
 use pbpair_media::synth::SyntheticSequence;
 use pbpair_media::VideoFormat;
+use pbpair_netsim::{reassemble_frame_damaged, LossModel, MarkovBurstErasure, Packetizer};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -26,6 +27,17 @@ fn valid_frames() -> Vec<Vec<u8>> {
         .collect()
 }
 
+/// Display names of the structural mutation classes, indexed by the
+/// class id that [`mutate_once`] accepts.
+const MUTATION_CLASSES: [&str; 6] = [
+    "bit-flip",
+    "overwrite",
+    "truncate",
+    "delete",
+    "insert",
+    "duplicate",
+];
+
 /// Applies 1–4 random structural mutations to `data`.
 fn mutate(rng: &mut StdRng, data: &mut Vec<u8>) {
     for _ in 0..rng.gen_range(1..=4usize) {
@@ -33,46 +45,57 @@ fn mutate(rng: &mut StdRng, data: &mut Vec<u8>) {
             data.extend((0..rng.gen_range(1..64usize)).map(|_| rng.gen::<u8>()));
             continue;
         }
-        match rng.gen_range(0..6u8) {
-            // Bit flips.
-            0 => {
-                for _ in 0..rng.gen_range(1..=16usize) {
-                    let i = rng.gen_range(0..data.len());
-                    data[i] ^= 1 << rng.gen_range(0..8u8);
-                }
+        let class = rng.gen_range(0..6u8);
+        mutate_once(rng, data, class);
+    }
+}
+
+/// Applies one structural mutation of the given class (0..6); empty
+/// inputs are replenished with random bytes first so every class has
+/// something to chew on.
+fn mutate_once(rng: &mut StdRng, data: &mut Vec<u8>, class: u8) {
+    if data.is_empty() {
+        data.extend((0..rng.gen_range(1..64usize)).map(|_| rng.gen::<u8>()));
+    }
+    match class {
+        // Bit flips.
+        0 => {
+            for _ in 0..rng.gen_range(1..=16usize) {
+                let i = rng.gen_range(0..data.len());
+                data[i] ^= 1 << rng.gen_range(0..8u8);
             }
-            // Overwrite a span with random bytes.
-            1 => {
-                let start = rng.gen_range(0..data.len());
-                let end = (start + rng.gen_range(1..48usize)).min(data.len());
-                for b in &mut data[start..end] {
-                    *b = rng.gen();
-                }
+        }
+        // Overwrite a span with random bytes.
+        1 => {
+            let start = rng.gen_range(0..data.len());
+            let end = (start + rng.gen_range(1..48usize)).min(data.len());
+            for b in &mut data[start..end] {
+                *b = rng.gen();
             }
-            // Truncate.
-            2 => {
-                data.truncate(rng.gen_range(0..data.len()));
-            }
-            // Delete a span.
-            3 => {
-                let start = rng.gen_range(0..data.len());
-                let end = (start + rng.gen_range(1..32usize)).min(data.len());
-                data.drain(start..end);
-            }
-            // Insert random bytes.
-            4 => {
-                let at = rng.gen_range(0..=data.len());
-                let insert: Vec<u8> = (0..rng.gen_range(1..32usize)).map(|_| rng.gen()).collect();
-                data.splice(at..at, insert);
-            }
-            // Duplicate a span somewhere else (packet duplication).
-            _ => {
-                let start = rng.gen_range(0..data.len());
-                let end = (start + rng.gen_range(1..64usize)).min(data.len());
-                let span: Vec<u8> = data[start..end].to_vec();
-                let at = rng.gen_range(0..=data.len());
-                data.splice(at..at, span);
-            }
+        }
+        // Truncate.
+        2 => {
+            data.truncate(rng.gen_range(0..data.len()));
+        }
+        // Delete a span.
+        3 => {
+            let start = rng.gen_range(0..data.len());
+            let end = (start + rng.gen_range(1..32usize)).min(data.len());
+            data.drain(start..end);
+        }
+        // Insert random bytes.
+        4 => {
+            let at = rng.gen_range(0..=data.len());
+            let insert: Vec<u8> = (0..rng.gen_range(1..32usize)).map(|_| rng.gen()).collect();
+            data.splice(at..at, insert);
+        }
+        // Duplicate a span somewhere else (packet duplication).
+        _ => {
+            let start = rng.gen_range(0..data.len());
+            let end = (start + rng.gen_range(1..64usize)).min(data.len());
+            let span: Vec<u8> = data[start..end].to_vec();
+            let at = rng.gen_range(0..=data.len());
+            data.splice(at..at, span);
         }
     }
 }
@@ -132,6 +155,88 @@ fn ten_thousand_seeded_corruptions_never_panic() {
         concealed_seen > 1000,
         "concealment barely hit: {concealed_seen}"
     );
+}
+
+/// Every mutation class, pushed through a Markov burst-erasure channel
+/// whose bursts are re-anchored to the picture header: whatever loss the
+/// `(B, G)` channel deals a picture's fragment stream is taken from
+/// fragment 0 upward, so the picture header — the resync anchor — dies
+/// first. The resilient decoder must stay total on the reassembled
+/// remains, keep honest books, and come out unpoisoned, and the recovery
+/// machinery must demonstrably engage for every class.
+#[test]
+fn every_mutation_class_survives_header_aligned_burst_erasure() {
+    let originals = valid_frames();
+    let mut rng = StdRng::seed_from_u64(0xB125_7EED);
+
+    for (class, name) in MUTATION_CLASSES.iter().enumerate() {
+        // A fresh seeded channel per class keeps each class's burst
+        // phasing independent while the whole run stays reproducible.
+        let mut channel = MarkovBurstErasure::new(3.0, 9.0, 0x1000 + class as u64);
+        let mut header_kills = 0u64;
+        let mut frames_out = 0u64;
+        let mut recovered = 0u64;
+        let mut concealed = 0u64;
+
+        for case in 0..400u64 {
+            let mut data = originals[(case % originals.len() as u64) as usize].clone();
+            mutate_once(&mut rng, &mut data, class as u8);
+            if data.is_empty() {
+                // A truncation can erase the picture entirely; there is
+                // no transport leg for zero bytes.
+                continue;
+            }
+
+            // Small MTU so every picture spans many fragments, then one
+            // channel sample per fragment. The lost count is applied
+            // from fragment 0 upward — burst aligned to the header.
+            let mut pkt = Packetizer::new(96);
+            let packets = pkt.packetize(case, &data);
+            let lost = packets.iter().filter(|_| channel.next_lost()).count();
+            if lost > 0 {
+                header_kills += 1;
+            }
+            let survivors: Vec<_> = packets.into_iter().skip(lost).collect();
+
+            let mut dec = Decoder::new(VideoFormat::QCIF);
+            if let Some(bytes) = reassemble_frame_damaged(&survivors) {
+                let (frame, report) = dec.decode_frame_resilient(&bytes);
+                assert_eq!(frame.format(), VideoFormat::QCIF, "{name} case {case}");
+                check_report(1, &report, bytes.len());
+                frames_out += 1;
+                recovered += report.frames_recovered;
+                concealed += report.mbs_concealed;
+            }
+            // else: the burst swallowed every fragment — the receiver
+            // conceals from its reference; nothing to decode, no panic.
+
+            // The decoder must not be poisoned by the damaged picture:
+            // an intact one still decodes afterwards.
+            let (ok, clean) = dec.decode_frame_resilient(&originals[0]);
+            assert_eq!(
+                ok.format(),
+                VideoFormat::QCIF,
+                "{name} case {case}: decoder poisoned"
+            );
+            assert_eq!(clean.frames_decoded, 1, "{name} case {case}");
+        }
+
+        // Recovery reporting per class: the channel must actually have
+        // burst, most pictures must still decode, and header loss must
+        // have driven the recovery/concealment path.
+        assert!(
+            header_kills > 100,
+            "{name}: bursts barely fired ({header_kills}/400)"
+        );
+        assert!(
+            frames_out > 200,
+            "{name}: almost nothing decoded ({frames_out}/400)"
+        );
+        assert!(
+            recovered + concealed > 0,
+            "{name}: recovery machinery never engaged"
+        );
+    }
 }
 
 proptest! {

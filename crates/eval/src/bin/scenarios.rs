@@ -1,0 +1,94 @@
+//! Scenario-matrix evaluation: every committed channel scenario
+//! (steady burst erasure, mobility handoff ramp, feedback-blackout
+//! chaos) × content clip × refresh scheme, over an alternating
+//! IPAQ/ZAURUS device mix, run through the serving layer with causal
+//! tracing on.
+//!
+//! Usage: `cargo run --release -p pbpair-eval --bin scenarios \
+//!   [-- --smoke] [--workers N] [--out <path>]`
+//!
+//! The deterministic JSON report goes to stdout by default; `--out
+//! <path>` redirects it to a file (the human table then stays on
+//! stdout, otherwise it moves to stderr so stdout remains
+//! machine-parseable). The JSON is byte-identical for any `--workers N`
+//! — `ci/validate_scenarios.py` gates the committed per-scenario
+//! resilience bounds on it. `PBPAIR_FRAMES` overrides the
+//! frames-per-session depth.
+
+use pbpair_eval::experiments::frames_from_env;
+use pbpair_eval::experiments::scenarios::run_scenario_matrix;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let workers = flag_value(&args, "--workers")
+        .map(|v| {
+            v.parse::<usize>()
+                .unwrap_or_else(|_| panic!("--workers expects a number, got {v:?}"))
+        })
+        .unwrap_or(2);
+    let out_path = flag_value(&args, "--out");
+
+    let (frames, sessions) = if smoke {
+        (frames_from_env(16), 2)
+    } else {
+        (frames_from_env(48), 4)
+    };
+
+    eprintln!("scenarios: 3 channels x 2 clips x 3 schemes, {sessions} sessions x {frames} frames/cell, {workers} workers");
+    let matrix = match run_scenario_matrix(frames, sessions, workers) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("scenario matrix failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let json = matrix.deterministic_json();
+    let table = matrix.table().to_string();
+    match &out_path {
+        Some(path) => {
+            println!("{table}");
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("deterministic scenario report written to {path}");
+        }
+        None => {
+            eprintln!("{table}");
+            println!("{json}");
+        }
+    }
+
+    if smoke {
+        // Smoke gates: full matrix coverage, every cell decoded
+        // something, and the lossy scenarios actually damaged frames.
+        if matrix.cells.len() != 3 * 2 * 3 {
+            eprintln!(
+                "smoke gate failed: expected 18 cells, got {}",
+                matrix.cells.len()
+            );
+            std::process::exit(1);
+        }
+        if matrix
+            .cells
+            .iter()
+            .any(|c| c.psnr_mdb == 0 || c.digest == 0)
+        {
+            eprintln!("smoke gate failed: a cell produced no usable output");
+            std::process::exit(1);
+        }
+        if matrix.cells.iter().all(|c| c.heal_events == 0) {
+            eprintln!("smoke gate failed: no damage events recorded across the matrix");
+            std::process::exit(1);
+        }
+    }
+}

@@ -8,6 +8,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod headline;
 pub mod resilience;
+pub mod scenarios;
 pub mod sweeps;
 pub mod trace;
 

@@ -1,0 +1,83 @@
+//! Golden deterministic digests for the three committed scenarios.
+//!
+//! Each vector runs one fixed cell of the scenario matrix (foreman
+//! clip, PBPAIR scheme, 2 sessions, fixed depth) under one committed
+//! channel scenario, at 1, 2, and 8 workers. All three runs must
+//! produce the same deterministic fleet digest, and its FNV-1a hash
+//! must match the committed constant — one number pins the entire
+//! encoder → channel → decoder → feedback → health trajectory of the
+//! scenario.
+//!
+//! To re-bless after an *intentional* behavior change, run
+//! `PBPAIR_BLESS=1 cargo test -p pbpair-eval --test scenario_goldens -- --nocapture`
+//! and paste the printed digests into `GOLDENS`.
+
+use pbpair_eval::experiments::scenarios::committed_scenarios;
+use pbpair_media::synth::MotionClass;
+use pbpair_serve::{run, DeviceMix, ServeConfig, SessionScheme};
+
+const FRAMES: usize = 12;
+const SESSIONS: usize = 2;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const GOLDENS: &[(&str, u64)] = &[
+    ("steady_burst", 0xf221_419e_7a47_00b2),
+    ("handoff_ramp", 0x6d9b_b9ba_71a3_cad6),
+    ("feedback_blackout", 0x7bef_86a4_7f95_8854),
+];
+
+fn digest_at(scenario_name: &str, workers: usize) -> String {
+    let scenario = committed_scenarios()
+        .into_iter()
+        .find(|s| s.name == scenario_name)
+        .expect("committed scenario exists");
+    let mut cfg = ServeConfig {
+        sessions: SESSIONS,
+        frames: FRAMES,
+        workers,
+        seed: 2005,
+        plr: 0.08,
+        corruption: 0.2,
+        mtu: 300,
+        pacing_us: 0,
+        channel: scenario.channel.clone(),
+        clip: Some(MotionClass::MediumForeman),
+        scheme: SessionScheme::Pbpair,
+        device_mix: DeviceMix::Alternating,
+        chaos: scenario.chaos.clone(),
+        ..ServeConfig::default()
+    };
+    cfg.admission.capacity_j_per_round = f64::MAX;
+    run(&cfg).expect("valid config").deterministic_digest()
+}
+
+#[test]
+fn committed_scenarios_replay_identically_at_1_2_and_8_workers() {
+    let bless = std::env::var("PBPAIR_BLESS").is_ok();
+    for &(name, committed) in GOLDENS {
+        let one = digest_at(name, 1);
+        let two = digest_at(name, 2);
+        let eight = digest_at(name, 8);
+        assert_eq!(one, two, "{name}: digest differs between 1 and 2 workers");
+        assert_eq!(two, eight, "{name}: digest differs between 2 and 8 workers");
+        let got = fnv1a(one.as_bytes());
+        if bless {
+            println!("    (\"{name}\", 0x{got:016x}),");
+        } else {
+            assert_eq!(
+                got, committed,
+                "{name}: scenario digest drifted from the committed golden \
+                 (0x{got:016x} vs 0x{committed:016x}); if the change is \
+                 intentional, re-bless with PBPAIR_BLESS=1"
+            );
+        }
+    }
+}

@@ -48,6 +48,20 @@ impl LossyChannel {
         &self.stats
     }
 
+    /// Advances the loss model's frame clock (see
+    /// [`LossModel::on_frame`]). Call once per frame slot, before that
+    /// slot's packets are transmitted.
+    pub fn on_frame(&mut self, frame: u64) {
+        self.model.on_frame(frame);
+    }
+
+    /// Replaces the loss model mid-stream, returning the old one.
+    /// Statistics are preserved — the channel is still the same link,
+    /// the weather on it changed (chaos-injection channel swaps).
+    pub fn swap_model(&mut self, model: Box<dyn LossModel>) -> Box<dyn LossModel> {
+        std::mem::replace(&mut self.model, model)
+    }
+
     /// Transmits a batch of packets; returns those that survive.
     pub fn transmit(&mut self, packets: &[Packet]) -> Vec<Packet> {
         let mut out = Vec::with_capacity(packets.len());

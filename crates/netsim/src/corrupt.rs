@@ -502,6 +502,19 @@ impl CorruptingChannel {
         self.inner.stats()
     }
 
+    /// Advances the loss model's frame clock (see
+    /// [`crate::loss::LossModel::on_frame`]); call once per frame slot
+    /// before transmitting that slot's packets.
+    pub fn on_frame(&mut self, frame: u64) {
+        self.inner.on_frame(frame);
+    }
+
+    /// Replaces the loss model mid-stream (chaos-injection channel
+    /// swaps), preserving loss statistics. Returns the old model.
+    pub fn swap_model(&mut self, model: Box<dyn LossModel>) -> Box<dyn LossModel> {
+        self.inner.swap_model(model)
+    }
+
     /// Corruption statistics.
     pub fn corruption_stats(&self) -> &CorruptionStats {
         self.corrupter.stats()

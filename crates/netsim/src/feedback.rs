@@ -118,12 +118,52 @@ pub struct FeedbackReport {
 /// Cumulative statistics of the feedback path.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FeedbackLinkStats {
-    /// Reports the receiver offered to the link.
+    /// Report copies the receiver offered to the link (retries included).
     pub sent: u64,
-    /// Reports the return channel dropped.
+    /// Copies the return channel dropped.
     pub lost: u64,
-    /// Reports the encoder actually polled off the link.
+    /// Copies the encoder actually polled off the link.
     pub delivered: u64,
+    /// Copies that arrived older than the staleness window and were
+    /// discarded instead of applied.
+    pub expired: u64,
+    /// Copies that arrived after a fresher report had already been
+    /// applied (RTT shrank mid-flight, or a retry duplicate landed late)
+    /// and were discarded instead of applied out of order.
+    pub out_of_order: u64,
+}
+
+/// Bounded retry with exponential backoff + deterministic jitter for the
+/// feedback path. The receiver re-offers each report up to `max_retries`
+/// times; copy `k` (1-based) is sent `base_backoff_frames · 2^(k−1) +
+/// jitter` frames after the original. Copies share the original's
+/// sequence number, so once any copy is applied the rest are discarded by
+/// the out-of-order guard — retries add redundancy, never regressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryConfig {
+    /// Redundant copies per report (0 disables retry).
+    pub max_retries: u32,
+    /// Backoff base, in frame periods (doubles per attempt).
+    pub base_backoff_frames: u64,
+    /// Seed for the deterministic jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            max_retries: 0,
+            base_backoff_frames: 2,
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 /// The return channel for receiver reports: a [`LossModel`] plus a fixed
@@ -150,10 +190,17 @@ pub struct FeedbackLinkStats {
 pub struct FeedbackLink {
     loss: Box<dyn LossModel>,
     delay_frames: u64,
-    /// Reports in flight, tagged with their arrival frame; ordered by
-    /// send time (arrival times are monotone since the delay is fixed).
+    /// Reports in flight, tagged with their arrival frame. Send order,
+    /// not arrival order: the delay may change mid-run (handoff RTT
+    /// jumps), so `poll` scans the whole queue.
     in_flight: VecDeque<(u64, FeedbackReport)>,
     next_seq: u64,
+    /// Sequence number of the newest report ever returned by `poll`;
+    /// anything at or below it that arrives later is discarded.
+    last_applied_seq: Option<u64>,
+    /// Maximum report age (frames) `poll` will still apply; `None`
+    /// disables expiry.
+    staleness_window: Option<u64>,
     stats: FeedbackLinkStats,
 }
 
@@ -176,6 +223,8 @@ impl FeedbackLink {
             delay_frames,
             in_flight: VecDeque::new(),
             next_seq: 0,
+            last_applied_seq: None,
+            staleness_window: None,
             stats: FeedbackLinkStats::default(),
         }
     }
@@ -183,6 +232,27 @@ impl FeedbackLink {
     /// Statistics so far.
     pub fn stats(&self) -> &FeedbackLinkStats {
         &self.stats
+    }
+
+    /// The transit delay currently in force, in frame periods.
+    pub fn delay_frames(&self) -> u64 {
+        self.delay_frames
+    }
+
+    /// Changes the transit delay for reports sent *from now on* — how a
+    /// mobility schedule applies its per-phase RTT. Reports already in
+    /// flight keep their original arrival time, so an RTT drop can make
+    /// a newer report overtake an older one; `poll`'s out-of-order guard
+    /// discards the straggler.
+    pub fn set_delay(&mut self, delay_frames: u64) {
+        self.delay_frames = delay_frames;
+    }
+
+    /// Bounds how old (in frames, send → poll) a report may be and still
+    /// be applied; older arrivals are counted as `expired` and dropped.
+    /// `None` (the default) disables expiry.
+    pub fn set_staleness_window(&mut self, window: Option<u64>) {
+        self.staleness_window = window;
     }
 
     /// Reports currently in transit.
@@ -196,34 +266,90 @@ impl FeedbackLink {
     pub fn send(&mut self, now_frame: u64, plr: f64) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.stats.sent += 1;
-        if self.loss.next_lost() {
-            self.stats.lost += 1;
-            return;
-        }
-        self.in_flight.push_back((
-            now_frame + self.delay_frames,
+        self.offer_copy(
+            now_frame,
             FeedbackReport {
                 seq,
                 sent_at_frame: now_frame,
                 plr,
             },
-        ));
+        );
     }
 
-    /// Encoder side: drains every report that has arrived by frame
-    /// `now_frame` and returns the freshest one, if any. Older reports
-    /// arriving in the same poll are superseded (they still count as
-    /// delivered).
+    /// Receiver side with bounded retry: offers the report now and again
+    /// at `base · 2^(k−1) + jitter` frame offsets, up to
+    /// `retry.max_retries` redundant copies. Every copy shares one
+    /// sequence number; the out-of-order guard in [`FeedbackLink::poll`]
+    /// makes late duplicates harmless. With `max_retries == 0` this is
+    /// exactly [`FeedbackLink::send`].
+    pub fn send_with_retry(&mut self, now_frame: u64, plr: f64, retry: &RetryConfig) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let report = FeedbackReport {
+            seq,
+            sent_at_frame: now_frame,
+            plr,
+        };
+        self.offer_copy(now_frame, report);
+        for attempt in 1..=u64::from(retry.max_retries) {
+            let backoff = retry.base_backoff_frames << (attempt - 1);
+            let jitter = if retry.base_backoff_frames == 0 {
+                0
+            } else {
+                splitmix(retry.jitter_seed ^ seq.wrapping_mul(0x9e37_79b9) ^ attempt)
+                    % retry.base_backoff_frames
+            };
+            self.offer_copy(now_frame + backoff + jitter, report);
+        }
+    }
+
+    /// Offers one copy to the lossy return path at `send_frame`.
+    fn offer_copy(&mut self, send_frame: u64, report: FeedbackReport) {
+        self.stats.sent += 1;
+        if self.loss.next_lost() {
+            self.stats.lost += 1;
+            return;
+        }
+        self.in_flight
+            .push_back((send_frame + self.delay_frames, report));
+    }
+
+    /// Encoder side: drains every copy that has arrived by frame
+    /// `now_frame` and returns the freshest *applicable* report, if any.
+    /// Copies older than the staleness window are expired; copies at or
+    /// below the last applied sequence number (late reordered stragglers,
+    /// retry duplicates) are discarded as out-of-order. Superseded
+    /// same-poll copies still count as delivered.
     pub fn poll(&mut self, now_frame: u64) -> Option<FeedbackReport> {
-        let mut latest = None;
-        while let Some(&(arrival, report)) = self.in_flight.front() {
-            if arrival > now_frame {
-                break;
+        let mut arrived = Vec::new();
+        self.in_flight.retain(|&(arrival, report)| {
+            if arrival <= now_frame {
+                arrived.push(report);
+                false
+            } else {
+                true
             }
-            self.in_flight.pop_front();
+        });
+        let mut latest: Option<FeedbackReport> = None;
+        for report in arrived {
+            if self
+                .staleness_window
+                .is_some_and(|w| now_frame.saturating_sub(report.sent_at_frame) > w)
+            {
+                self.stats.expired += 1;
+                continue;
+            }
+            if self.last_applied_seq.is_some_and(|last| report.seq <= last) {
+                self.stats.out_of_order += 1;
+                continue;
+            }
             self.stats.delivered += 1;
-            latest = Some(report);
+            if latest.is_none_or(|prev| report.seq > prev.seq) {
+                latest = Some(report);
+            }
+        }
+        if let Some(r) = latest {
+            self.last_applied_seq = Some(r.seq);
         }
         latest
     }
@@ -359,6 +485,128 @@ mod tests {
         assert!((r.plr - 0.3).abs() < 1e-12);
         assert_eq!(link.stats().delivered, 3, "superseded still delivered");
         assert!(link.poll(100).is_none(), "queue drained");
+    }
+
+    #[test]
+    fn window_estimator_all_lost_window_is_exactly_one() {
+        // Every transmission in the window lost (a hard outage): the
+        // estimate must be exactly 1.0, never NaN or a division error.
+        let mut e = WindowPlrEstimator::new(8);
+        for _ in 0..20 {
+            e.record(true);
+        }
+        assert_eq!(e.estimate(), 1.0);
+        assert!(e.estimate().is_finite());
+        assert_eq!(e.observations(), 8);
+        // Recovery after the outage drains the window cleanly.
+        for _ in 0..8 {
+            e.record(false);
+        }
+        assert_eq!(e.estimate(), 0.0);
+    }
+
+    #[test]
+    fn stale_reports_are_expired_not_applied() {
+        let mut link = FeedbackLink::new(Box::new(NoLoss), 10);
+        link.set_staleness_window(Some(4));
+        link.send(0, 0.9); // arrives at frame 10, age 10 > window 4
+        assert!(link.poll(10).is_none(), "stale report must not apply");
+        assert_eq!(link.stats().expired, 1);
+        assert_eq!(link.stats().delivered, 0);
+        // A fresh report under the window still applies.
+        link.set_delay(2);
+        link.send(20, 0.1);
+        let r = link.poll(22).expect("fresh report applies");
+        assert!((r.plr - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rtt_shrink_cannot_apply_reports_out_of_order() {
+        // Handoff: RTT drops from 8 to 1 mid-run. The newer report
+        // overtakes the older one; the straggler must be discarded, not
+        // applied on top of fresher state.
+        let mut link = FeedbackLink::new(Box::new(NoLoss), 8);
+        link.send(0, 0.5); // seq 0, arrives at frame 8
+        link.set_delay(1);
+        link.send(2, 0.1); // seq 1, arrives at frame 3
+        let first = link.poll(3).expect("fast report lands first");
+        assert_eq!(first.seq, 1);
+        let late = link.poll(8);
+        assert!(late.is_none(), "overtaken report must be dropped");
+        assert_eq!(link.stats().out_of_order, 1);
+        assert_eq!(link.stats().delivered, 1);
+    }
+
+    #[test]
+    fn outage_long_delay_reports_drop_cleanly_under_staleness() {
+        // During an outage the return path effectively stalls; when it
+        // heals, a burst of ancient reports arrives at once. Only those
+        // inside the staleness window may apply, and the freshest wins.
+        let mut link = FeedbackLink::new(Box::new(NoLoss), 0);
+        link.set_staleness_window(Some(5));
+        link.set_delay(30); // outage-inflated RTT
+        for f in 0..4 {
+            link.send(f, 0.2 + f as f64 * 0.1);
+        }
+        link.set_delay(1);
+        link.send(33, 0.05); // post-heal report, arrives at 34
+        let r = link.poll(34).expect("post-heal report applies");
+        assert_eq!(r.seq, 4);
+        assert!((r.plr - 0.05).abs() < 1e-12);
+        // The four outage-era reports (ages 34-f+..) are all expired or
+        // out-of-order; none applied.
+        let s = *link.stats();
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.expired + s.out_of_order, 4);
+        assert_eq!(s.sent, 5);
+    }
+
+    #[test]
+    fn retry_copies_are_redundant_and_idempotent() {
+        let retry = RetryConfig {
+            max_retries: 2,
+            base_backoff_frames: 2,
+            jitter_seed: 42,
+        };
+        // Return path drops the first copy; a retry still gets through.
+        let mut link = FeedbackLink::new(Box::new(ScriptedLoss::new([0])), 1);
+        link.send_with_retry(0, 0.25, &retry);
+        assert_eq!(link.stats().sent, 3, "original + 2 retries offered");
+        assert_eq!(link.stats().lost, 1);
+        let mut applied = Vec::new();
+        for now in 0..20 {
+            if let Some(r) = link.poll(now) {
+                applied.push(r);
+            }
+        }
+        assert_eq!(applied.len(), 1, "duplicates must not re-apply");
+        assert_eq!(applied[0].seq, 0);
+        assert!((applied[0].plr - 0.25).abs() < 1e-12);
+        let s = *link.stats();
+        assert_eq!(s.delivered + s.out_of_order, 2, "second copy discarded");
+    }
+
+    #[test]
+    fn retry_is_deterministic_for_a_fixed_seed() {
+        let retry = RetryConfig {
+            max_retries: 3,
+            base_backoff_frames: 2,
+            jitter_seed: 7,
+        };
+        let run = || {
+            let mut link = FeedbackLink::new(Box::new(UniformLoss::new(0.5, 9)), 2);
+            for f in 0..50u64 {
+                link.send_with_retry(f * 3, 0.1, &retry);
+            }
+            let mut seen = Vec::new();
+            for now in 0..200u64 {
+                if let Some(r) = link.poll(now) {
+                    seen.push((now, r.seq));
+                }
+            }
+            (seen, *link.stats())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod feedback;
 pub mod loss;
 pub mod packet;
 pub mod rtp;
+pub mod scenario;
 
 pub use channel::LossyChannel;
 pub use corrupt::{
@@ -37,8 +38,13 @@ pub use corrupt::{
 pub use delay::{LinkStats, RealTimeLink};
 pub use fec::XorFec;
 pub use feedback::{
-    EwmaPlrEstimator, FeedbackLink, FeedbackLinkStats, FeedbackReport, WindowPlrEstimator,
+    EwmaPlrEstimator, FeedbackLink, FeedbackLinkStats, FeedbackReport, RetryConfig,
+    WindowPlrEstimator,
 };
 pub use loss::{GilbertElliott, LossModel, NoLoss, ScriptedLoss, TraceLoss, UniformLoss};
 pub use packet::{ChannelStats, Packet};
 pub use rtp::{reassemble_frame, Packetizer, DEFAULT_MTU};
+pub use scenario::{
+    ChannelSpec, MarkovBurstErasure, Phase, PhaseKind, ScenarioChannel, ScheduleBuilder,
+    ScheduleChannel,
+};

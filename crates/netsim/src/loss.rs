@@ -22,6 +22,12 @@ pub trait LossModel: Send {
 
     /// Resets the model to its initial state.
     fn reset(&mut self);
+
+    /// Advances frame time to `frame`. Stationary models ignore this;
+    /// time-varying channels (the scenario zoo's mobility schedules) use
+    /// it to switch phases. Callers invoke it once per frame slot before
+    /// transmitting that slot's packets.
+    fn on_frame(&mut self, _frame: u64) {}
 }
 
 /// A loss-free channel.

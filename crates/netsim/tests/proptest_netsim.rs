@@ -3,10 +3,34 @@
 use pbpair_netsim::loss::{GilbertElliott, LossModel, ScriptedLoss, UniformLoss};
 use pbpair_netsim::rtp::{reassemble_frame, Packetizer};
 use pbpair_netsim::{
-    reassemble_frame_damaged, Corrupter, CorruptionProfile, LossyChannel, NoLoss,
-    WindowPlrEstimator,
+    reassemble_frame_damaged, Corrupter, CorruptionProfile, LossyChannel, MarkovBurstErasure,
+    NoLoss, ScenarioChannel, WindowPlrEstimator,
 };
 use proptest::prelude::*;
+
+/// Empirical loss rate and mean erasure-burst length over `n` packets.
+fn observe(model: &mut dyn LossModel, n: u64) -> (f64, f64) {
+    let mut lost = 0u64;
+    let mut burst_total = 0u64;
+    let mut burst_count = 0u64;
+    let mut run = 0u64;
+    for _ in 0..n {
+        if model.next_lost() {
+            lost += 1;
+            run += 1;
+        } else if run > 0 {
+            burst_total += run;
+            burst_count += 1;
+            run = 0;
+        }
+    }
+    let mean_burst = if burst_count == 0 {
+        0.0
+    } else {
+        burst_total as f64 / burst_count as f64
+    };
+    (lost as f64 / n as f64, mean_burst)
+}
 
 proptest! {
     #[test]
@@ -122,6 +146,61 @@ proptest! {
             "observed {} vs steady {}",
             observed,
             expected
+        );
+    }
+
+    #[test]
+    fn burst_erasure_converges_to_stationary_rate_and_burst_length(
+        burst_len in 1.5f64..=12.0,
+        guard_ratio in 3.0f64..=40.0,
+        seed in any::<u64>()
+    ) {
+        // The (B, G) parameterization must mean what it says over a long
+        // seeded run: loss rate → B/(B+G) and mean erasure burst → B.
+        let guard_len = burst_len * guard_ratio;
+        let mut m = MarkovBurstErasure::new(burst_len, guard_len, seed);
+        let expected = m.stationary_loss_rate();
+        prop_assert_eq!(m.stationary_loss(), Some(expected));
+        prop_assert_eq!(m.mean_burst_len(), Some(burst_len));
+        let (rate, mean_burst) = observe(&mut m, 300_000);
+        prop_assert!(
+            (rate - expected).abs() < 0.015 + 0.1 * expected,
+            "observed rate {} vs stationary {}",
+            rate,
+            expected
+        );
+        prop_assert!(
+            (mean_burst - burst_len).abs() < 0.05 + 0.12 * burst_len,
+            "observed mean burst {} vs configured {}",
+            mean_burst,
+            burst_len
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_converges_to_stationary_burst_length(
+        p_gb in 0.005f64..=0.05,
+        p_bg in 0.1f64..=0.6,
+        seed in any::<u64>()
+    ) {
+        // With loss_bad = 1 and loss_good = 0, an erasure burst is
+        // exactly one Bad sojourn, so its mean length must converge to
+        // 1/p_bg — the GE counterpart of the Markov (B, G) contract.
+        let mut m = GilbertElliott::new(p_gb, p_bg, 0.0, 1.0, seed);
+        let expected_rate = m.steady_state_loss();
+        let expected_burst = 1.0 / p_bg;
+        let (rate, mean_burst) = observe(&mut m, 300_000);
+        prop_assert!(
+            (rate - expected_rate).abs() < 0.01 + 0.1 * expected_rate,
+            "observed rate {} vs stationary {}",
+            rate,
+            expected_rate
+        );
+        prop_assert!(
+            (mean_burst - expected_burst).abs() < 0.05 + 0.15 * expected_burst,
+            "observed mean burst {} vs stationary {}",
+            mean_burst,
+            expected_burst
         );
     }
 

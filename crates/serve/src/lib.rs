@@ -40,6 +40,8 @@
 //! ```
 
 pub mod admission;
+pub mod chaos;
+pub mod health;
 pub mod manager;
 pub mod report;
 pub mod sched;
@@ -47,8 +49,10 @@ pub mod session;
 pub mod trace;
 
 pub use admission::{AdmissionConfig, AdmissionController, RoundDecision, ServiceLevel};
-pub use manager::{run, run_instrumented, run_traced, ServeConfig};
-pub use report::{FleetTiming, ServeReport, SessionReport};
+pub use chaos::{ChaosEvent, ChaosFault, ChaosPlan};
+pub use health::{HealthLedger, HealthState, HealthTransition, StalenessWatchdog, WatchdogConfig};
+pub use manager::{run, run_instrumented, run_traced, DeviceMix, ServeConfig};
+pub use report::{FleetHealth, FleetTiming, ServeReport, SessionReport};
 pub use sched::WorkStealingPool;
-pub use session::{FrameOutcome, Session, SessionConfig, SessionStats};
+pub use session::{DeviceKind, FrameOutcome, Session, SessionConfig, SessionScheme, SessionStats};
 pub use trace::{FleetTrace, SessionTrace, TraceDump, TRACE_RING_CAPACITY};

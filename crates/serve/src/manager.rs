@@ -17,17 +17,47 @@
 //! the controller always observes complete rounds in session-id order.
 
 use crate::admission::{AdmissionConfig, AdmissionController};
-use crate::report::{quantile_ms, FleetTiming, ServeReport, SessionReport};
+use crate::chaos::ChaosPlan;
+use crate::health::WatchdogConfig;
+use crate::report::{quantile_ms, FleetHealth, FleetTiming, ServeReport, SessionReport};
 use crate::sched::WorkStealingPool;
-use crate::session::{FrameOutcome, Session, SessionConfig};
+use crate::session::{DeviceKind, FrameOutcome, Session, SessionConfig, SessionScheme};
 use crate::trace::{FleetTrace, TraceState};
+use pbpair_media::synth::MotionClass;
+use pbpair_netsim::{ChannelSpec, RetryConfig};
 use pbpair_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+/// How encode-energy device profiles are assigned across the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeviceMix {
+    /// Every session uses the same device.
+    Uniform(DeviceKind),
+    /// Sessions alternate iPAQ / Zaurus by id — the paper's two λ
+    /// profiles side by side in one fleet.
+    Alternating,
+}
+
+impl DeviceMix {
+    /// The device for session `id`.
+    pub fn device_for(&self, id: u32) -> DeviceKind {
+        match self {
+            DeviceMix::Uniform(d) => *d,
+            DeviceMix::Alternating => {
+                if id.is_multiple_of(2) {
+                    DeviceKind::Ipaq
+                } else {
+                    DeviceKind::Zaurus
+                }
+            }
+        }
+    }
+}
+
 /// Fleet-level configuration of one serving run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeConfig {
     /// Concurrent sessions admitted at start.
     pub sessions: usize,
@@ -57,6 +87,24 @@ pub struct ServeConfig {
     pub pacing_us: u64,
     /// Admission-control thresholds and capacity.
     pub admission: AdmissionConfig,
+    /// Forward-channel scenario for every session; `None` keeps classic
+    /// uniform loss at [`ServeConfig::plr`].
+    pub channel: Option<ChannelSpec>,
+    /// Content class for every session; `None` keeps the default
+    /// per-session rotation through all classes (diverse load).
+    pub clip: Option<MotionClass>,
+    /// Refresh scheme every session encodes with.
+    pub scheme: SessionScheme,
+    /// Device-profile assignment across sessions.
+    pub device_mix: DeviceMix,
+    /// Feedback-report staleness window (frames); `None` disables expiry.
+    pub feedback_staleness: Option<u64>,
+    /// Feedback retry/backoff policy (`max_retries == 0` disables).
+    pub retry: RetryConfig,
+    /// Per-session staleness-watchdog thresholds.
+    pub watchdog: WatchdogConfig,
+    /// Fault-injection schedule.
+    pub chaos: ChaosPlan,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +125,14 @@ impl Default for ServeConfig {
             base_intra_th: 0.9,
             pacing_us: 3000,
             admission: AdmissionConfig::default(),
+            channel: None,
+            clip: None,
+            scheme: SessionScheme::Pbpair,
+            device_mix: DeviceMix::Uniform(DeviceKind::Ipaq),
+            feedback_staleness: None,
+            retry: RetryConfig::default(),
+            watchdog: WatchdogConfig::default(),
+            chaos: ChaosPlan::none(),
         }
     }
 }
@@ -100,6 +156,10 @@ impl ServeConfig {
         if !(0.0..1.0).contains(&self.plr) {
             return Err(format!("plr {} outside [0,1)", self.plr));
         }
+        if let Some(chan) = &self.channel {
+            chan.validate()?;
+        }
+        self.watchdog.validate()?;
         self.admission.validate()
     }
 
@@ -116,6 +176,15 @@ impl ServeConfig {
         cfg.mtu = self.mtu;
         cfg.base_intra_th = self.base_intra_th;
         cfg.pacing_us = self.pacing_us;
+        cfg.channel = self.channel.clone();
+        if let Some(class) = self.clip {
+            cfg.class = class;
+        }
+        cfg.scheme = self.scheme;
+        cfg.device = self.device_mix.device_for(id);
+        cfg.feedback_staleness = self.feedback_staleness;
+        cfg.retry = self.retry;
+        cfg.watchdog = self.watchdog;
         cfg
     }
 }
@@ -178,6 +247,7 @@ fn run_internal(
         .map(|id| {
             Session::new(cfg.session_config(id as u32)).map(|mut session| {
                 session.set_telemetry(&tel.shard(id));
+                session.set_chaos(cfg.chaos.for_session(id as u32));
                 if let Some(ts) = &tracing {
                     session.set_tracer(ts.tracer(id));
                 }
@@ -300,17 +370,23 @@ fn run_internal(
     let mut total_joules = 0.0;
     let mut psnr_sum = 0.0;
     let mut psnr_n = 0usize;
+    let mut health = FleetHealth::default();
     for slot in &slots {
         let slot = slot.lock().expect("slot lock");
         let s = &slot.session;
         let stats = s.stats();
+        health.count(s.health());
         let report = SessionReport {
             id: s.config().id,
             class: s.config().class.label().to_string(),
+            scheme: s.config().scheme.label(),
+            device: s.config().device.label().to_string(),
             frames_encoded: stats.frames_encoded,
             frames_rate_dropped: stats.frames_rate_dropped,
             frames_lost: stats.frames_lost,
             frames_damaged: stats.frames_damaged,
+            frames_stalled: stats.frames_stalled,
+            chaos_injected: stats.chaos_injected,
             fec_recoveries: stats.fec_recoveries,
             avg_psnr_db: s.quality().average_psnr(),
             encoded_bytes: stats.encoded_bytes,
@@ -319,6 +395,8 @@ fn run_internal(
             plr_estimate: s.plr_estimate(),
             final_intra_th: s.current_intra_th(),
             shed: s.is_shed(),
+            health: s.health(),
+            health_log: s.health_ledger().transitions().to_vec(),
             decode: stats.decode,
         };
         total_frames += report.frames_encoded;
@@ -358,6 +436,7 @@ fn run_internal(
             0.0
         },
         total_encode_joules: total_joules,
+        health,
         timing,
     };
     Ok((report, tracing.map(|ts| ts.finish(cfg))))

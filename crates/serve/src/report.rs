@@ -12,6 +12,7 @@
 //!   latency percentiles) that are the *point* of running with more
 //!   workers and are naturally machine- and schedule-dependent.
 
+use crate::health::{HealthState, HealthTransition};
 use pbpair_codec::DecodeReport;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -23,6 +24,10 @@ pub struct SessionReport {
     pub id: u32,
     /// Content class label.
     pub class: String,
+    /// Refresh-scheme label (`PBPAIR`, `GOP-n`, ...).
+    pub scheme: String,
+    /// Device profile label (`ipaq` / `zaurus`).
+    pub device: String,
     /// Frames encoded and transmitted.
     pub frames_encoded: u64,
     /// Frames skipped under fleet-imposed rate degradation.
@@ -31,6 +36,10 @@ pub struct SessionReport {
     pub frames_lost: u64,
     /// Frames delivered damaged (resilient decode engaged).
     pub frames_damaged: u64,
+    /// Frames the display held because the decoder was stalled.
+    pub frames_stalled: u64,
+    /// Chaos faults injected into this session.
+    pub chaos_injected: u64,
     /// Frames whose fragment set XOR FEC repaired.
     pub fec_recoveries: u64,
     /// Mean decoder-side PSNR over every displayed frame slot.
@@ -47,8 +56,42 @@ pub struct SessionReport {
     pub final_intra_th: f64,
     /// Whether admission control shed this session before the end.
     pub shed: bool,
+    /// Final health state of the session's staleness watchdog.
+    pub health: HealthState,
+    /// Every health transition the watchdog recorded, in frame order.
+    pub health_log: Vec<HealthTransition>,
     /// Resilient-decode accounting.
     pub decode: DecodeReport,
+}
+
+/// Fleet-wide tally of final session health states (deterministic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetHealth {
+    /// Sessions that never left [`HealthState::Healthy`].
+    pub healthy: u32,
+    /// Sessions ending in [`HealthState::Degraded`].
+    pub degraded: u32,
+    /// Sessions ending in [`HealthState::Quarantined`].
+    pub quarantined: u32,
+    /// Sessions that were impaired and ended [`HealthState::Recovered`].
+    pub recovered: u32,
+}
+
+impl FleetHealth {
+    /// Tallies one session's final state.
+    pub fn count(&mut self, state: HealthState) {
+        match state {
+            HealthState::Healthy => self.healthy += 1,
+            HealthState::Degraded => self.degraded += 1,
+            HealthState::Quarantined => self.quarantined += 1,
+            HealthState::Recovered => self.recovered += 1,
+        }
+    }
+
+    /// Sessions that ended the run impaired (degraded or quarantined).
+    pub fn impaired(&self) -> u32 {
+        self.degraded + self.quarantined
+    }
 }
 
 /// Wall-clock fleet measurements (machine- and schedule-dependent).
@@ -90,6 +133,8 @@ pub struct ServeReport {
     pub mean_psnr_db: f64,
     /// Total modeled encode energy (Joules).
     pub total_encode_joules: f64,
+    /// Final health tally across the fleet.
+    pub health: FleetHealth,
     /// Wall-clock measurements.
     pub timing: FleetTiming,
 }
@@ -114,18 +159,31 @@ impl ServeReport {
             self.mean_psnr_db,
             self.total_encode_joules,
         );
+        let _ = writeln!(
+            out,
+            "health healthy={} degraded={} quarantined={} recovered={}",
+            self.health.healthy,
+            self.health.degraded,
+            self.health.quarantined,
+            self.health.recovered,
+        );
         for s in &self.sessions {
             let _ = writeln!(
                 out,
-                "session id={} class={} enc={} dropped={} lost={} damaged={} fec={} \
-                 psnr={:.6} bytes={}/{} j={:.9} plr={:.6} th={:.9} shed={} \
+                "session id={} class={} scheme={} device={} enc={} dropped={} lost={} \
+                 damaged={} stalled={} chaos={} fec={} \
+                 psnr={:.6} bytes={}/{} j={:.9} plr={:.6} th={:.9} shed={} health={} \
                  dec_frames={} dec_recovered={} dec_mbs={} dec_resyncs={}",
                 s.id,
                 s.class,
+                s.scheme,
+                s.device,
                 s.frames_encoded,
                 s.frames_rate_dropped,
                 s.frames_lost,
                 s.frames_damaged,
+                s.frames_stalled,
+                s.chaos_injected,
                 s.fec_recoveries,
                 s.avg_psnr_db,
                 s.encoded_bytes,
@@ -134,11 +192,23 @@ impl ServeReport {
                 s.plr_estimate,
                 s.final_intra_th,
                 s.shed,
+                s.health.label(),
                 s.decode.frames_decoded,
                 s.decode.frames_recovered,
                 s.decode.mbs_concealed,
                 s.decode.resyncs,
             );
+            for t in &s.health_log {
+                let _ = writeln!(
+                    out,
+                    "  health_transition session={} frame={} {}->{} reason={}",
+                    s.id,
+                    t.frame,
+                    t.from.label(),
+                    t.to.label(),
+                    t.reason,
+                );
+            }
         }
         out
     }

@@ -22,23 +22,82 @@
 //! worker threads execute its frames, or in what interleaving with other
 //! sessions.
 
+use crate::chaos::{ChaosEvent, ChaosFault};
+use crate::health::{HealthLedger, HealthState, StalenessWatchdog, WatchdogConfig};
 use pbpair::adapt::{DegradationConfig, DegradationController};
-use pbpair::{PbpairConfig, PbpairPolicy};
-use pbpair_codec::{DecodeReport, Decoder, Encoder, EncoderConfig, OpCounts};
-use pbpair_energy::{EnergyModel, IPAQ_H5555};
+use pbpair::{AirPolicy, GopPolicy, PbpairConfig, PbpairPolicy, PgopPolicy};
+use pbpair_codec::{DecodeReport, Decoder, Encoder, EncoderConfig, OpCounts, RefreshPolicy};
+use pbpair_energy::{DeviceProfile, EnergyModel, IPAQ_H5555, ZAURUS_SL5600};
 use pbpair_media::metrics::QualityStats;
 use pbpair_media::synth::{MotionClass, SyntheticSequence};
 use pbpair_netsim::{
-    reassemble_frame, reassemble_frame_damaged, CorruptingChannel, CorruptionProfile, FeedbackLink,
-    Packetizer, UniformLoss, WindowPlrEstimator, XorFec,
+    reassemble_frame, reassemble_frame_damaged, ChannelSpec, CorruptingChannel, CorruptionProfile,
+    FeedbackLink, LossModel, Packetizer, RetryConfig, UniformLoss, WindowPlrEstimator, XorFec,
 };
 use pbpair_telemetry::{Counter, Telemetry};
 use pbpair_trace::{Event as TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The refresh scheme a session encodes with. PBPAIR is the adaptive
+/// default; the fixed schemes are the paper's comparison points, run
+/// through the same serving loop so scenario matrices can put them side
+/// by side under identical channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionScheme {
+    /// Adaptive PBPAIR (feedback-steered `Intra_Th`).
+    Pbpair,
+    /// Fixed GOP with N P-frames per I-frame.
+    Gop(u32),
+    /// AIR refreshing N macroblocks per frame.
+    Air(usize),
+    /// PGOP refreshing N columns per frame.
+    Pgop(usize),
+}
+
+impl SessionScheme {
+    /// Short display name matching the paper's figure legends.
+    pub fn label(&self) -> String {
+        match self {
+            SessionScheme::Pbpair => "PBPAIR".to_string(),
+            SessionScheme::Gop(n) => format!("GOP-{n}"),
+            SessionScheme::Air(n) => format!("AIR-{n}"),
+            SessionScheme::Pgop(n) => format!("PGOP-{n}"),
+        }
+    }
+}
+
+/// The device whose energy model prices a session's encode work — the
+/// paper's two handheld evaluation targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// iPAQ h5555 (XScale 400 MHz).
+    Ipaq,
+    /// Zaurus SL-5600 (cheaper SAD ops, pricier radio).
+    Zaurus,
+}
+
+impl DeviceKind {
+    /// The energy profile constants for this device.
+    pub fn profile(&self) -> DeviceProfile {
+        match self {
+            DeviceKind::Ipaq => IPAQ_H5555,
+            DeviceKind::Zaurus => ZAURUS_SL5600,
+        }
+    }
+
+    /// Stable lowercase label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeviceKind::Ipaq => "ipaq",
+            DeviceKind::Zaurus => "zaurus",
+        }
+    }
+}
 
 /// Per-session knobs, normally filled in by the manager from a
 /// fleet-level [`crate::ServeConfig`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionConfig {
     /// Session id (stable across the run; also the affinity hint).
     pub id: u32,
@@ -69,6 +128,22 @@ pub struct SessionConfig {
     /// spare workers. Affects wall-clock timing only — never the
     /// deterministic outcome.
     pub pacing_us: u64,
+    /// Forward-channel description from the scenario zoo; `None` keeps
+    /// the classic uniform loss at [`SessionConfig::plr`]. Schedule
+    /// channels also drive the feedback RTT per phase.
+    pub channel: Option<ChannelSpec>,
+    /// Refresh scheme the session encodes with.
+    pub scheme: SessionScheme,
+    /// Device whose energy model prices the encode work.
+    pub device: DeviceKind,
+    /// Maximum age (frames) of a feedback report the encoder will still
+    /// apply; `None` disables expiry.
+    pub feedback_staleness: Option<u64>,
+    /// Bounded retry with backoff + jitter on the feedback path
+    /// (`max_retries == 0` disables).
+    pub retry: RetryConfig,
+    /// Staleness-watchdog thresholds for the session's health ledger.
+    pub watchdog: WatchdogConfig,
 }
 
 impl SessionConfig {
@@ -88,6 +163,12 @@ impl SessionConfig {
             feedback_plr: 0.10,
             base_intra_th: 0.9,
             pacing_us: 0,
+            channel: None,
+            scheme: SessionScheme::Pbpair,
+            device: DeviceKind::Ipaq,
+            feedback_staleness: None,
+            retry: RetryConfig::default(),
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -109,6 +190,8 @@ pub struct FrameOutcome {
     pub damaged: bool,
     /// Whether XOR FEC repaired the fragment set of this frame.
     pub fec_recovered: bool,
+    /// Whether the decoder was stalled (chaos) and the display held.
+    pub stalled: bool,
     /// `Intra_Th` in force for this frame.
     pub intra_th: f64,
 }
@@ -132,15 +215,36 @@ pub struct SessionStats {
     pub sent_bytes: u64,
     /// Encoding energy total (Joules).
     pub encode_joules: f64,
+    /// Frame slots the decoder spent stalled (chaos injection).
+    pub frames_stalled: u64,
+    /// Chaos faults applied to this session.
+    pub chaos_injected: u64,
     /// Aggregate resilient-decode accounting.
     pub decode: DecodeReport,
+}
+
+/// The live policy behind a [`SessionScheme`]. PBPAIR keeps its concrete
+/// type so the feedback loop can steer it (`set_plr`, `set_intra_th`,
+/// `C^k` snapshots); fixed schemes ride behind the dyn trait.
+enum SchemeDriver {
+    Pbpair(PbpairPolicy),
+    Fixed(Box<dyn RefreshPolicy + Send>),
+}
+
+impl SchemeDriver {
+    fn as_dyn(&mut self) -> &mut dyn RefreshPolicy {
+        match self {
+            SchemeDriver::Pbpair(p) => p,
+            SchemeDriver::Fixed(b) => b.as_mut(),
+        }
+    }
 }
 
 /// One live streaming session. See the module docs for the loop.
 pub struct Session {
     cfg: SessionConfig,
     source: SyntheticSequence,
-    policy: PbpairPolicy,
+    driver: SchemeDriver,
     encoder: Encoder,
     decoder: Decoder,
     packetizer: Packetizer,
@@ -149,10 +253,24 @@ pub struct Session {
     feedback: FeedbackLink,
     plr_estimator: WindowPlrEstimator,
     degradation: DegradationController,
+    watchdog: StalenessWatchdog,
     energy: EnergyModel,
     ops_snapshot: OpCounts,
     /// Fleet-imposed `Intra_Th` floor (admission control), 0 when idle.
     load_floor_th: f64,
+    /// Watchdog-imposed floor (quarantine), 0 when healthy.
+    watchdog_floor_th: f64,
+    /// Pending chaos events, in firing order.
+    chaos: VecDeque<ChaosEvent>,
+    /// Receiver feedback suppressed until this frame (chaos blackout).
+    blackout_until: u64,
+    /// Decoder held until this frame (chaos stall).
+    stall_until: u64,
+    /// Every packet erased until this frame (chaos burst kill).
+    kill_until: u64,
+    /// Consecutive whole-frame losses ending at the previous slot (the
+    /// watchdog's display-starvation signal).
+    lost_streak: u64,
     /// Next frame index to encode.
     frame: u64,
     quality: QualityStats,
@@ -200,45 +318,64 @@ impl Session {
     pub fn new(cfg: SessionConfig) -> Result<Self, String> {
         let sub = |stream: u64| splitmix(cfg.seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15));
         let format = pbpair_media::VideoFormat::QCIF;
-        let policy = PbpairPolicy::new(
-            format,
-            PbpairConfig {
-                intra_th: cfg.base_intra_th,
-                plr: cfg.plr,
-                ..PbpairConfig::default()
-            },
-        )?;
+        let driver = match cfg.scheme {
+            SessionScheme::Pbpair => SchemeDriver::Pbpair(PbpairPolicy::new(
+                format,
+                PbpairConfig {
+                    intra_th: cfg.base_intra_th,
+                    plr: cfg.plr,
+                    ..PbpairConfig::default()
+                },
+            )?),
+            SessionScheme::Gop(n) => SchemeDriver::Fixed(Box::new(GopPolicy::new(n))),
+            SessionScheme::Air(n) => SchemeDriver::Fixed(Box::new(AirPolicy::new(format, n))),
+            SessionScheme::Pgop(n) => SchemeDriver::Fixed(Box::new(PgopPolicy::new(format, n))),
+        };
         let degradation = DegradationController::new(DegradationConfig {
             base_th: cfg.base_intra_th,
             base_plr: cfg.plr,
             ..DegradationConfig::default()
         })?;
+        let watchdog = StalenessWatchdog::new(cfg.watchdog)?;
         if let Some(g) = cfg.fec_group {
             if g == 0 {
                 return Err("fec group size must be positive".to_string());
             }
         }
+        let forward: Box<dyn LossModel> = match &cfg.channel {
+            Some(spec) => spec.build_loss(sub(2))?,
+            None => Box::new(UniformLoss::new(cfg.plr, sub(2))),
+        };
+        let mut feedback = FeedbackLink::new(
+            Box::new(UniformLoss::new(cfg.feedback_plr, sub(4))),
+            cfg.feedback_delay,
+        );
+        feedback.set_staleness_window(cfg.feedback_staleness);
         Ok(Session {
             source: SyntheticSequence::for_class(cfg.class, sub(1)),
-            policy,
+            driver,
             encoder: Encoder::new(EncoderConfig::default()),
             decoder: Decoder::new(format),
             packetizer: Packetizer::new(cfg.mtu),
             fec: cfg.fec_group.map(XorFec::new),
             channel: CorruptingChannel::new(
-                Box::new(UniformLoss::new(cfg.plr, sub(2))),
+                forward,
                 CorruptionProfile::with_intensity(cfg.corruption),
                 sub(3),
             ),
-            feedback: FeedbackLink::new(
-                Box::new(UniformLoss::new(cfg.feedback_plr, sub(4))),
-                cfg.feedback_delay,
-            ),
+            feedback,
             plr_estimator: WindowPlrEstimator::new(30),
             degradation,
-            energy: EnergyModel::new(IPAQ_H5555),
+            watchdog,
+            energy: EnergyModel::new(cfg.device.profile()),
             ops_snapshot: OpCounts::default(),
             load_floor_th: 0.0,
+            watchdog_floor_th: 0.0,
+            chaos: VecDeque::new(),
+            blackout_until: 0,
+            stall_until: 0,
+            kill_until: 0,
+            lost_streak: 0,
             frame: 0,
             quality: QualityStats::new(),
             stats: SessionStats::default(),
@@ -247,6 +384,13 @@ impl Session {
             trace: Tracer::disabled(),
             cfg,
         })
+    }
+
+    /// Schedules chaos faults against this session (sorted by frame;
+    /// events already past the session's frame clock never fire).
+    pub fn set_chaos(&mut self, mut events: Vec<ChaosEvent>) {
+        events.sort_by_key(|e| e.at_frame);
+        self.chaos = events.into();
     }
 
     /// Attaches a telemetry context to the session and every pipeline
@@ -295,7 +439,20 @@ impl Session {
 
     /// The `Intra_Th` the next frame would use.
     pub fn current_intra_th(&self) -> f64 {
-        self.degradation.intra_th().max(self.load_floor_th)
+        self.degradation
+            .intra_th()
+            .max(self.load_floor_th)
+            .max(self.watchdog_floor_th)
+    }
+
+    /// The session's current health classification.
+    pub fn health(&self) -> HealthState {
+        self.watchdog.state()
+    }
+
+    /// The session's health transition log.
+    pub fn health_ledger(&self) -> &HealthLedger {
+        self.watchdog.ledger()
     }
 
     /// Sets the fleet-imposed threshold floor (admission control).
@@ -337,17 +494,59 @@ impl Session {
         let now = self.frame;
         self.frame += 1;
 
+        // Chaos activation: fire every fault scheduled at or before now.
+        while self.chaos.front().is_some_and(|e| e.at_frame <= now) {
+            let event = self.chaos.pop_front().expect("front checked");
+            self.stats.chaos_injected += 1;
+            match event.fault {
+                ChaosFault::FeedbackBlackout { frames } => self.blackout_until = now + frames,
+                ChaosFault::DecoderStall { frames } => self.stall_until = now + frames,
+                ChaosFault::BurstKill { frames } => self.kill_until = now + frames,
+                ChaosFault::ChannelSwap { spec } => {
+                    let seed =
+                        splitmix(self.cfg.seed ^ 0xC4A0_5EED ^ now.wrapping_mul(0x9e37_79b9));
+                    let model = spec
+                        .build_loss(seed)
+                        .expect("chaos specs are validated at plan construction");
+                    let _ = self.channel.swap_model(model);
+                }
+            }
+        }
+
+        // Advance the channel's frame clock (phase switches for mobility
+        // schedules) and apply the phase's feedback RTT, if the channel
+        // constrains it.
+        self.channel.on_frame(now);
+        if let Some(rtt) = self.cfg.channel.as_ref().and_then(|c| c.rtt_at(now)) {
+            self.feedback.set_delay(rtt);
+        }
+
         // Encoder side: feedback in, threshold out.
         if let Some(report) = self.feedback.poll(now) {
             self.degradation.on_feedback(now, report.plr);
-            self.policy.set_plr(report.plr.clamp(0.0, 0.999));
+            if let SchemeDriver::Pbpair(policy) = &mut self.driver {
+                policy.set_plr(report.plr.clamp(0.0, 0.999));
+            }
         }
-        let th = self.degradation.tick(now).max(self.load_floor_th);
-        self.policy.set_intra_th(th);
+        let stalled = now < self.stall_until;
+        self.watchdog_floor_th = self.watchdog.observe(
+            now,
+            self.degradation.frames_dark(now),
+            stalled,
+            self.lost_streak,
+        );
+        let th = self
+            .degradation
+            .tick(now)
+            .max(self.load_floor_th)
+            .max(self.watchdog_floor_th);
+        if let SchemeDriver::Pbpair(policy) = &mut self.driver {
+            policy.set_intra_th(th);
+        }
 
         // Encode.
         let original = self.source.next_frame();
-        let encoded = self.encoder.encode_frame(&original, &mut self.policy);
+        let encoded = self.encoder.encode_frame(&original, self.driver.as_dyn());
         let frame_ops = *self.encoder.ops() - self.ops_snapshot;
         self.ops_snapshot = *self.encoder.ops();
         let encode_joules = self.energy.encoding_energy(&frame_ops).get();
@@ -355,8 +554,10 @@ impl Session {
         // decoder), and snapshot the committed C^k predictions the
         // calibration scorer tests against ground truth.
         self.trace.set_frame(encoded.index);
-        self.trace
-            .record_sigma(encoded.index, self.policy.matrix().sigma_values());
+        if let SchemeDriver::Pbpair(policy) = &self.driver {
+            self.trace
+                .record_sigma(encoded.index, policy.matrix().sigma_values());
+        }
 
         // Packetize (+ FEC) and transmit at packet granularity.
         let packets = self.packetizer.packetize(encoded.index, &encoded.data);
@@ -370,7 +571,12 @@ impl Session {
             // channel outcome below is drawn from seeded state.
             std::thread::sleep(std::time::Duration::from_micros(self.cfg.pacing_us));
         }
-        let survivors = self.channel.transmit_packets(&sent);
+        let mut survivors = self.channel.transmit_packets(&sent);
+        if now < self.kill_until {
+            // Burst-aligned kill: the whole frame dies at its picture
+            // header, first fragment included.
+            survivors.clear();
+        }
 
         // Receiver: FEC repair if possible, best-effort reassembly
         // otherwise, resilient decode of whatever materialized.
@@ -387,14 +593,21 @@ impl Session {
         };
         let lost = bytes.is_none();
         let mut damaged = false;
-        let displayed = match &bytes {
-            Some(data) => {
-                let (frame, report) = self.decoder.decode_frame_resilient(data);
-                damaged = report.any_damage();
-                self.stats.decode.absorb(&report);
-                frame
+        let displayed = if stalled {
+            // The decoder is wedged: arriving data is discarded and the
+            // viewer keeps watching the last picture.
+            self.stats.frames_stalled += 1;
+            self.decoder.last_frame().clone()
+        } else {
+            match &bytes {
+                Some(data) => {
+                    let (frame, report) = self.decoder.decode_frame_resilient(data);
+                    damaged = report.any_damage();
+                    self.stats.decode.absorb(&report);
+                    frame
+                }
+                None => self.decoder.conceal_lost_frame(),
             }
-            None => self.decoder.conceal_lost_frame(),
         };
         self.quality.record(&original, &displayed);
         if self.trace.is_enabled() {
@@ -419,13 +632,19 @@ impl Session {
             self.trace.record_mb_sad(encoded.index, sad);
         }
 
-        // Receiver-side PLR estimation and feedback.
+        // Receiver-side PLR estimation and feedback (suppressed during a
+        // chaos blackout — the receiver cannot reach back at all).
         self.plr_estimator.record(lost);
-        if self.cfg.feedback_interval > 0 && now.is_multiple_of(self.cfg.feedback_interval) {
-            self.feedback.send(now, self.plr_estimator.estimate());
+        if self.cfg.feedback_interval > 0
+            && now.is_multiple_of(self.cfg.feedback_interval)
+            && now >= self.blackout_until
+        {
+            self.feedback
+                .send_with_retry(now, self.plr_estimator.estimate(), &self.cfg.retry);
         }
 
         // Ledger.
+        self.lost_streak = if lost { self.lost_streak + 1 } else { 0 };
         self.stats.frames_encoded += 1;
         self.stats.frames_lost += lost as u64;
         self.stats.frames_damaged += damaged as u64;
@@ -448,6 +667,7 @@ impl Session {
             lost,
             damaged,
             fec_recovered,
+            stalled,
             intra_th: th,
         }
     }
@@ -478,7 +698,7 @@ mod tests {
     #[test]
     fn session_is_deterministic() {
         let cfg = SessionConfig::standard(3, 99);
-        let (a_stats, a_psnr) = run(cfg, 24);
+        let (a_stats, a_psnr) = run(cfg.clone(), 24);
         let (b_stats, b_psnr) = run(cfg, 24);
         assert_eq!(a_psnr, b_psnr);
         assert_eq!(a_stats.frames_lost, b_stats.frames_lost);
@@ -534,7 +754,7 @@ mod tests {
             c.mtu = 250;
             c
         };
-        let mut with = base;
+        let mut with = base.clone();
         with.fec_group = Some(3);
         let (no_fec, _) = run(base, 80);
         let (fec, _) = run(with, 80);
@@ -549,7 +769,7 @@ mod tests {
     #[test]
     fn load_floor_raises_intra_th_and_cuts_energy() {
         let cfg = SessionConfig::standard(1, 13);
-        let mut free = Session::new(cfg).unwrap();
+        let mut free = Session::new(cfg.clone()).unwrap();
         let mut capped = Session::new(cfg).unwrap();
         capped.set_load_floor(0.999);
         let mut free_j = 0.0;

@@ -8,14 +8,14 @@ use pbpair_serve::{run, run_instrumented, ServeConfig};
 use pbpair_telemetry::Telemetry;
 
 fn digest(cfg: &ServeConfig, workers: usize) -> String {
-    let mut cfg = *cfg;
+    let mut cfg = cfg.clone();
     cfg.workers = workers;
     run(&cfg).expect("valid config").deterministic_digest()
 }
 
 /// The deterministic telemetry export for a run at `workers` workers.
 fn telemetry_json(cfg: &ServeConfig, workers: usize) -> String {
-    let mut cfg = *cfg;
+    let mut cfg = cfg.clone();
     cfg.workers = workers;
     let tel = Telemetry::with_shards(cfg.sessions);
     run_instrumented(&cfg, &tel).expect("valid config");

@@ -25,7 +25,7 @@ fn overload_cfg() -> ServeConfig {
 }
 
 fn traced(cfg: &ServeConfig, workers: usize) -> (String, FleetTrace) {
-    let mut cfg = *cfg;
+    let mut cfg = cfg.clone();
     cfg.workers = workers;
     let (report, trace) = run_traced(&cfg, &Telemetry::disabled()).expect("valid config");
     (report.deterministic_digest(), trace)
