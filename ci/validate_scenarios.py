@@ -3,8 +3,9 @@
 per-scenario resilience bounds, with trend tracking.
 
 Usage: python3 ci/validate_scenarios.py <scenarios.json> [<bounds.json>]
+       python3 ci/validate_scenarios.py --fec <fec.json> [<bounds.json>]
 
-Checks:
+Checks (default scenario mode):
   * schema: 18 cells (3 scenarios x 2 clips x 3 schemes), every field
     present and integer-valued, nonzero digests and PSNR;
   * committed bounds per scenario: minimum PSNR, maximum per-cell
@@ -14,6 +15,19 @@ Checks:
     against the baseline recorded when the bound was committed, so a
     slow slide toward a bound is visible in CI logs long before it
     trips.
+
+Checks (--fec mode, against the 'fec' section of the bounds file):
+  * schema: 14 cells (2 channels x 7 arms), integer-only metrics,
+    nonzero digests and PSNR; 'none' arms send no parity and charge no
+    FEC energy, protected arms do both;
+  * committed per-cell bounds: residual-frame-loss ceiling (ppm),
+    PSNR floor (milli-dB), FEC-energy ceiling (uJ), each with drift
+    reported against the committed baseline;
+  * wire budget: every protected arm's parity overhead stays under the
+    committed ceiling;
+  * headline claim: on the committed burst channel the adaptive
+    multi-erasure arms beat fixed XOR on residual frame loss at the
+    same wire budget.
 """
 
 import json
@@ -37,6 +51,34 @@ CELL_FIELDS = {
     "frames_lost": int,
     "impaired": int,
     "recovered": int,
+}
+
+
+EXPECTED_FEC_CELLS = 14
+EXPECTED_FEC_CHANNELS = {"uniform", "markov_burst"}
+EXPECTED_FEC_ARMS = {
+    "none",
+    "xor-fixed", "xor-adaptive",
+    "rs-fixed", "rs-adaptive",
+    "lt-fixed", "lt-adaptive",
+}
+FEC_CELL_FIELDS = {
+    "channel": str,
+    "arm": str,
+    "codec": str,
+    "digest": str,
+    "frames": int,
+    "frames_lost": int,
+    "frames_damaged": int,
+    "fec_recoveries": int,
+    "blocks_failed": int,
+    "residual_ppm": int,
+    "overhead_ppm": int,
+    "psnr_mdb": int,
+    "encode_uj": int,
+    "fec_uj": int,
+    "sent_bytes": int,
+    "parity_bytes": int,
 }
 
 
@@ -127,7 +169,96 @@ def main(report_path, bounds_path):
           f"{len(per_scenario)} scenarios within committed bounds")
 
 
+def main_fec(report_path, bounds_path):
+    with open(report_path) as f:
+        doc = json.load(f)
+    with open(bounds_path) as f:
+        fec = json.load(f)["fec"]
+    cell_bounds = fec["cells"]
+
+    if set(doc) != {"frames", "sessions", "cells"}:
+        fail(f"fec top-level keys {sorted(doc)}")
+    cells = doc["cells"]
+    if len(cells) != EXPECTED_FEC_CELLS:
+        fail(f"{len(cells)} fec cells != {EXPECTED_FEC_CELLS}")
+
+    seen = set()
+    by_key = {}
+    for c in cells:
+        if set(c) != set(FEC_CELL_FIELDS):
+            fail(f"fec cell keys {sorted(c)} != {sorted(FEC_CELL_FIELDS)}")
+        key = f"{c['channel']}/{c['arm']}"
+        for field, ty in FEC_CELL_FIELDS.items():
+            if not isinstance(c[field], ty):
+                fail(f"{key}: {field} is {type(c[field]).__name__}")
+        if c["psnr_mdb"] == 0:
+            fail(f"{key}: zero PSNR")
+        if c["digest"] == "0" * 16:
+            fail(f"{key}: zero digest")
+        if c["arm"] == "none":
+            if c["parity_bytes"] != 0 or c["fec_uj"] != 0 or c["codec"]:
+                fail(f"{key}: unprotected arm carries FEC state")
+        else:
+            if c["parity_bytes"] == 0 or c["fec_uj"] == 0 or not c["codec"]:
+                fail(f"{key}: protected arm sent no parity or charged no energy")
+            if c["overhead_ppm"] > fec["overhead_ppm_max"]:
+                fail(f"{key}: overhead {c['overhead_ppm']} ppm above "
+                     f"committed wire-budget ceiling {fec['overhead_ppm_max']}")
+        seen.add((c["channel"], c["arm"]))
+        by_key[key] = c
+
+    expected_matrix = {
+        (ch, arm) for ch in EXPECTED_FEC_CHANNELS for arm in EXPECTED_FEC_ARMS
+    }
+    if seen != expected_matrix:
+        fail(f"fec matrix coverage mismatch: missing {sorted(expected_matrix - seen)}, "
+             f"extra {sorted(seen - expected_matrix)}")
+    if set(by_key) != set(cell_bounds):
+        fail(f"fec cells {sorted(by_key)} != bounded {sorted(cell_bounds)}")
+
+    # Per-cell gates: residual loss and FEC energy against ceilings,
+    # PSNR against its floor, each with drift vs committed baseline.
+    for key in sorted(by_key):
+        c, b = by_key[key], cell_bounds[key]
+        base = b["baseline"]
+        checks = [
+            ("residual_ppm", c["residual_ppm"], b["residual_ppm_max"], "max", "ppm"),
+            ("psnr_mdb", c["psnr_mdb"], b["psnr_min_mdb"], "min", "mdB"),
+            ("fec_uj", c["fec_uj"], b["fec_uj_max"], "max", "uJ"),
+        ]
+        for field, observed, bound, kind, unit in checks:
+            trend = drift(observed, base[field])
+            print(f"{key}: {field} = {observed} {unit} "
+                  f"(bound {kind} {bound}, drift vs baseline {trend})")
+            if kind == "min" and observed < bound:
+                fail(f"{key}: {field} {observed} below committed floor {bound}")
+            if kind == "max" and observed > bound:
+                fail(f"{key}: {field} {observed} above committed ceiling {bound}")
+
+    # The headline claim the matrix exists to demonstrate: adaptive
+    # multi-erasure codecs beat fixed single-erasure XOR on residual
+    # frame loss under the committed burst channel at equal wire budget.
+    gate = fec["burst_gate"]
+    ref = by_key[f"{gate['channel']}/{gate['reference_arm']}"]
+    ref_residual = ref["frames_lost"] + ref["frames_damaged"]
+    for arm in gate["better_arms"]:
+        c = by_key[f"{gate['channel']}/{arm}"]
+        residual = c["frames_lost"] + c["frames_damaged"]
+        print(f"{gate['channel']}: {arm} residual {residual} frames "
+              f"vs {gate['reference_arm']} {ref_residual}")
+        if residual >= ref_residual:
+            fail(f"{gate['channel']}: {arm} residual loss {residual} must beat "
+                 f"{gate['reference_arm']} {ref_residual}")
+
+    print(f"fec OK: {len(cells)} cells within committed bounds, "
+          f"burst gate holds for {', '.join(gate['better_arms'])}")
+
+
 if __name__ == "__main__":
-    if len(sys.argv) not in (2, 3):
-        fail("usage: validate_scenarios.py <scenarios.json> [<bounds.json>]")
-    main(sys.argv[1], sys.argv[2] if len(sys.argv) == 3 else "ci/scenario_bounds.json")
+    args = sys.argv[1:]
+    fec_mode = "--fec" in args
+    args = [a for a in args if a != "--fec"]
+    if len(args) not in (1, 2):
+        fail("usage: validate_scenarios.py [--fec] <report.json> [<bounds.json>]")
+    entry = main_fec if fec_mode else main
+    entry(args[0], args[1] if len(args) == 2 else "ci/scenario_bounds.json")

@@ -12,7 +12,10 @@
 use pbpair_codec::{DecodeReport, Decoder, Encoder, EncoderConfig, NaturalPolicy};
 use pbpair_media::synth::SyntheticSequence;
 use pbpair_media::VideoFormat;
-use pbpair_netsim::{reassemble_frame_damaged, LossModel, MarkovBurstErasure, Packetizer};
+use pbpair_netsim::{
+    reassemble_frame, reassemble_frame_damaged, FecOps, FecProtector, FecSpec, LossModel,
+    MarkovBurstErasure, Packetizer,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -235,6 +238,100 @@ fn every_mutation_class_survives_header_aligned_burst_erasure() {
         assert!(
             recovered + concealed > 0,
             "{name}: recovery machinery never engaged"
+        );
+    }
+}
+
+/// Satellite leg: the same mutation classes and burst channel, but with
+/// the fragment stream RS-protected before transmission. The FEC layer
+/// must repair what the code allows (≤ r erasures per block), fail
+/// cleanly beyond it, and whatever `recover` + reassembly hand the
+/// resilient decoder — a fully restored picture, a partial repair, or
+/// the unrepaired remains — must never panic it or poison the next
+/// picture. The repair machinery must demonstrably engage per class.
+#[test]
+fn every_mutation_class_survives_rs_protected_burst_erasure() {
+    let originals = valid_frames();
+    let mut rng = StdRng::seed_from_u64(0xFEC5_7EED);
+    let fec = FecProtector::new(FecSpec::Rs { k: 4, r: 2 }).expect("valid RS spec");
+
+    for (class, name) in MUTATION_CLASSES.iter().enumerate() {
+        let mut channel = MarkovBurstErasure::new(3.0, 9.0, 0x2000 + class as u64);
+        let mut ops = FecOps::default();
+        let mut frames_out = 0u64;
+        let mut lossy_cases = 0u64;
+        let mut complete_after_loss = 0u64;
+
+        for case in 0..400u64 {
+            let mut data = originals[(case % originals.len() as u64) as usize].clone();
+            mutate_once(&mut rng, &mut data, class as u8);
+            if data.is_empty() {
+                continue;
+            }
+
+            // Small MTU → many fragments per picture → multi-block RS.
+            // Here the channel erases *by packet*, bursts landing
+            // wherever the Markov chain puts them — parity included.
+            let mut pkt = Packetizer::new(96);
+            let packets = pkt.packetize(case, &data);
+            let sent = fec.protect(&packets, &mut ops);
+            let survivors: Vec<_> = sent
+                .iter()
+                .filter(|_| !channel.next_lost())
+                .cloned()
+                .collect();
+            let lost = sent.len() - survivors.len();
+            if lost > 0 {
+                lossy_cases += 1;
+            }
+
+            let bytes = match fec.recover(&survivors, &mut ops) {
+                Some(rec) => {
+                    if rec.complete {
+                        if lost > 0 {
+                            complete_after_loss += 1;
+                        }
+                        reassemble_frame(&rec.data)
+                    } else {
+                        reassemble_frame_damaged(&rec.data)
+                    }
+                }
+                None => reassemble_frame_damaged(&survivors),
+            };
+
+            let mut dec = Decoder::new(VideoFormat::QCIF);
+            if let Some(bytes) = bytes {
+                let (frame, report) = dec.decode_frame_resilient(&bytes);
+                assert_eq!(frame.format(), VideoFormat::QCIF, "{name} case {case}");
+                check_report(1, &report, bytes.len());
+                frames_out += 1;
+            }
+
+            // Unpoisoned: an intact picture still decodes afterwards.
+            let (ok, clean) = dec.decode_frame_resilient(&originals[0]);
+            assert_eq!(
+                ok.format(),
+                VideoFormat::QCIF,
+                "{name} case {case}: decoder poisoned"
+            );
+            assert_eq!(clean.frames_decoded, 1, "{name} case {case}");
+        }
+
+        assert!(
+            lossy_cases > 100,
+            "{name}: bursts barely fired ({lossy_cases}/400)"
+        );
+        assert!(
+            ops.blocks_repaired > 0,
+            "{name}: RS repair machinery never engaged"
+        );
+        assert!(
+            complete_after_loss > 0,
+            "{name}: RS never restored a lossy picture to completeness"
+        );
+        assert!(
+            frames_out > 200,
+            "{name}: almost nothing decoded ({frames_out}/400)"
         );
     }
 }

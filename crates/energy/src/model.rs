@@ -2,6 +2,7 @@
 
 use crate::profile::DeviceProfile;
 use pbpair_codec::OpCounts;
+use pbpair_fec::FecOps;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
@@ -149,6 +150,23 @@ impl EnergyModel {
         Joules(bits as f64 * self.profile.tx_bit_nj * 1e-9)
     }
 
+    /// Compute energy of FEC encode/decode work: byte-wide XOR
+    /// accumulates, GF(256) multiply-accumulates, plus a nominal
+    /// `k³ ≈ 512`-multiply charge per decode-time matrix inversion (the
+    /// matrices are tiny next to the shard passes, but a Reed-Solomon
+    /// repair should never be free). Radio cost of the parity bytes is
+    /// *not* included — parity rides in `bits_emitted`-style wire totals
+    /// and must be charged there exactly once.
+    pub fn fec_energy(&self, ops: &FecOps) -> Joules {
+        let p = &self.profile;
+        Joules(
+            (ops.xor_bytes as f64 * p.fec_xor_byte_nj
+                + ops.gf_mul_bytes as f64 * p.fec_gf_byte_nj
+                + ops.matrix_inversions as f64 * 512.0 * p.fec_gf_byte_nj)
+                * 1e-9,
+        )
+    }
+
     /// Encoding plus transmission energy — what the §3.2 budget
     /// controller balances (more intra MBs: cheaper encode, costlier
     /// transmit).
@@ -288,5 +306,30 @@ mod tests {
         let model = EnergyModel::new(IPAQ_H5555);
         assert_eq!(model.encoding_energy(&OpCounts::default()).get(), 0.0);
         assert_eq!(model.breakdown(&OpCounts::default()).me_fraction(), 0.0);
+        assert_eq!(model.fec_energy(&FecOps::default()).get(), 0.0);
+    }
+
+    #[test]
+    fn fec_energy_is_additive_and_gf_work_costs_more_than_xor() {
+        let model = EnergyModel::new(IPAQ_H5555);
+        let xor = FecOps {
+            xor_bytes: 10_000,
+            ..FecOps::default()
+        };
+        let gf = FecOps {
+            gf_mul_bytes: 10_000,
+            ..FecOps::default()
+        };
+        let e_xor = model.fec_energy(&xor);
+        let e_gf = model.fec_energy(&gf);
+        assert!(e_gf > e_xor, "GF mac must cost more than plain xor");
+        let both = model.fec_energy(&(xor + gf));
+        assert!((both.get() - (e_xor + e_gf).get()).abs() < 1e-15);
+        // An RS repair's inversion is charged even with no shard work.
+        let inv = FecOps {
+            matrix_inversions: 1,
+            ..FecOps::default()
+        };
+        assert!(model.fec_energy(&inv).get() > 0.0);
     }
 }

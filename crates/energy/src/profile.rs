@@ -51,6 +51,12 @@ pub struct DeviceProfile {
     /// Radio transmission cost per bit (802.11b-class), used only for
     /// *total* energy; the paper's Figure 5(d) is encoding energy alone.
     pub tx_bit_nj: f64,
+    /// One byte-wide XOR-accumulate in an FEC inner loop (load, xor,
+    /// store — ~1 cycle on the ARM core).
+    pub fec_xor_byte_nj: f64,
+    /// One byte-wide GF(256) multiply-accumulate (two table lookups in
+    /// cached SRAM plus an XOR — ~5 cycles).
+    pub fec_gf_byte_nj: f64,
 }
 
 /// HP iPAQ H5555: 400 MHz PXA255, 128 MB SDRAM, integrated 802.11b.
@@ -67,6 +73,8 @@ pub const IPAQ_H5555: DeviceProfile = DeviceProfile {
     mb_overhead_nj: 625.0,
     frame_overhead_nj: 50_000.0,
     tx_bit_nj: 120.0,
+    fec_xor_byte_nj: 1.25,
+    fec_gf_byte_nj: 6.25,
 };
 
 /// Sharp Zaurus SL-5600: 400 MHz PXA250, 32 MB SDRAM, CF 802.11b card.
@@ -85,6 +93,8 @@ pub const ZAURUS_SL5600: DeviceProfile = DeviceProfile {
     mb_overhead_nj: 550.0,
     frame_overhead_nj: 44_000.0,
     tx_bit_nj: 160.0,
+    fec_xor_byte_nj: 1.1,
+    fec_gf_byte_nj: 5.5,
 };
 
 impl DeviceProfile {
@@ -126,6 +136,8 @@ mod tests {
                 p.mb_overhead_nj,
                 p.frame_overhead_nj,
                 p.tx_bit_nj,
+                p.fec_xor_byte_nj,
+                p.fec_gf_byte_nj,
             ] {
                 assert!(v > 0.0, "{}: non-positive cost", p.name);
             }

@@ -20,7 +20,9 @@ use pbpair_energy::{DvfsGovernor, EnergyModel, Joules, IPAQ_H5555};
 use pbpair_media::metrics::QualityStats;
 use pbpair_media::synth::SyntheticSequence;
 use pbpair_media::VideoFormat;
-use pbpair_netsim::{reassemble_frame, LossyChannel, Packetizer, UniformLoss, XorFec};
+use pbpair_netsim::{
+    reassemble_frame, FecOps, FecProtector, FecSpec, LossyChannel, Packetizer, UniformLoss,
+};
 use serde::{Deserialize, Serialize};
 
 /// Result of one FEC configuration.
@@ -44,11 +46,13 @@ pub struct FecRow {
 /// Propagates configuration errors.
 pub fn run_fec(frames: usize, packet_loss: f64, mtu: usize) -> Result<Vec<FecRow>, String> {
     let mut rows = Vec::new();
-    for (label, fec) in [
+    for (label, spec) in [
         ("no FEC".to_string(), None),
-        ("XOR FEC k=4".to_string(), Some(XorFec::new(4))),
-        ("XOR FEC k=2".to_string(), Some(XorFec::new(2))),
+        ("XOR FEC k=4".to_string(), Some(FecSpec::Xor { k: 4 })),
+        ("XOR FEC k=2".to_string(), Some(FecSpec::Xor { k: 2 })),
     ] {
+        let fec = spec.map(FecProtector::new).transpose()?;
+        let mut ops = FecOps::default();
         let mut policy = PbpairPolicy::new(VideoFormat::QCIF, PbpairConfig::default())?;
         let mut encoder = Encoder::new(EncoderConfig::default());
         let mut decoder = Decoder::new(VideoFormat::QCIF);
@@ -63,13 +67,15 @@ pub fn run_fec(frames: usize, packet_loss: f64, mtu: usize) -> Result<Vec<FecRow
             let encoded = encoder.encode_frame(&original, &mut policy);
             let data_packets = packetizer.packetize(encoded.index, &encoded.data);
             let sent = match &fec {
-                Some(f) => f.protect(&data_packets),
+                Some(f) => f.protect(&data_packets, &mut ops),
                 None => data_packets.clone(),
             };
             bytes_sent += sent.iter().map(|p| p.len() as u64).sum::<u64>();
             let survivors = channel.transmit(&sent);
             let recovered = match &fec {
-                Some(f) => f.recover(&survivors),
+                Some(f) => f
+                    .recover(&survivors, &mut ops)
+                    .and_then(|rec| rec.complete.then_some(rec.data)),
                 None => (survivors.len() == data_packets.len()).then_some(survivors),
             };
             let shown = match recovered.as_deref().and_then(reassemble_frame) {

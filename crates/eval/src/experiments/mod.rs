@@ -4,6 +4,7 @@
 
 pub mod adaptive;
 pub mod extensions;
+pub mod fec;
 pub mod fig5;
 pub mod fig6;
 pub mod headline;

@@ -1,0 +1,211 @@
+//! GF(256) arithmetic over the AES-adjacent primitive polynomial
+//! `x^8 + x^4 + x^3 + x^2 + 1` (0x11d), the field every byte-oriented
+//! Reed-Solomon construction lives in.
+//!
+//! The fast path is the classic log/exp-table pair: multiplication is two
+//! lookups and an addition mod 255, inversion is one lookup. The tables
+//! are built at compile time from the generator α = 2, so there is no
+//! runtime init and no global state. [`mul_slow`] keeps the O(bits²)
+//! shift-and-reduce reference the differential tests check every product
+//! against.
+
+/// Primitive polynomial of the field, with the x^8 term included.
+pub const POLY: u16 = 0x11d;
+
+const fn build_exp() -> [u8; 512] {
+    let mut exp = [0u8; 512];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        exp[i + 255] = x as u8; // doubled so mul() skips the mod 255
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLY;
+        }
+        i += 1;
+    }
+    // exp[510..512] are never indexed (log a + log b <= 508) but must
+    // exist; leave them zero.
+    exp[510] = exp[0];
+    exp[511] = exp[1];
+    exp
+}
+
+const fn build_log(exp: &[u8; 512]) -> [u8; 256] {
+    let mut log = [0u8; 256];
+    let mut i = 0;
+    while i < 255 {
+        log[exp[i] as usize] = i as u8;
+        i += 1;
+    }
+    log
+}
+
+/// `EXP[i] = α^i` for `i in 0..255`, repeated once so that
+/// `EXP[log a + log b]` needs no reduction mod 255.
+pub const EXP: [u8; 512] = build_exp();
+
+/// `LOG[α^i] = i`; `LOG[0]` is unused (zero has no logarithm).
+pub const LOG: [u8; 256] = build_log(&EXP);
+
+/// Field addition (and subtraction): XOR.
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Table-based field multiplication.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+    }
+}
+
+/// Multiplicative inverse.
+///
+/// # Panics
+///
+/// Panics on `a == 0`, which has no inverse.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no multiplicative inverse in GF(256)");
+    EXP[255 - LOG[a as usize] as usize]
+}
+
+/// Field division `a / b`.
+///
+/// # Panics
+///
+/// Panics on division by zero.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "division by zero in GF(256)");
+    if a == 0 {
+        0
+    } else {
+        EXP[(LOG[a as usize] as usize + 255 - LOG[b as usize] as usize) % 255]
+    }
+}
+
+/// `a^e` by repeated squaring over the tables.
+pub fn pow(a: u8, mut e: u32) -> u8 {
+    if e == 0 {
+        return 1;
+    }
+    if a == 0 {
+        return 0;
+    }
+    let mut base = a;
+    let mut acc = 1u8;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = mul(acc, base);
+        }
+        base = mul(base, base);
+        e >>= 1;
+    }
+    acc
+}
+
+/// Reference multiplication: carry-less shift-and-add with polynomial
+/// reduction, no tables. Quadratic in the bit width — this is the
+/// brute-force oracle the table path is differentially tested against.
+pub fn mul_slow(mut a: u8, mut b: u8) -> u8 {
+    let mut acc: u8 = 0;
+    while b != 0 {
+        if b & 1 == 1 {
+            acc ^= a;
+        }
+        let carry = a & 0x80 != 0;
+        a <<= 1;
+        if carry {
+            a ^= (POLY & 0xff) as u8;
+        }
+        b >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_consistent() {
+        // α is a generator: EXP enumerates all 255 non-zero elements.
+        let mut seen = [false; 256];
+        for i in 0..255 {
+            assert!(!seen[EXP[i] as usize], "EXP repeats at {i}");
+            seen[EXP[i] as usize] = true;
+        }
+        assert!(!seen[0], "zero is not a power of the generator");
+        for a in 1..=255u8 {
+            assert_eq!(EXP[LOG[a as usize] as usize], a);
+        }
+    }
+
+    #[test]
+    fn mul_matches_slow_reference_exhaustively() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), mul_slow(a, b), "mul({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn div_and_inv_match_the_reference_exhaustively() {
+        for a in 1..=255u8 {
+            let ia = inv(a);
+            assert_eq!(mul_slow(a, ia), 1, "inv({a})");
+            for b in 1..=255u8 {
+                let q = div(a, b);
+                assert_eq!(mul_slow(q, b), a, "div({a},{b})");
+            }
+            assert_eq!(div(0, a), 0);
+        }
+    }
+
+    #[test]
+    fn field_axioms_hold() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(add(a, a), 0, "characteristic 2");
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), mul(b, a));
+                // Distributivity over a fixed third operand.
+                let c = a.wrapping_mul(31).wrapping_add(b);
+                assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+            }
+        }
+    }
+
+    #[test]
+    fn pow_agrees_with_iterated_mul() {
+        for a in [0u8, 1, 2, 3, 29, 142, 255] {
+            let mut acc = 1u8;
+            for e in 0..20u32 {
+                assert_eq!(pow(a, e), acc, "pow({a},{e})");
+                acc = mul(acc, a);
+            }
+        }
+        assert_eq!(pow(0, 0), 1, "0^0 = 1 by convention");
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse")]
+    fn zero_has_no_inverse() {
+        let _ = inv(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero")]
+    fn division_by_zero_panics() {
+        let _ = div(3, 0);
+    }
+}

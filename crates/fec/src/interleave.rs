@@ -1,0 +1,192 @@
+//! Interleaved XOR — `r` independent single-parity classes, parity `j`
+//! covering data shards `i ≡ j (mod r)`. A contiguous burst of up to
+//! `r` consecutive losses lands one loss in each class, so the cheapest
+//! arithmetic in the family survives exactly the burst shapes the
+//! `MarkovBurstErasure` channel produces.
+
+use crate::{check_decode, check_encode, xor_into, FecCodec, FecOps};
+
+/// XOR parity interleaved to depth `r`.
+#[derive(Debug, Clone, Copy)]
+pub struct InterleavedXor {
+    k: usize,
+    r: usize,
+}
+
+impl InterleavedXor {
+    /// Creates the codec with interleave depth `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `r == 0`.
+    pub fn new(k: usize, r: usize) -> InterleavedXor {
+        assert!(k > 0, "interleaved fec needs at least one data shard");
+        assert!(r > 0, "interleaved fec needs at least one parity class");
+        InterleavedXor { k, r }
+    }
+
+    fn class_of(&self, data_index: usize) -> usize {
+        data_index % self.r
+    }
+}
+
+impl FecCodec for InterleavedXor {
+    fn data_shards(&self) -> usize {
+        self.k
+    }
+
+    fn parity_shards(&self) -> usize {
+        self.r
+    }
+
+    fn name(&self) -> &'static str {
+        "ilv"
+    }
+
+    fn encode(&self, data: &[&[u8]], ops: &mut FecOps) -> Vec<Vec<u8>> {
+        let len = check_encode(data, self.k);
+        let mut parity = vec![vec![0u8; len]; self.r];
+        for (i, shard) in data.iter().enumerate() {
+            xor_into(&mut parity[self.class_of(i)], shard, ops);
+        }
+        ops.blocks_encoded += 1;
+        ops.parity_bytes += (self.r * len) as u64;
+        parity
+    }
+
+    fn decode(&self, shards: &mut [Option<Vec<u8>>], ops: &mut FecOps) -> bool {
+        let n = self.k + self.r;
+        let Some(len) = check_decode(shards, n) else {
+            return false;
+        };
+        if shards[..self.k].iter().all(Option::is_some) {
+            return true;
+        }
+        ops.blocks_decoded += 1;
+        // Each class is an independent single-parity code: repairable
+        // iff it lost at most one shard (data or parity) total.
+        let mut repaired_any = false;
+        let mut all_data_present = true;
+        for class in 0..self.r {
+            let members: Vec<usize> = (0..self.k)
+                .filter(|&i| self.class_of(i) == class)
+                .chain(std::iter::once(self.k + class))
+                .collect();
+            let missing: Vec<usize> = members
+                .iter()
+                .copied()
+                .filter(|&i| shards[i].is_none())
+                .collect();
+            let missing_data: Vec<usize> =
+                missing.iter().copied().filter(|&i| i < self.k).collect();
+            if missing_data.is_empty() {
+                continue;
+            }
+            if missing.len() > 1 {
+                all_data_present = false;
+                continue;
+            }
+            let mut rebuilt = vec![0u8; len];
+            for &i in &members {
+                if let Some(shard) = &shards[i] {
+                    xor_into(&mut rebuilt, shard, ops);
+                }
+            }
+            shards[missing_data[0]] = Some(rebuilt);
+            repaired_any = true;
+        }
+        if repaired_any {
+            ops.blocks_repaired += 1;
+        }
+        if all_data_present {
+            true
+        } else {
+            ops.blocks_failed += 1;
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FecCodec;
+
+    fn block(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| (0..len).map(|j| (i * 53 + j * 11 + 9) as u8).collect())
+            .collect()
+    }
+
+    fn protect(codec: &InterleavedXor, data: &[Vec<u8>]) -> Vec<Option<Vec<u8>>> {
+        let refs: Vec<&[u8]> = data.iter().map(|s| s.as_slice()).collect();
+        let mut ops = FecOps::default();
+        let parity = codec.encode(&refs, &mut ops);
+        data.iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect()
+    }
+
+    #[test]
+    fn survives_any_burst_up_to_depth() {
+        let (k, r) = (9, 3);
+        let codec = InterleavedXor::new(k, r);
+        let data = block(k, 20);
+        for start in 0..=(k - r) {
+            let mut shards = protect(&codec, &data);
+            for slot in shards.iter_mut().skip(start).take(r) {
+                *slot = None;
+            }
+            let mut ops = FecOps::default();
+            assert!(codec.decode(&mut shards, &mut ops), "burst at {start}");
+            for i in 0..k {
+                assert_eq!(shards[i].as_deref(), Some(&data[i][..]));
+            }
+        }
+    }
+
+    #[test]
+    fn two_losses_in_one_class_fail_that_class_only() {
+        let (k, r) = (8, 2);
+        let codec = InterleavedXor::new(k, r);
+        let data = block(k, 12);
+        let mut shards = protect(&codec, &data);
+        // Indices 0 and 2 share class 0; index 1 (class 1) also lost.
+        shards[0] = None;
+        shards[2] = None;
+        shards[1] = None;
+        let mut ops = FecOps::default();
+        assert!(!codec.decode(&mut shards, &mut ops));
+        // The solvable class was still repaired.
+        assert_eq!(shards[1].as_deref(), Some(&data[1][..]));
+        assert!(shards[0].is_none());
+        assert_eq!(ops.blocks_failed, 1);
+        assert_eq!(ops.blocks_repaired, 1);
+    }
+
+    #[test]
+    fn burst_longer_than_depth_fails() {
+        let (k, r) = (8, 2);
+        let codec = InterleavedXor::new(k, r);
+        let data = block(k, 12);
+        let mut shards = protect(&codec, &data);
+        for slot in shards.iter_mut().take(3) {
+            *slot = None; // burst of r + 1
+        }
+        let mut ops = FecOps::default();
+        assert!(!codec.decode(&mut shards, &mut ops));
+    }
+
+    #[test]
+    fn depth_one_matches_plain_xor_capability() {
+        let codec = InterleavedXor::new(5, 1);
+        let data = block(5, 8);
+        let mut shards = protect(&codec, &data);
+        shards[4] = None;
+        let mut ops = FecOps::default();
+        assert!(codec.decode(&mut shards, &mut ops));
+        assert_eq!(shards[4].as_deref(), Some(&data[4][..]));
+    }
+}

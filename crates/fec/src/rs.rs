@@ -1,0 +1,314 @@
+//! Systematic Reed-Solomon over GF(256), built the classic Vandermonde
+//! way: start from the `(k + r) × k` Vandermonde matrix `A` with
+//! evaluation points `x_i = i` (distinct, so every `k × k` submatrix is
+//! invertible), right-multiply by `inv(A_top)` so the top `k` rows become
+//! the identity, and keep the bottom `r` rows as the parity generator.
+//! Any `k` surviving shards then pin down the data through one `k × k`
+//! Gaussian elimination — i.e. the code is MDS: it recovers *any* `r`
+//! erasures per block.
+
+use crate::gf256;
+use crate::{check_decode, check_encode, FecCodec, FecOps};
+
+/// Reed-Solomon codec with `k` data and `r` parity shards, `k + r ≤ 255`.
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    k: usize,
+    r: usize,
+    /// The `r × k` parity generator (bottom rows of the systematic
+    /// encoding matrix), row-major.
+    parity_rows: Vec<u8>,
+}
+
+impl ReedSolomon {
+    /// Builds the codec and its systematic generator matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `k == 0`, `r == 0`, or `k + r > 255`.
+    pub fn new(k: usize, r: usize) -> Result<ReedSolomon, String> {
+        if k == 0 || r == 0 {
+            return Err("reed-solomon needs positive k and r".into());
+        }
+        if k + r > 255 {
+            return Err(format!(
+                "reed-solomon block size k + r = {} exceeds 255",
+                k + r
+            ));
+        }
+        let n = k + r;
+        // Vandermonde rows: A[i][j] = x_i^j with x_i = i.
+        let a: Vec<u8> = (0..n)
+            .flat_map(|i| (0..k).map(move |j| gf256::pow(i as u8, j as u32)))
+            .collect();
+        let top: Vec<u8> = a[..k * k].to_vec();
+        let inv_top = invert(&top, k).expect("Vandermonde top block is invertible");
+        // E = A · inv(A_top); rows 0..k become the identity, rows k..n
+        // are the parity generator.
+        let mut parity_rows = vec![0u8; r * k];
+        for i in 0..r {
+            for j in 0..k {
+                let mut acc = 0u8;
+                for t in 0..k {
+                    acc = gf256::add(acc, gf256::mul(a[(k + i) * k + t], inv_top[t * k + j]));
+                }
+                parity_rows[i * k + j] = acc;
+            }
+        }
+        Ok(ReedSolomon { k, r, parity_rows })
+    }
+
+    /// Rows of the full systematic encoding matrix for the given shard
+    /// indices (data rows are unit vectors, parity rows come from the
+    /// generator).
+    fn encoding_row(&self, shard_index: usize, out: &mut [u8]) {
+        out.fill(0);
+        if shard_index < self.k {
+            out[shard_index] = 1;
+        } else {
+            let p = shard_index - self.k;
+            out.copy_from_slice(&self.parity_rows[p * self.k..(p + 1) * self.k]);
+        }
+    }
+}
+
+impl FecCodec for ReedSolomon {
+    fn data_shards(&self) -> usize {
+        self.k
+    }
+
+    fn parity_shards(&self) -> usize {
+        self.r
+    }
+
+    fn name(&self) -> &'static str {
+        "rs"
+    }
+
+    fn encode(&self, data: &[&[u8]], ops: &mut FecOps) -> Vec<Vec<u8>> {
+        let len = check_encode(data, self.k);
+        let mut parity = vec![vec![0u8; len]; self.r];
+        for (pi, row) in parity.iter_mut().enumerate() {
+            for (j, shard) in data.iter().enumerate() {
+                let coeff = self.parity_rows[pi * self.k + j];
+                if coeff == 0 {
+                    continue;
+                }
+                for (acc, &b) in row.iter_mut().zip(*shard) {
+                    *acc = gf256::add(*acc, gf256::mul(coeff, b));
+                }
+                ops.gf_mul_bytes += len as u64;
+            }
+        }
+        ops.blocks_encoded += 1;
+        ops.parity_bytes += (self.r * len) as u64;
+        parity
+    }
+
+    fn decode(&self, shards: &mut [Option<Vec<u8>>], ops: &mut FecOps) -> bool {
+        let n = self.k + self.r;
+        let Some(len) = check_decode(shards, n) else {
+            return false;
+        };
+        if shards[..self.k].iter().all(Option::is_some) {
+            return true;
+        }
+        ops.blocks_decoded += 1;
+        let survivors: Vec<usize> = (0..n).filter(|&i| shards[i].is_some()).collect();
+        if survivors.len() < self.k {
+            ops.blocks_failed += 1;
+            return false;
+        }
+        // Any k survivors suffice; take the first k (lowest indices keep
+        // as many identity rows as possible, cheapening elimination).
+        let chosen = &survivors[..self.k];
+        let mut m = vec![0u8; self.k * self.k];
+        for (row, &s) in chosen.iter().enumerate() {
+            let (start, end) = (row * self.k, (row + 1) * self.k);
+            self.encoding_row(s, &mut m[start..end]);
+        }
+        let Some(inv_m) = invert(&m, self.k) else {
+            // Unreachable for a Vandermonde-derived matrix, but fail
+            // closed rather than panic on an internal invariant.
+            ops.blocks_failed += 1;
+            return false;
+        };
+        ops.matrix_inversions += 1;
+        let missing: Vec<usize> = (0..self.k).filter(|&i| shards[i].is_none()).collect();
+        for &d in &missing {
+            let mut rebuilt = vec![0u8; len];
+            for (col, &s) in chosen.iter().enumerate() {
+                let coeff = inv_m[d * self.k + col];
+                if coeff == 0 {
+                    continue;
+                }
+                let src = shards[s].as_ref().expect("chosen survivors are present");
+                for (acc, &b) in rebuilt.iter_mut().zip(src) {
+                    *acc = gf256::add(*acc, gf256::mul(coeff, b));
+                }
+                ops.gf_mul_bytes += len as u64;
+            }
+            shards[d] = Some(rebuilt);
+        }
+        ops.blocks_repaired += 1;
+        true
+    }
+}
+
+/// Inverts a `k × k` row-major matrix over GF(256) by Gauss-Jordan
+/// elimination with partial pivoting; `None` if singular.
+fn invert(m: &[u8], k: usize) -> Option<Vec<u8>> {
+    debug_assert_eq!(m.len(), k * k);
+    let mut a = m.to_vec();
+    let mut inv = vec![0u8; k * k];
+    for i in 0..k {
+        inv[i * k + i] = 1;
+    }
+    for col in 0..k {
+        let pivot_row = (col..k).find(|&r| a[r * k + col] != 0)?;
+        if pivot_row != col {
+            for j in 0..k {
+                a.swap(col * k + j, pivot_row * k + j);
+                inv.swap(col * k + j, pivot_row * k + j);
+            }
+        }
+        let pivot = a[col * k + col];
+        let pivot_inv = gf256::inv(pivot);
+        for j in 0..k {
+            a[col * k + j] = gf256::mul(a[col * k + j], pivot_inv);
+            inv[col * k + j] = gf256::mul(inv[col * k + j], pivot_inv);
+        }
+        for row in 0..k {
+            if row == col {
+                continue;
+            }
+            let factor = a[row * k + col];
+            if factor == 0 {
+                continue;
+            }
+            for j in 0..k {
+                let sub_a = gf256::mul(factor, a[col * k + j]);
+                a[row * k + j] = gf256::add(a[row * k + j], sub_a);
+                let sub_i = gf256::mul(factor, inv[col * k + j]);
+                inv[row * k + j] = gf256::add(inv[row * k + j], sub_i);
+            }
+        }
+    }
+    Some(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FecCodec;
+
+    fn block(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| (0..len).map(|j| (i * 97 + j * 13 + 5) as u8).collect())
+            .collect()
+    }
+
+    fn protect(codec: &ReedSolomon, data: &[Vec<u8>]) -> Vec<Option<Vec<u8>>> {
+        let refs: Vec<&[u8]> = data.iter().map(|s| s.as_slice()).collect();
+        let mut ops = FecOps::default();
+        let parity = codec.encode(&refs, &mut ops);
+        data.iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect()
+    }
+
+    #[test]
+    fn matrix_inversion_round_trips() {
+        let m = vec![1, 2, 3, 4, 5, 6, 7, 8, 10]; // nonsingular over GF(256)
+        let inv = invert(&m, 3).unwrap();
+        // m · inv = I
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut acc = 0u8;
+                for t in 0..3 {
+                    acc = gf256::add(acc, gf256::mul(m[i * 3 + t], inv[t * 3 + j]));
+                }
+                assert_eq!(acc, u8::from(i == j), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        // Row 2 = row 0 XOR row 1 → rank 2.
+        let m = vec![1, 2, 3, 4, 5, 6, 5, 7, 5];
+        assert!(invert(&m, 3).is_none());
+    }
+
+    #[test]
+    fn recovers_every_double_erasure_pattern() {
+        let (k, r) = (6, 2);
+        let codec = ReedSolomon::new(k, r).unwrap();
+        let data = block(k, 20);
+        let n = k + r;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let mut shards = protect(&codec, &data);
+                shards[a] = None;
+                shards[b] = None;
+                let mut ops = FecOps::default();
+                assert!(codec.decode(&mut shards, &mut ops), "pattern ({a},{b})");
+                for i in 0..k {
+                    assert_eq!(shards[i].as_deref(), Some(&data[i][..]), "shard {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fails_cleanly_beyond_capability() {
+        let (k, r) = (4, 2);
+        let codec = ReedSolomon::new(k, r).unwrap();
+        let data = block(k, 10);
+        let mut shards = protect(&codec, &data);
+        shards[0] = None;
+        shards[1] = None;
+        shards[4] = None; // three erasures > r
+        let mut ops = FecOps::default();
+        assert!(!codec.decode(&mut shards, &mut ops));
+        assert!(shards[0].is_none());
+        assert_eq!(ops.blocks_failed, 1);
+    }
+
+    #[test]
+    fn parity_only_losses_skip_the_solver() {
+        let (k, r) = (4, 3);
+        let codec = ReedSolomon::new(k, r).unwrap();
+        let data = block(k, 10);
+        let mut shards = protect(&codec, &data);
+        shards[4] = None;
+        shards[6] = None;
+        let mut ops = FecOps::default();
+        assert!(codec.decode(&mut shards, &mut ops));
+        assert_eq!(ops.matrix_inversions, 0);
+        assert_eq!(ops.blocks_decoded, 0);
+    }
+
+    #[test]
+    fn op_accounting_matches_the_algebra() {
+        let (k, r, len) = (4, 2, 32);
+        let codec = ReedSolomon::new(k, r).unwrap();
+        let data = block(k, len);
+        let refs: Vec<&[u8]> = data.iter().map(|s| s.as_slice()).collect();
+        let mut ops = FecOps::default();
+        codec.encode(&refs, &mut ops);
+        assert_eq!(ops.parity_bytes, (r * len) as u64);
+        // Every generator coefficient is non-zero for these parameters,
+        // so encode performs exactly r·k shard-length MAC passes.
+        assert_eq!(ops.gf_mul_bytes, (r * k * len) as u64);
+    }
+
+    #[test]
+    fn block_bound_is_enforced() {
+        assert!(ReedSolomon::new(200, 56).is_err());
+        assert!(ReedSolomon::new(200, 55).is_ok());
+        assert!(ReedSolomon::new(0, 2).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Single-parity XOR — the codec the repo's original `netsim::fec`
+//! group parity reduces to: one parity shard per `k` data shards,
+//! recovering exactly one erasure per block.
+
+use crate::{check_decode, check_encode, xor_into, FecCodec, FecOps};
+
+/// XOR parity over `k` data shards; recovers any single erasure.
+#[derive(Debug, Clone, Copy)]
+pub struct XorCodec {
+    k: usize,
+}
+
+impl XorCodec {
+    /// Creates the codec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> XorCodec {
+        assert!(k > 0, "xor fec needs at least one data shard");
+        XorCodec { k }
+    }
+}
+
+impl FecCodec for XorCodec {
+    fn data_shards(&self) -> usize {
+        self.k
+    }
+
+    fn parity_shards(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "xor"
+    }
+
+    fn encode(&self, data: &[&[u8]], ops: &mut FecOps) -> Vec<Vec<u8>> {
+        let len = check_encode(data, self.k);
+        let mut parity = vec![0u8; len];
+        for shard in data {
+            xor_into(&mut parity, shard, ops);
+        }
+        ops.blocks_encoded += 1;
+        ops.parity_bytes += len as u64;
+        vec![parity]
+    }
+
+    fn decode(&self, shards: &mut [Option<Vec<u8>>], ops: &mut FecOps) -> bool {
+        let n = self.k + 1;
+        let Some(len) = check_decode(shards, n) else {
+            return false; // everything erased
+        };
+        let missing: Vec<usize> = (0..n).filter(|&i| shards[i].is_none()).collect();
+        let missing_data: Vec<usize> = missing.iter().copied().filter(|&i| i < self.k).collect();
+        if missing_data.is_empty() {
+            return true; // all data present; lost parity needs no repair
+        }
+        ops.blocks_decoded += 1;
+        if missing.len() > 1 {
+            ops.blocks_failed += 1;
+            return false;
+        }
+        // Exactly one missing slot and it is a data shard: XOR of the
+        // k survivors (k - 1 data + parity) reconstructs it.
+        let mut repaired = vec![0u8; len];
+        for shard in shards.iter().flatten() {
+            xor_into(&mut repaired, shard, ops);
+        }
+        shards[missing_data[0]] = Some(repaired);
+        ops.blocks_repaired += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FecCodec;
+
+    fn block(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| (0..len).map(|j| (i * 31 + j * 7 + 3) as u8).collect())
+            .collect()
+    }
+
+    fn shards_with_parity(codec: &XorCodec, data: &[Vec<u8>]) -> Vec<Option<Vec<u8>>> {
+        let refs: Vec<&[u8]> = data.iter().map(|s| s.as_slice()).collect();
+        let mut ops = FecOps::default();
+        let parity = codec.encode(&refs, &mut ops);
+        data.iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect()
+    }
+
+    #[test]
+    fn recovers_any_single_data_erasure() {
+        let codec = XorCodec::new(5);
+        let data = block(5, 24);
+        for lost in 0..5 {
+            let mut shards = shards_with_parity(&codec, &data);
+            shards[lost] = None;
+            let mut ops = FecOps::default();
+            assert!(codec.decode(&mut shards, &mut ops));
+            assert_eq!(shards[lost].as_deref(), Some(&data[lost][..]));
+            assert_eq!(ops.blocks_repaired, 1);
+        }
+    }
+
+    #[test]
+    fn parity_loss_alone_needs_no_repair() {
+        let codec = XorCodec::new(3);
+        let data = block(3, 10);
+        let mut shards = shards_with_parity(&codec, &data);
+        shards[3] = None;
+        let mut ops = FecOps::default();
+        assert!(codec.decode(&mut shards, &mut ops));
+        assert_eq!(ops.blocks_repaired, 0);
+        assert_eq!(ops.blocks_decoded, 0);
+    }
+
+    #[test]
+    fn two_erasures_fail_cleanly() {
+        let codec = XorCodec::new(4);
+        let data = block(4, 12);
+        let mut shards = shards_with_parity(&codec, &data);
+        shards[0] = None;
+        shards[2] = None;
+        let mut ops = FecOps::default();
+        assert!(!codec.decode(&mut shards, &mut ops));
+        assert!(shards[0].is_none(), "failed decode leaves erasures alone");
+        assert_eq!(ops.blocks_failed, 1);
+    }
+
+    #[test]
+    fn encode_charges_ops() {
+        let codec = XorCodec::new(4);
+        let data = block(4, 16);
+        let refs: Vec<&[u8]> = data.iter().map(|s| s.as_slice()).collect();
+        let mut ops = FecOps::default();
+        codec.encode(&refs, &mut ops);
+        assert_eq!(ops.blocks_encoded, 1);
+        assert_eq!(ops.parity_bytes, 16);
+        assert_eq!(ops.xor_bytes, 4 * 16);
+        assert_eq!(ops.gf_mul_bytes, 0);
+    }
+}

@@ -551,7 +551,7 @@ impl CorruptingChannel {
     /// Transmits a batch of packets and returns the survivors *without*
     /// reassembling them: loss first, then payload corruption. This is
     /// the packet-granularity entry point receivers with their own
-    /// recovery machinery need — notably [`crate::fec::XorFec`], whose
+    /// recovery machinery need — notably [`crate::fec::FecProtector`], whose
     /// parity recovery must run on the surviving packet set before any
     /// reassembly collapses it to bytes.
     pub fn transmit_packets(&mut self, packets: &[Packet]) -> Vec<Packet> {

@@ -1,28 +1,265 @@
-//! XOR-parity forward error correction.
+//! Packet-level forward error correction over [`pbpair-fec`] codecs.
 //!
 //! The paper closes with "cooperation with error control channel coding
 //! can be another interesting research topic since PBPAIR is independent
-//! from any other ... channel coding" mechanisms. This module provides
-//! the classic single-erasure XOR code so that cooperation can be
-//! exercised: every group of up to `k` data fragments gets one parity
-//! packet whose body is the XOR of the (zero-padded) group payloads, with
-//! a length directory so recovered fragments have their exact size. Any
-//! single loss within a group is recoverable; two or more are not.
+//! from any other ... channel coding" mechanisms. This module is that
+//! cooperation's transport half: [`FecProtector`] adapts any
+//! [`pbpair_fec::FecCodec`] to the RTP fragment stream — data fragments
+//! are chunked into blocks of `k`, lifted into equal-length shards, and
+//! `r` parity packets per block ride along; on the receive side surviving
+//! fragments plus parity reconstruct what the channel erased, with every
+//! XOR and GF(256) multiply charged to a [`FecOps`] ledger for energy
+//! accounting.
 //!
-//! Overhead is `1/k` extra packets; the effective frame-loss rate at
-//! per-packet loss `p` drops from `1 − (1−p)^n` to the probability of
-//! ≥2 losses in some group — the trade the FEC experiment measures.
+//! ## Shard lift
+//!
+//! Fragments inside a block differ in length (the tail fragment is
+//! short), while erasure codes want equal-length symbols. Each fragment
+//! becomes the shard `[len: u16 BE][payload][zero pad]`, sized to the
+//! longest member of its block; slots past the frame's last fragment are
+//! virtual all-zero shards that are never transmitted and never lost.
+//! Parity packets carry their shard verbatim, so the receiver learns the
+//! shard length from any surviving parity packet.
+//!
+//! The original single-group XOR parity lives on as the deprecated
+//! [`XorFec`] alias, now implemented behind the same trait.
 
 use crate::packet::Packet;
 use bytes::Bytes;
+use pbpair_fec::{FecCodec, FecOps, FecSpec};
 
-/// Single-erasure XOR FEC over fragment groups of size `k`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct XorFec {
-    group: usize,
+/// Packet adapter for a [`FecCodec`]: protects a frame's fragments with
+/// per-block parity packets and repairs erasures on receive.
+pub struct FecProtector {
+    spec: FecSpec,
+    codec: Box<dyn FecCodec>,
 }
 
-impl XorFec {
+impl std::fmt::Debug for FecProtector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FecProtector")
+            .field("spec", &self.spec)
+            .finish()
+    }
+}
+
+/// Result of [`FecProtector::recover`]: the data packets that survived
+/// or were rebuilt, and whether that is the complete frame.
+#[derive(Debug, Clone)]
+pub struct FecRecovery {
+    /// `true` when every data fragment is present or repaired.
+    pub complete: bool,
+    /// Present and repaired data packets in fragment order (parity
+    /// stripped). On an incomplete frame this still carries every
+    /// partial repair for damage-tolerant reassembly.
+    pub data: Vec<Packet>,
+}
+
+impl FecProtector {
+    /// Builds a protector for the given codec spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FecSpec::validate`] failures.
+    pub fn new(spec: FecSpec) -> Result<FecProtector, String> {
+        let codec = spec.build()?;
+        Ok(FecProtector { spec, codec })
+    }
+
+    /// The codec spec this protector runs.
+    pub fn spec(&self) -> FecSpec {
+        self.spec
+    }
+
+    /// Data shards per block.
+    pub fn k(&self) -> usize {
+        self.codec.data_shards()
+    }
+
+    /// Parity shards per block.
+    pub fn r(&self) -> usize {
+        self.codec.parity_shards()
+    }
+
+    /// Protects one frame's data fragments: returns the data packets
+    /// with `r` parity packets appended after each block of `k`. Parity
+    /// packet `pi` of block `b` carries `fragment_index =
+    /// fragment_count + b·r + pi` and `parity = true`; encode work and
+    /// parity bytes are charged to `ops`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packets` is empty or contains parity packets.
+    pub fn protect(&self, packets: &[Packet], ops: &mut FecOps) -> Vec<Packet> {
+        assert!(!packets.is_empty(), "cannot protect an empty frame");
+        assert!(
+            packets.iter().all(|p| !p.parity),
+            "input must be data packets"
+        );
+        let k = self.k();
+        let r = self.r();
+        let frame_index = packets[0].frame_index;
+        let fragment_count = packets[0].fragment_count;
+        let blocks = packets.len().div_ceil(k);
+        let mut out = Vec::with_capacity(packets.len() + blocks * r);
+        for (b, block) in packets.chunks(k).enumerate() {
+            out.extend_from_slice(block);
+            let shard_len = shard_len_for(block);
+            let shards: Vec<Vec<u8>> = (0..k)
+                .map(|slot| match block.get(slot) {
+                    Some(p) => lift_shard(&p.payload, shard_len),
+                    None => vec![0u8; shard_len], // virtual trailing shard
+                })
+                .collect();
+            let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
+            let parity = self.codec.encode(&refs, ops);
+            for (pi, shard) in parity.into_iter().enumerate() {
+                let pid = b * r + pi;
+                out.push(Packet {
+                    // Parity packets extend the frame's sequence space;
+                    // exact seq values are irrelevant to recovery.
+                    seq: u32::MAX - pid as u32,
+                    frame_index,
+                    fragment_index: fragment_count + pid as u16,
+                    fragment_count,
+                    payload: Bytes::from(shard),
+                    parity: true,
+                });
+            }
+        }
+        out
+    }
+
+    /// Repairs one frame from whatever survived the channel. Decode
+    /// work is charged to `ops`; blocks whose data all arrived cost
+    /// nothing. Returns `None` only on malformed input (foreign parity
+    /// indices, shards longer than their block's parity claims).
+    pub fn recover(&self, received: &[Packet], ops: &mut FecOps) -> Option<FecRecovery> {
+        let k = self.k();
+        let r = self.r();
+        let fragment_count = received.first()?.fragment_count as usize;
+        let blocks = fragment_count.div_ceil(k);
+        let mut data: Vec<Option<Packet>> = vec![None; fragment_count];
+        let mut parity: Vec<Vec<Option<&Packet>>> = vec![vec![None; r]; blocks];
+        for p in received {
+            if p.parity {
+                let pid = (p.fragment_index as usize).checked_sub(fragment_count)?;
+                if pid >= blocks * r {
+                    return None; // parity for a block this frame lacks
+                }
+                parity[pid / r][pid % r] = Some(p);
+            } else if (p.fragment_index as usize) < fragment_count {
+                data[p.fragment_index as usize] = Some(p.clone());
+            } else {
+                return None; // malformed
+            }
+        }
+        let mut complete = true;
+        for (b, block_parity) in parity.iter().enumerate() {
+            let lo = b * k;
+            let hi = (lo + k).min(fragment_count);
+            if data[lo..hi].iter().all(Option::is_some) {
+                continue; // nothing to repair, nothing to charge
+            }
+            let Some(shard_len) = block_parity
+                .iter()
+                .flatten()
+                .map(|p| p.payload.len())
+                .next()
+            else {
+                complete = false; // erasures and no surviving parity
+                continue;
+            };
+            let mut shards: Vec<Option<Vec<u8>>> = Vec::with_capacity(k + r);
+            let mut malformed = false;
+            for slot in 0..k {
+                let idx = lo + slot;
+                shards.push(if idx < fragment_count {
+                    match &data[idx] {
+                        Some(p) if p.payload.len() + 2 <= shard_len => {
+                            Some(lift_shard(&p.payload, shard_len))
+                        }
+                        Some(_) => {
+                            malformed = true;
+                            None
+                        }
+                        None => None,
+                    }
+                } else {
+                    Some(vec![0u8; shard_len]) // virtual trailing shard
+                });
+            }
+            if malformed {
+                return None;
+            }
+            for p in block_parity {
+                shards.push(p.map(|p| p.payload.to_vec()));
+            }
+            if !self.codec.decode(&mut shards, ops) {
+                complete = false;
+                continue;
+            }
+            for (slot, shard) in shards.iter().enumerate().take(hi - lo) {
+                let idx = lo + slot;
+                if data[idx].is_some() {
+                    continue;
+                }
+                let shard = shard.as_ref().expect("decode filled data shards");
+                let rebuilt = lower_shard(shard)?;
+                data[idx] = Some(Packet {
+                    seq: 0, // sequence of a rebuilt packet is synthetic
+                    frame_index: received[0].frame_index,
+                    fragment_index: idx as u16,
+                    fragment_count: fragment_count as u16,
+                    payload: rebuilt,
+                    parity: false,
+                });
+            }
+        }
+        let data: Vec<Packet> = data.into_iter().flatten().collect();
+        let complete = complete && data.len() == fragment_count;
+        Some(FecRecovery { complete, data })
+    }
+}
+
+/// Shard length for one block: the longest payload plus the two-byte
+/// length prefix.
+fn shard_len_for(block: &[Packet]) -> usize {
+    2 + block.iter().map(Packet::len).max().unwrap_or(0)
+}
+
+/// Lifts a fragment payload into its equal-length shard.
+fn lift_shard(payload: &[u8], shard_len: usize) -> Vec<u8> {
+    debug_assert!(payload.len() + 2 <= shard_len);
+    let mut shard = Vec::with_capacity(shard_len);
+    shard.extend_from_slice(&(payload.len() as u16).to_be_bytes());
+    shard.extend_from_slice(payload);
+    shard.resize(shard_len, 0);
+    shard
+}
+
+/// Lowers a rebuilt shard back to the exact fragment payload; `None` if
+/// the recorded length exceeds the shard body (corrupt reconstruction).
+fn lower_shard(shard: &[u8]) -> Option<Bytes> {
+    let len = u16::from_be_bytes([*shard.first()?, *shard.get(1)?]) as usize;
+    if len > shard.len() - 2 {
+        return None;
+    }
+    Some(Bytes::from(shard[2..2 + len].to_vec()))
+}
+
+/// Legacy single-parity XOR group FEC, now a thin wrapper over
+/// [`FecProtector`] with [`FecSpec::Xor`]. Kept so `fec_group` sessions
+/// and the original experiments keep compiling.
+pub struct GroupXorFec {
+    inner: FecProtector,
+}
+
+/// Deprecated name of [`GroupXorFec`].
+#[deprecated(note = "use FecProtector with FecSpec::Xor { k } (or another codec family) instead")]
+pub type XorFec = GroupXorFec;
+
+impl GroupXorFec {
     /// Creates a protector with `group` data packets per parity packet.
     ///
     /// # Panics
@@ -30,70 +267,25 @@ impl XorFec {
     /// Panics if `group == 0`.
     pub fn new(group: usize) -> Self {
         assert!(group > 0, "fec group size must be positive");
-        XorFec { group }
+        GroupXorFec {
+            inner: FecProtector::new(FecSpec::Xor { k: group })
+                .expect("positive group size is a valid spec"),
+        }
     }
 
     /// Data packets per parity packet.
     pub fn group_size(&self) -> usize {
-        self.group
+        self.inner.k()
     }
 
-    /// Protects one frame's fragments: returns the data packets with a
-    /// parity packet appended after each group. The parity packet carries
-    /// `fragment_index = fragment_count + group_id` and `parity = true`.
+    /// Protects one frame's fragments; see [`FecProtector::protect`].
+    /// Op accounting is discarded — use [`FecProtector`] to charge it.
     ///
     /// # Panics
     ///
     /// Panics if `packets` is empty or contains non-data packets.
     pub fn protect(&self, packets: &[Packet]) -> Vec<Packet> {
-        assert!(!packets.is_empty(), "cannot protect an empty frame");
-        assert!(
-            packets.iter().all(|p| !p.parity),
-            "input must be data packets"
-        );
-        let frame_index = packets[0].frame_index;
-        let fragment_count = packets[0].fragment_count;
-        let mut out = Vec::with_capacity(packets.len() + packets.len().div_ceil(self.group));
-        for (gid, group) in packets.chunks(self.group).enumerate() {
-            out.extend_from_slice(group);
-            out.push(self.parity_packet(frame_index, fragment_count, gid, group));
-        }
-        out
-    }
-
-    fn parity_packet(
-        &self,
-        frame_index: u64,
-        fragment_count: u16,
-        group_id: usize,
-        group: &[Packet],
-    ) -> Packet {
-        let max_len = group.iter().map(Packet::len).max().unwrap_or(0);
-        // Layout: group size (u8), then per-slot u16 BE lengths, then the
-        // XOR body padded to max_len.
-        let mut payload = Vec::with_capacity(1 + 2 * group.len() + max_len);
-        payload.push(group.len() as u8);
-        for p in group {
-            let len = p.len() as u16;
-            payload.extend_from_slice(&len.to_be_bytes());
-        }
-        let body_start = payload.len();
-        payload.resize(body_start + max_len, 0);
-        for p in group {
-            for (i, b) in p.payload.iter().enumerate() {
-                payload[body_start + i] ^= b;
-            }
-        }
-        Packet {
-            // Parity packets extend the frame's sequence space; exact seq
-            // values are irrelevant to recovery.
-            seq: u32::MAX - group_id as u32,
-            frame_index,
-            fragment_index: fragment_count + group_id as u16,
-            fragment_count,
-            payload: Bytes::from(payload),
-            parity: true,
-        }
+        self.inner.protect(packets, &mut FecOps::default())
     }
 
     /// Attempts to restore the full data-packet set of one frame from
@@ -101,80 +293,9 @@ impl XorFec {
     /// fragment order if every group is complete or single-loss
     /// recoverable, `None` otherwise.
     pub fn recover(&self, received: &[Packet]) -> Option<Vec<Packet>> {
-        let fragment_count = received.first()?.fragment_count as usize;
-        let mut data: Vec<Option<Packet>> = vec![None; fragment_count];
-        let mut parity: Vec<Option<&Packet>> = vec![None; fragment_count.div_ceil(self.group)];
-        for p in received {
-            if p.parity {
-                let gid = (p.fragment_index as usize).checked_sub(fragment_count)?;
-                *parity.get_mut(gid)? = Some(p);
-            } else if (p.fragment_index as usize) < fragment_count {
-                data[p.fragment_index as usize] = Some(p.clone());
-            } else {
-                return None; // malformed
-            }
-        }
-        #[allow(clippy::needless_range_loop)] // gid derives both the range and the parity slot
-        for gid in 0..parity.len() {
-            let lo = gid * self.group;
-            let hi = (lo + self.group).min(fragment_count);
-            let missing: Vec<usize> = (lo..hi).filter(|&i| data[i].is_none()).collect();
-            match (missing.len(), parity[gid]) {
-                (0, _) => {}
-                (1, Some(par)) => {
-                    let idx = missing[0];
-                    let rebuilt =
-                        rebuild_fragment(par, &data[lo..hi], idx - lo, fragment_count, idx)?;
-                    data[idx] = Some(rebuilt);
-                }
-                _ => return None, // unrecoverable group
-            }
-        }
-        data.into_iter().collect()
+        let rec = self.inner.recover(received, &mut FecOps::default())?;
+        rec.complete.then_some(rec.data)
     }
-}
-
-/// XORs the parity body with the present group members to reconstruct the
-/// missing fragment.
-fn rebuild_fragment(
-    parity: &Packet,
-    group: &[Option<Packet>],
-    slot_in_group: usize,
-    fragment_count: usize,
-    fragment_index: usize,
-) -> Option<Packet> {
-    let payload = &parity.payload;
-    let group_len = *payload.first()? as usize;
-    if group_len != group.len() || payload.len() < 1 + 2 * group_len {
-        return None;
-    }
-    let len_of = |slot: usize| -> usize {
-        u16::from_be_bytes([payload[1 + 2 * slot], payload[2 + 2 * slot]]) as usize
-    };
-    let body = &payload[1 + 2 * group_len..];
-    let mut rebuilt = body.to_vec();
-    for (slot, p) in group.iter().enumerate() {
-        if slot == slot_in_group {
-            continue;
-        }
-        let p = p.as_ref()?; // caller guarantees exactly one hole
-        for (i, b) in p.payload.iter().enumerate() {
-            rebuilt[i] ^= b;
-        }
-    }
-    let exact_len = len_of(slot_in_group);
-    if exact_len > rebuilt.len() {
-        return None;
-    }
-    rebuilt.truncate(exact_len);
-    Some(Packet {
-        seq: 0, // sequence of a rebuilt packet is synthetic
-        frame_index: parity.frame_index,
-        fragment_index: fragment_index as u16,
-        fragment_count: fragment_count as u16,
-        payload: Bytes::from(rebuilt),
-        parity: false,
-    })
 }
 
 #[cfg(test)]
@@ -189,7 +310,7 @@ mod tests {
     #[test]
     fn protect_appends_one_parity_per_group() {
         let pkts = fragments(&[9u8; 500], 100); // 5 fragments
-        let fec = XorFec::new(2);
+        let fec = GroupXorFec::new(2);
         let protected = fec.protect(&pkts);
         // Groups: [0,1] [2,3] [4] → 3 parity packets.
         assert_eq!(protected.len(), 5 + 3);
@@ -200,7 +321,7 @@ mod tests {
     fn no_loss_recovers_identity() {
         let data: Vec<u8> = (0..450).map(|i| (i * 7) as u8).collect();
         let pkts = fragments(&data, 100);
-        let fec = XorFec::new(3);
+        let fec = GroupXorFec::new(3);
         let protected = fec.protect(&pkts);
         let recovered = fec.recover(&protected).unwrap();
         assert_eq!(reassemble_frame(&recovered).unwrap(), data);
@@ -210,7 +331,7 @@ mod tests {
     fn any_single_loss_per_group_is_recovered() {
         let data: Vec<u8> = (0..777).map(|i| (i * 13 + 5) as u8).collect();
         let pkts = fragments(&data, 100); // 8 fragments
-        let fec = XorFec::new(4);
+        let fec = GroupXorFec::new(4);
         for victim in 0..8usize {
             let protected = fec.protect(&pkts);
             let survivors: Vec<Packet> = protected
@@ -230,7 +351,7 @@ mod tests {
     fn lost_parity_with_intact_data_is_fine() {
         let data = vec![42u8; 350];
         let pkts = fragments(&data, 100);
-        let fec = XorFec::new(2);
+        let fec = GroupXorFec::new(2);
         let survivors: Vec<Packet> = fec
             .protect(&pkts)
             .into_iter()
@@ -246,7 +367,7 @@ mod tests {
     fn double_loss_in_a_group_fails() {
         let data = vec![1u8; 400];
         let pkts = fragments(&data, 100); // 4 fragments
-        let fec = XorFec::new(4); // one group
+        let fec = GroupXorFec::new(4); // one group
         let survivors: Vec<Packet> = fec
             .protect(&pkts)
             .into_iter()
@@ -259,7 +380,7 @@ mod tests {
     fn loss_in_one_group_does_not_need_the_other_groups_parity() {
         let data = vec![5u8; 600];
         let pkts = fragments(&data, 100); // 6 fragments, groups of 3
-        let fec = XorFec::new(3);
+        let fec = GroupXorFec::new(3);
         // Drop data fragment 1 and the *second* group's parity.
         let survivors: Vec<Packet> = fec
             .protect(&pkts)
@@ -281,7 +402,7 @@ mod tests {
         use crate::channel::LossyChannel;
         use crate::loss::UniformLoss;
         let data = vec![7u8; 1000];
-        let fec = XorFec::new(4);
+        let fec = GroupXorFec::new(4);
         let trials = 3000;
         let run = |with_fec: bool, seed: u64| -> u32 {
             let mut chan = LossyChannel::new(Box::new(UniformLoss::new(0.05, seed)));
@@ -314,6 +435,143 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_group_rejected() {
-        let _ = XorFec::new(0);
+        let _ = GroupXorFec::new(0);
+    }
+
+    #[test]
+    fn deprecated_alias_still_compiles() {
+        #[allow(deprecated)]
+        let fec: XorFec = XorFec::new(2);
+        assert_eq!(fec.group_size(), 2);
+    }
+
+    // ----- FecProtector over the full codec family -----
+
+    fn protector(spec: FecSpec) -> FecProtector {
+        FecProtector::new(spec).unwrap()
+    }
+
+    fn family() -> Vec<FecProtector> {
+        vec![
+            protector(FecSpec::Xor { k: 3 }),
+            protector(FecSpec::Rs { k: 4, r: 2 }),
+            protector(FecSpec::Lt {
+                k: 4,
+                r: 3,
+                seed: 2005,
+            }),
+            protector(FecSpec::Interleaved { k: 4, r: 2 }),
+        ]
+    }
+
+    #[test]
+    fn every_family_round_trips_losslessly() {
+        let data: Vec<u8> = (0..950).map(|i| (i * 11 + 3) as u8).collect();
+        for fec in family() {
+            let pkts = fragments(&data, 100);
+            let mut ops = FecOps::default();
+            let protected = fec.protect(&pkts, &mut ops);
+            assert!(ops.blocks_encoded > 0);
+            assert!(ops.parity_bytes > 0);
+            let rec = fec.recover(&protected, &mut ops).unwrap();
+            assert!(rec.complete, "{}", fec.spec().label());
+            assert_eq!(reassemble_frame(&rec.data).unwrap(), data);
+            // Clean receive costs no decode work.
+            assert_eq!(ops.blocks_decoded, 0);
+        }
+    }
+
+    #[test]
+    fn rs_repairs_a_burst_the_xor_group_cannot() {
+        let data: Vec<u8> = (0..780).map(|i| (i * 31 + 1) as u8).collect();
+        let pkts = fragments(&data, 100); // 8 fragments
+        let rs = protector(FecSpec::Rs { k: 4, r: 2 });
+        let mut ops = FecOps::default();
+        let protected = rs.protect(&pkts, &mut ops);
+        // Burst: drop data fragments 1 and 2 — same block of 4.
+        let survivors: Vec<Packet> = protected
+            .into_iter()
+            .filter(|p| p.parity || !(1..=2).contains(&p.fragment_index))
+            .collect();
+        let rec = rs.recover(&survivors, &mut ops).unwrap();
+        assert!(rec.complete);
+        assert_eq!(reassemble_frame(&rec.data).unwrap(), data);
+        assert!(ops.blocks_repaired >= 1);
+        assert!(ops.matrix_inversions >= 1);
+        assert!(ops.gf_mul_bytes > 0);
+    }
+
+    #[test]
+    fn partial_repair_is_reported_incomplete_but_kept() {
+        let data: Vec<u8> = (0..780).map(|i| (i * 5) as u8).collect();
+        let pkts = fragments(&data, 100); // 8 fragments, two blocks of 4
+        let rs = protector(FecSpec::Rs { k: 4, r: 1 });
+        let mut ops = FecOps::default();
+        let protected = rs.protect(&pkts, &mut ops);
+        // Block 0 loses one fragment (repairable); block 1 loses three
+        // (hopeless with r = 1).
+        let survivors: Vec<Packet> = protected
+            .into_iter()
+            .filter(|p| p.parity || ![1u16, 4, 5, 6].contains(&p.fragment_index))
+            .collect();
+        let rec = rs.recover(&survivors, &mut ops).unwrap();
+        assert!(!rec.complete);
+        // Fragment 1 was rebuilt and rides along for damaged reassembly.
+        assert!(rec.data.iter().any(|p| p.fragment_index == 1));
+        assert_eq!(rec.data.len(), 5); // 0..4 from block 0, 7 from block 1
+        assert_eq!(ops.blocks_repaired, 1);
+        assert_eq!(ops.blocks_failed, 1);
+    }
+
+    #[test]
+    fn interleaved_xor_survives_contiguous_bursts() {
+        let data: Vec<u8> = (0..1150).map(|i| (i * 3 + 7) as u8).collect();
+        let pkts = fragments(&data, 100); // 12 fragments
+        let ilv = protector(FecSpec::Interleaved { k: 6, r: 2 });
+        let mut ops = FecOps::default();
+        let protected = ilv.protect(&pkts, &mut ops);
+        // Contiguous burst of 2 inside one block.
+        let survivors: Vec<Packet> = protected
+            .into_iter()
+            .filter(|p| p.parity || !(2..=3).contains(&p.fragment_index))
+            .collect();
+        let rec = ilv.recover(&survivors, &mut ops).unwrap();
+        assert!(rec.complete);
+        assert_eq!(reassemble_frame(&rec.data).unwrap(), data);
+        // Pure XOR family: no field multiplies.
+        assert_eq!(ops.gf_mul_bytes, 0);
+        assert!(ops.xor_bytes > 0);
+    }
+
+    #[test]
+    fn parity_bytes_equal_wire_parity_payloads() {
+        let data: Vec<u8> = (0..900).map(|i| i as u8).collect();
+        for fec in family() {
+            let pkts = fragments(&data, 100);
+            let mut ops = FecOps::default();
+            let protected = fec.protect(&pkts, &mut ops);
+            let wire: u64 = protected
+                .iter()
+                .filter(|p| p.parity)
+                .map(|p| p.len() as u64)
+                .sum();
+            assert_eq!(
+                ops.parity_bytes,
+                wire,
+                "{}: ledger and wire must agree so parity is charged exactly once",
+                fec.spec().label()
+            );
+        }
+    }
+
+    #[test]
+    fn recover_with_no_parity_and_no_loss_is_complete() {
+        let data = vec![8u8; 430];
+        let fec = protector(FecSpec::Rs { k: 4, r: 2 });
+        let pkts = fragments(&data, 100);
+        let mut ops = FecOps::default();
+        let rec = fec.recover(&pkts, &mut ops).unwrap();
+        assert!(rec.complete);
+        assert_eq!(reassemble_frame(&rec.data).unwrap(), data);
     }
 }

@@ -113,6 +113,83 @@ pub struct FeedbackReport {
     pub sent_at_frame: u64,
     /// The receiver's PLR estimate at that instant.
     pub plr: f64,
+    /// The receiver's *pre-repair packet*-level loss-rate estimate. The
+    /// `plr` field above is whatever granularity the caller's main
+    /// estimator tracks (whole frames, in the serving stack); a FEC
+    /// controller steering on that would see its own repairs echoed back
+    /// as a clean channel and oscillate. This field reports raw wire
+    /// erasures, before any FEC recovery.
+    pub packet_plr: f64,
+    /// The receiver's mean erasure-burst-length estimate (consecutive
+    /// losses per loss event, ≥ 1 once any loss was seen). `1.0` when no
+    /// burst structure has been observed — i.e. losses look independent.
+    pub burst: f64,
+}
+
+/// Receiver-side erasure-burst-length estimator: an EWMA over the length
+/// of each completed run of consecutive losses. On a memoryless channel
+/// this converges near `1/(1−p)` ≈ 1; on a Markov burst channel it tracks
+/// the mean dwell in the bad state — the statistic the joint redundancy
+/// controller needs to pick interleaving depth and parity rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstEstimator {
+    beta: f64,
+    estimate: f64,
+    current_run: u64,
+    runs_seen: u64,
+}
+
+impl BurstEstimator {
+    /// Creates an estimator with EWMA smoothing factor `beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is outside `(0, 1]`.
+    pub fn new(beta: f64) -> Self {
+        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0,1]");
+        BurstEstimator {
+            beta,
+            estimate: 1.0,
+            current_run: 0,
+            runs_seen: 0,
+        }
+    }
+
+    /// Records one transmission outcome, in wire order.
+    pub fn record(&mut self, lost: bool) {
+        if lost {
+            self.current_run += 1;
+            return;
+        }
+        if self.current_run > 0 {
+            let len = self.current_run as f64;
+            if self.runs_seen == 0 {
+                self.estimate = len;
+            } else {
+                self.estimate = (1.0 - self.beta) * self.estimate + self.beta * len;
+            }
+            self.runs_seen += 1;
+            self.current_run = 0;
+        }
+    }
+
+    /// Mean burst length; `1.0` before any completed loss run. An open
+    /// run (losses not yet terminated by a delivery) is counted once it
+    /// exceeds the running estimate, so a hard outage raises the signal
+    /// without waiting for the first survivor.
+    pub fn estimate(&self) -> f64 {
+        let open = self.current_run as f64;
+        if open > self.estimate {
+            open
+        } else {
+            self.estimate
+        }
+    }
+
+    /// Completed loss runs observed so far.
+    pub fn runs_seen(&self) -> u64 {
+        self.runs_seen
+    }
 }
 
 /// Cumulative statistics of the feedback path.
@@ -272,6 +349,8 @@ impl FeedbackLink {
                 seq,
                 sent_at_frame: now_frame,
                 plr,
+                packet_plr: plr,
+                burst: 1.0,
             },
         );
     }
@@ -281,14 +360,25 @@ impl FeedbackLink {
     /// `retry.max_retries` redundant copies. Every copy shares one
     /// sequence number; the out-of-order guard in [`FeedbackLink::poll`]
     /// makes late duplicates harmless. With `max_retries == 0` this is
-    /// exactly [`FeedbackLink::send`].
-    pub fn send_with_retry(&mut self, now_frame: u64, plr: f64, retry: &RetryConfig) {
+    /// a single copy, like [`FeedbackLink::send`] but carrying the
+    /// pre-repair packet loss rate and burst-length estimate alongside
+    /// the PLR.
+    pub fn send_with_retry(
+        &mut self,
+        now_frame: u64,
+        plr: f64,
+        packet_plr: f64,
+        burst: f64,
+        retry: &RetryConfig,
+    ) {
         let seq = self.next_seq;
         self.next_seq += 1;
         let report = FeedbackReport {
             seq,
             sent_at_frame: now_frame,
             plr,
+            packet_plr,
+            burst,
         };
         self.offer_copy(now_frame, report);
         for attempt in 1..=u64::from(retry.max_retries) {
@@ -570,7 +660,7 @@ mod tests {
         };
         // Return path drops the first copy; a retry still gets through.
         let mut link = FeedbackLink::new(Box::new(ScriptedLoss::new([0])), 1);
-        link.send_with_retry(0, 0.25, &retry);
+        link.send_with_retry(0, 0.25, 0.4, 1.0, &retry);
         assert_eq!(link.stats().sent, 3, "original + 2 retries offered");
         assert_eq!(link.stats().lost, 1);
         let mut applied = Vec::new();
@@ -582,6 +672,8 @@ mod tests {
         assert_eq!(applied.len(), 1, "duplicates must not re-apply");
         assert_eq!(applied[0].seq, 0);
         assert!((applied[0].plr - 0.25).abs() < 1e-12);
+        assert!((applied[0].packet_plr - 0.4).abs() < 1e-12);
+        assert!((applied[0].burst - 1.0).abs() < 1e-12);
         let s = *link.stats();
         assert_eq!(s.delivered + s.out_of_order, 2, "second copy discarded");
     }
@@ -596,7 +688,7 @@ mod tests {
         let run = || {
             let mut link = FeedbackLink::new(Box::new(UniformLoss::new(0.5, 9)), 2);
             for f in 0..50u64 {
-                link.send_with_retry(f * 3, 0.1, &retry);
+                link.send_with_retry(f * 3, 0.1, 0.2, 1.5, &retry);
             }
             let mut seen = Vec::new();
             for now in 0..200u64 {
@@ -607,6 +699,58 @@ mod tests {
             (seen, *link.stats())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn burst_estimator_sees_independent_losses_as_short_bursts() {
+        let mut e = BurstEstimator::new(0.2);
+        assert_eq!(e.estimate(), 1.0, "prior is memoryless");
+        // Isolated losses: every run has length 1.
+        for i in 0..100 {
+            e.record(i % 7 == 0);
+        }
+        assert!((e.estimate() - 1.0).abs() < 1e-9, "got {}", e.estimate());
+        assert!(e.runs_seen() > 10);
+    }
+
+    #[test]
+    fn burst_estimator_tracks_burst_length() {
+        let mut e = BurstEstimator::new(0.3);
+        // Repeating pattern: 4 losses then 8 deliveries.
+        for _ in 0..50 {
+            for _ in 0..4 {
+                e.record(true);
+            }
+            for _ in 0..8 {
+                e.record(false);
+            }
+        }
+        assert!(
+            (e.estimate() - 4.0).abs() < 1e-6,
+            "mean burst should be 4, got {}",
+            e.estimate()
+        );
+    }
+
+    #[test]
+    fn burst_estimator_reports_an_open_outage() {
+        let mut e = BurstEstimator::new(0.3);
+        e.record(true);
+        e.record(false); // one run of length 1
+        for _ in 0..9 {
+            e.record(true); // outage, never terminated
+        }
+        assert!(
+            e.estimate() >= 9.0,
+            "open run must raise the estimate, got {}",
+            e.estimate()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn burst_estimator_rejects_bad_beta() {
+        let _ = BurstEstimator::new(1.5);
     }
 
     #[test]

@@ -36,13 +36,16 @@ pub use corrupt::{
     Delivery,
 };
 pub use delay::{LinkStats, RealTimeLink};
+#[allow(deprecated)]
 pub use fec::XorFec;
+pub use fec::{FecProtector, FecRecovery, GroupXorFec};
 pub use feedback::{
-    EwmaPlrEstimator, FeedbackLink, FeedbackLinkStats, FeedbackReport, RetryConfig,
+    BurstEstimator, EwmaPlrEstimator, FeedbackLink, FeedbackLinkStats, FeedbackReport, RetryConfig,
     WindowPlrEstimator,
 };
 pub use loss::{GilbertElliott, LossModel, NoLoss, ScriptedLoss, TraceLoss, UniformLoss};
 pub use packet::{ChannelStats, Packet};
+pub use pbpair_fec::{FecOps, FecSpec};
 pub use rtp::{reassemble_frame, Packetizer, DEFAULT_MTU};
 pub use scenario::{
     ChannelSpec, MarkovBurstErasure, Phase, PhaseKind, ScenarioChannel, ScheduleBuilder,

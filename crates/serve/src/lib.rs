@@ -43,6 +43,7 @@ pub mod admission;
 pub mod chaos;
 pub mod health;
 pub mod manager;
+pub mod redundancy;
 pub mod report;
 pub mod sched;
 pub mod session;
@@ -52,6 +53,7 @@ pub use admission::{AdmissionConfig, AdmissionController, RoundDecision, Service
 pub use chaos::{ChaosEvent, ChaosFault, ChaosPlan};
 pub use health::{HealthLedger, HealthState, HealthTransition, StalenessWatchdog, WatchdogConfig};
 pub use manager::{run, run_instrumented, run_traced, DeviceMix, ServeConfig};
+pub use redundancy::{RedundancyConfig, RedundancyController, RedundancyDecision};
 pub use report::{FleetHealth, FleetTiming, ServeReport, SessionReport};
 pub use sched::WorkStealingPool;
 pub use session::{DeviceKind, FrameOutcome, Session, SessionConfig, SessionScheme, SessionStats};

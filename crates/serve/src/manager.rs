@@ -19,12 +19,13 @@
 use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::chaos::ChaosPlan;
 use crate::health::WatchdogConfig;
+use crate::redundancy::RedundancyConfig;
 use crate::report::{quantile_ms, FleetHealth, FleetTiming, ServeReport, SessionReport};
 use crate::sched::WorkStealingPool;
 use crate::session::{DeviceKind, FrameOutcome, Session, SessionConfig, SessionScheme};
 use crate::trace::{FleetTrace, TraceState};
 use pbpair_media::synth::MotionClass;
-use pbpair_netsim::{ChannelSpec, RetryConfig};
+use pbpair_netsim::{ChannelSpec, FecSpec, RetryConfig};
 use pbpair_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 use std::sync::{Arc, Mutex};
@@ -74,7 +75,14 @@ pub struct ServeConfig {
     /// Payload corruption intensity in `[0, 1]`.
     pub corruption: f64,
     /// XOR-FEC group size applied to every session (`None` = off).
+    /// Legacy spelling of `fec: Some(FecSpec::Xor { k })`; exclusive
+    /// with [`ServeConfig::fec`].
     pub fec_group: Option<usize>,
+    /// FEC codec applied to every session's packet path (`None` = off).
+    pub fec: Option<FecSpec>,
+    /// Joint intra/FEC redundancy controller for every session. Carries
+    /// its own codec family, so `fec`/`fec_group` must be `None`.
+    pub redundancy: Option<RedundancyConfig>,
     /// Payload MTU.
     pub mtu: usize,
     /// Anchor `Intra_Th` operating point every session starts from
@@ -121,6 +129,8 @@ impl Default for ServeConfig {
             plr: 0.10,
             corruption: 0.2,
             fec_group: None,
+            fec: None,
+            redundancy: None,
             mtu: pbpair_netsim::DEFAULT_MTU,
             base_intra_th: 0.9,
             pacing_us: 3000,
@@ -159,6 +169,18 @@ impl ServeConfig {
         if let Some(chan) = &self.channel {
             chan.validate()?;
         }
+        if self.fec.is_some() && self.fec_group.is_some() {
+            return Err("set fec or fec_group, not both".into());
+        }
+        if self.redundancy.is_some() && (self.fec.is_some() || self.fec_group.is_some()) {
+            return Err("redundancy carries its own fec family; leave fec/fec_group unset".into());
+        }
+        if let Some(spec) = &self.fec {
+            spec.validate()?;
+        }
+        if let Some(rc) = &self.redundancy {
+            rc.validate()?;
+        }
         self.watchdog.validate()?;
         self.admission.validate()
     }
@@ -173,6 +195,8 @@ impl ServeConfig {
         cfg.plr = self.plr;
         cfg.corruption = self.corruption;
         cfg.fec_group = self.fec_group;
+        cfg.fec = self.fec;
+        cfg.redundancy = self.redundancy;
         cfg.mtu = self.mtu;
         cfg.base_intra_th = self.base_intra_th;
         cfg.pacing_us = self.pacing_us;
@@ -315,7 +339,9 @@ fn run_internal(
         for (id, slot) in slots.iter().enumerate() {
             let mut slot = slot.lock().expect("slot lock");
             if let Some(outcome) = slot.outcome.take() {
-                round_cost.push((id as u32, outcome.encode_joules));
+                // FEC processing is session compute too; the admission
+                // controller budgets the sum (identical when FEC is off).
+                round_cost.push((id as u32, outcome.encode_joules + outcome.fec_joules));
             }
         }
         let decision = controller.observe_round(&round_cost);
@@ -368,6 +394,7 @@ fn run_internal(
     let mut total_frames = 0u64;
     let mut total_sent = 0u64;
     let mut total_joules = 0.0;
+    let mut total_fec_joules = 0.0;
     let mut psnr_sum = 0.0;
     let mut psnr_n = 0usize;
     let mut health = FleetHealth::default();
@@ -388,6 +415,9 @@ fn run_internal(
             frames_stalled: stats.frames_stalled,
             chaos_injected: stats.chaos_injected,
             fec_recoveries: stats.fec_recoveries,
+            fec: stats.fec,
+            fec_joules: stats.fec_joules,
+            fec_codec: s.fec_label().unwrap_or_default(),
             avg_psnr_db: s.quality().average_psnr(),
             encoded_bytes: stats.encoded_bytes,
             sent_bytes: stats.sent_bytes,
@@ -402,6 +432,7 @@ fn run_internal(
         total_frames += report.frames_encoded;
         total_sent += report.sent_bytes;
         total_joules += report.encode_joules;
+        total_fec_joules += report.fec_joules;
         if !report.shed {
             psnr_sum += report.avg_psnr_db;
             psnr_n += 1;
@@ -436,6 +467,7 @@ fn run_internal(
             0.0
         },
         total_encode_joules: total_joules,
+        total_fec_joules,
         health,
         timing,
     };

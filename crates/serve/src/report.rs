@@ -14,6 +14,7 @@
 
 use crate::health::{HealthState, HealthTransition};
 use pbpair_codec::DecodeReport;
+use pbpair_netsim::FecOps;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -40,8 +41,14 @@ pub struct SessionReport {
     pub frames_stalled: u64,
     /// Chaos faults injected into this session.
     pub chaos_injected: u64,
-    /// Frames whose fragment set XOR FEC repaired.
+    /// Frames where FEC reconstructed at least one erased fragment.
     pub fec_recoveries: u64,
+    /// Lifetime FEC arithmetic ledger (all zero when FEC is off).
+    pub fec: FecOps,
+    /// Modeled FEC processing energy (Joules).
+    pub fec_joules: f64,
+    /// Codec label (`"rs-8.2"`, ...); empty when FEC is off.
+    pub fec_codec: String,
     /// Mean decoder-side PSNR over every displayed frame slot.
     pub avg_psnr_db: f64,
     /// Encoded payload bytes.
@@ -133,6 +140,8 @@ pub struct ServeReport {
     pub mean_psnr_db: f64,
     /// Total modeled encode energy (Joules).
     pub total_encode_joules: f64,
+    /// Total modeled FEC processing energy (Joules; 0 without FEC).
+    pub total_fec_joules: f64,
     /// Final health tally across the fleet.
     pub health: FleetHealth,
     /// Wall-clock measurements.
@@ -198,6 +207,26 @@ impl ServeReport {
                 s.decode.mbs_concealed,
                 s.decode.resyncs,
             );
+            // FEC sub-line only for FEC-enabled sessions, so FEC-off
+            // digests (including the committed scenario goldens) are
+            // byte-identical to the pre-FEC format.
+            if !s.fec_codec.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "  fec session={} codec={} blocks_enc={} blocks_rep={} blocks_fail={} \
+                     parity_bytes={} xor_b={} gf_b={} inv={} fec_j={:.9}",
+                    s.id,
+                    s.fec_codec,
+                    s.fec.blocks_encoded,
+                    s.fec.blocks_repaired,
+                    s.fec.blocks_failed,
+                    s.fec.parity_bytes,
+                    s.fec.xor_bytes,
+                    s.fec.gf_mul_bytes,
+                    s.fec.matrix_inversions,
+                    s.fec_joules,
+                );
+            }
             for t in &s.health_log {
                 let _ = writeln!(
                     out,

@@ -24,6 +24,7 @@
 
 use crate::chaos::{ChaosEvent, ChaosFault};
 use crate::health::{HealthLedger, HealthState, StalenessWatchdog, WatchdogConfig};
+use crate::redundancy::{RedundancyConfig, RedundancyController};
 use pbpair::adapt::{DegradationConfig, DegradationController};
 use pbpair::{AirPolicy, GopPolicy, PbpairConfig, PbpairPolicy, PgopPolicy};
 use pbpair_codec::{DecodeReport, Decoder, Encoder, EncoderConfig, OpCounts, RefreshPolicy};
@@ -31,8 +32,9 @@ use pbpair_energy::{DeviceProfile, EnergyModel, IPAQ_H5555, ZAURUS_SL5600};
 use pbpair_media::metrics::QualityStats;
 use pbpair_media::synth::{MotionClass, SyntheticSequence};
 use pbpair_netsim::{
-    reassemble_frame, reassemble_frame_damaged, ChannelSpec, CorruptingChannel, CorruptionProfile,
-    FeedbackLink, LossModel, Packetizer, RetryConfig, UniformLoss, WindowPlrEstimator, XorFec,
+    reassemble_frame, reassemble_frame_damaged, BurstEstimator, ChannelSpec, CorruptingChannel,
+    CorruptionProfile, FecOps, FecProtector, FecSpec, FeedbackLink, LossModel, Packetizer,
+    RetryConfig, UniformLoss, WindowPlrEstimator,
 };
 use pbpair_telemetry::{Counter, Telemetry};
 use pbpair_trace::{Event as TraceEvent, Tracer};
@@ -111,7 +113,15 @@ pub struct SessionConfig {
     /// Payload corruption intensity in `[0, 1]`.
     pub corruption: f64,
     /// XOR-FEC group size; `None` disables FEC for this session.
+    /// Legacy spelling of `fec: Some(FecSpec::Xor { k: group })` — the
+    /// two are mutually exclusive.
     pub fec_group: Option<usize>,
+    /// FEC codec applied to the packet path; `None` (with `fec_group`
+    /// also `None`) disables FEC.
+    pub fec: Option<FecSpec>,
+    /// Joint intra/FEC redundancy controller. Carries its own codec
+    /// family, so `fec`/`fec_group` must be `None` when set.
+    pub redundancy: Option<RedundancyConfig>,
     /// Payload MTU.
     pub mtu: usize,
     /// Receiver sends a PLR report every this many frames.
@@ -157,6 +167,8 @@ impl SessionConfig {
             plr: 0.10,
             corruption: 0.2,
             fec_group: None,
+            fec: None,
+            redundancy: None,
             mtu: pbpair_netsim::DEFAULT_MTU,
             feedback_interval: 5,
             feedback_delay: 2,
@@ -179,6 +191,8 @@ impl SessionConfig {
 pub struct FrameOutcome {
     /// Encoding energy of this frame under the session's device model.
     pub encode_joules: f64,
+    /// FEC encode/decode processing energy of this frame (0 without FEC).
+    pub fec_joules: f64,
     /// Encoded size in bytes (before FEC overhead).
     pub encoded_bytes: u64,
     /// Bytes actually offered to the channel (with FEC overhead).
@@ -188,7 +202,8 @@ pub struct FrameOutcome {
     /// Whether the frame arrived damaged and went through resilient
     /// decode (false for clean or lost frames).
     pub damaged: bool,
-    /// Whether XOR FEC repaired the fragment set of this frame.
+    /// Whether FEC reconstructed at least one erased fragment of this
+    /// frame (a block was actually *repaired*, not merely complete).
     pub fec_recovered: bool,
     /// Whether the decoder was stalled (chaos) and the display held.
     pub stalled: bool,
@@ -207,8 +222,12 @@ pub struct SessionStats {
     pub frames_lost: u64,
     /// Frames delivered damaged.
     pub frames_damaged: u64,
-    /// Frames whose fragment set XOR FEC repaired.
+    /// Frames where FEC reconstructed at least one erased fragment.
     pub fec_recoveries: u64,
+    /// Lifetime FEC arithmetic ledger (all zero without FEC).
+    pub fec: FecOps,
+    /// FEC encode/decode processing energy total (Joules).
+    pub fec_joules: f64,
     /// Encoded payload bytes.
     pub encoded_bytes: u64,
     /// Bytes offered to the channel (incl. FEC parity).
@@ -248,10 +267,21 @@ pub struct Session {
     encoder: Encoder,
     decoder: Decoder,
     packetizer: Packetizer,
-    fec: Option<XorFec>,
+    fec: Option<FecProtector>,
+    /// Joint intra/FEC controller; `None` leaves the codec (if any)
+    /// fixed and `Intra_Th` to the degradation controller alone.
+    redundancy: Option<RedundancyController>,
     channel: CorruptingChannel,
     feedback: FeedbackLink,
     plr_estimator: WindowPlrEstimator,
+    /// Receiver-side *pre-repair packet*-loss estimator. The frame-level
+    /// `plr_estimator` above sees post-FEC outcomes, so a redundancy
+    /// controller steering on it would read its own repairs as a clean
+    /// channel and oscillate; this one counts raw wire erasures.
+    packet_plr_estimator: WindowPlrEstimator,
+    /// Receiver-side erasure-burst-length estimator (PRNG-free; feeds
+    /// the `burst` field of every feedback report).
+    burst_estimator: BurstEstimator,
     degradation: DegradationController,
     watchdog: StalenessWatchdog,
     energy: EnergyModel,
@@ -294,16 +324,36 @@ struct SessionTelemetry {
     frames_lost: Counter,
     frames_damaged: Counter,
     fec_recovered: Counter,
+    /// `fec.*` counters; created only for FEC-enabled sessions so
+    /// FEC-off telemetry dumps (and their goldens) are unchanged.
+    fec: Option<FecTelemetry>,
+}
+
+/// Per-frame FEC ledger flushes (`fec.*` namespace).
+#[derive(Debug)]
+struct FecTelemetry {
+    blocks_repaired: Counter,
+    blocks_failed: Counter,
+    parity_bytes: Counter,
+    xor_bytes: Counter,
+    gf_mul_bytes: Counter,
 }
 
 impl SessionTelemetry {
-    fn new(tel: &Telemetry) -> Self {
+    fn new(tel: &Telemetry, fec_enabled: bool) -> Self {
         SessionTelemetry {
             frames_encoded: tel.counter("serve.frames_encoded"),
             frames_rate_dropped: tel.counter("serve.frames_rate_dropped"),
             frames_lost: tel.counter("serve.frames_lost"),
             frames_damaged: tel.counter("serve.frames_damaged"),
             fec_recovered: tel.counter("serve.fec_recovered"),
+            fec: fec_enabled.then(|| FecTelemetry {
+                blocks_repaired: tel.counter("fec.blocks_repaired"),
+                blocks_failed: tel.counter("fec.blocks_failed"),
+                parity_bytes: tel.counter("fec.parity_bytes"),
+                xor_bytes: tel.counter("fec.xor_bytes"),
+                gf_mul_bytes: tel.counter("fec.gf_mul_bytes"),
+            }),
         }
     }
 }
@@ -337,11 +387,32 @@ impl Session {
             ..DegradationConfig::default()
         })?;
         let watchdog = StalenessWatchdog::new(cfg.watchdog)?;
+        // One FEC source of truth: the redundancy controller carries its
+        // own family; otherwise an explicit spec; otherwise the legacy
+        // XOR group size.
+        if cfg.fec.is_some() && cfg.fec_group.is_some() {
+            return Err("set fec or fec_group, not both".to_string());
+        }
+        if cfg.redundancy.is_some() && (cfg.fec.is_some() || cfg.fec_group.is_some()) {
+            return Err("redundancy carries its own fec family; leave fec/fec_group unset".into());
+        }
         if let Some(g) = cfg.fec_group {
             if g == 0 {
                 return Err("fec group size must be positive".to_string());
             }
         }
+        let redundancy = cfg
+            .redundancy
+            .map(|rc| RedundancyController::new(rc, cfg.plr, cfg.base_intra_th))
+            .transpose()?;
+        let fec_spec = match &redundancy {
+            Some(ctl) => {
+                let d = ctl.decision();
+                (d.parity > 0).then(|| ctl.family().with_parity(d.parity))
+            }
+            None => cfg.fec.or(cfg.fec_group.map(|g| FecSpec::Xor { k: g })),
+        };
+        let fec = fec_spec.map(FecProtector::new).transpose()?;
         let forward: Box<dyn LossModel> = match &cfg.channel {
             Some(spec) => spec.build_loss(sub(2))?,
             None => Box::new(UniformLoss::new(cfg.plr, sub(2))),
@@ -357,7 +428,8 @@ impl Session {
             encoder: Encoder::new(EncoderConfig::default()),
             decoder: Decoder::new(format),
             packetizer: Packetizer::new(cfg.mtu),
-            fec: cfg.fec_group.map(XorFec::new),
+            fec,
+            redundancy,
             channel: CorruptingChannel::new(
                 forward,
                 CorruptionProfile::with_intensity(cfg.corruption),
@@ -365,6 +437,8 @@ impl Session {
             ),
             feedback,
             plr_estimator: WindowPlrEstimator::new(30),
+            packet_plr_estimator: WindowPlrEstimator::new(240),
+            burst_estimator: BurstEstimator::new(0.2),
             degradation,
             watchdog,
             energy: EnergyModel::new(cfg.device.profile()),
@@ -402,7 +476,10 @@ impl Session {
         self.encoder.set_telemetry(tel);
         self.decoder.set_telemetry(tel);
         self.channel.set_telemetry(tel);
-        self.tel = tel.is_enabled().then(|| SessionTelemetry::new(tel));
+        let fec_enabled = self.fec.is_some() || self.redundancy.is_some();
+        self.tel = tel
+            .is_enabled()
+            .then(|| SessionTelemetry::new(tel, fec_enabled));
     }
 
     /// Attaches a causal tracer to the session and every stage it owns.
@@ -435,6 +512,42 @@ impl Session {
     /// The receiver's current PLR estimate.
     pub fn plr_estimate(&self) -> f64 {
         self.plr_estimator.estimate()
+    }
+
+    /// The receiver's current erasure-burst-length estimate (packets).
+    pub fn burst_estimate(&self) -> f64 {
+        self.burst_estimator.estimate()
+    }
+
+    /// The receiver's current pre-repair packet-loss estimate.
+    pub fn packet_plr_estimate(&self) -> f64 {
+        self.packet_plr_estimator.estimate()
+    }
+
+    /// Whether any FEC (fixed or adaptive) protects this session.
+    pub fn fec_enabled(&self) -> bool {
+        self.fec.is_some() || self.redundancy.is_some()
+    }
+
+    /// The codec currently on the packet path (`None` when FEC is off —
+    /// including adaptive GOPs where the controller chose zero parity).
+    pub fn fec_spec(&self) -> Option<FecSpec> {
+        self.fec.as_ref().map(|p| p.spec())
+    }
+
+    /// Stable codec label for reports: the active codec, or for an
+    /// adaptive session currently at zero parity, the family at rate 0.
+    pub fn fec_label(&self) -> Option<String> {
+        self.fec_spec().map(|s| s.label()).or_else(|| {
+            self.redundancy
+                .as_ref()
+                .map(|c| c.family().with_parity(c.decision().parity).label())
+        })
+    }
+
+    /// The joint redundancy decision in force, if the controller runs.
+    pub fn redundancy_decision(&self) -> Option<crate::redundancy::RedundancyDecision> {
+        self.redundancy.as_ref().map(|c| c.decision())
     }
 
     /// The `Intra_Th` the next frame would use.
@@ -527,6 +640,9 @@ impl Session {
             if let SchemeDriver::Pbpair(policy) = &mut self.driver {
                 policy.set_plr(report.plr.clamp(0.0, 0.999));
             }
+            if let Some(ctl) = &mut self.redundancy {
+                ctl.on_feedback(report.packet_plr, report.burst);
+            }
         }
         let stalled = now < self.stall_until;
         self.watchdog_floor_th = self.watchdog.observe(
@@ -535,11 +651,32 @@ impl Session {
             stalled,
             self.lost_streak,
         );
-        let th = self
-            .degradation
-            .tick(now)
-            .max(self.load_floor_th)
-            .max(self.watchdog_floor_th);
+        let degradation_th = self.degradation.tick(now);
+        // Joint controller: re-decide at GOP boundaries, re-rate the
+        // protector when parity moves, and take over the `Intra_Th`
+        // lever (the fleet and watchdog floors still outrank it).
+        if let Some(ctl) = &mut self.redundancy {
+            if now.is_multiple_of(ctl.gop()) {
+                let expected_damage = match &self.driver {
+                    SchemeDriver::Pbpair(policy) => 1.0 - policy.matrix().mean_sigma(),
+                    SchemeDriver::Fixed(_) => 0.5,
+                };
+                let d = ctl.decide(expected_damage);
+                let want = (d.parity > 0).then(|| ctl.family().with_parity(d.parity));
+                if want != self.fec.as_ref().map(|p| p.spec()) {
+                    self.fec = want.map(|spec| {
+                        FecProtector::new(spec)
+                            .expect("a validated family re-rated within max_parity stays valid")
+                    });
+                }
+            }
+        }
+        let th = match &self.redundancy {
+            Some(ctl) => ctl.intra_th(),
+            None => degradation_th,
+        }
+        .max(self.load_floor_th)
+        .max(self.watchdog_floor_th);
         if let SchemeDriver::Pbpair(policy) = &mut self.driver {
             policy.set_intra_th(th);
         }
@@ -561,8 +698,9 @@ impl Session {
 
         // Packetize (+ FEC) and transmit at packet granularity.
         let packets = self.packetizer.packetize(encoded.index, &encoded.data);
+        let mut frame_fec = FecOps::default();
         let sent = match &self.fec {
-            Some(fec) => fec.protect(&packets),
+            Some(fec) => fec.protect(&packets, &mut frame_fec),
             None => packets,
         };
         let sent_bytes: u64 = sent.iter().map(|p| p.len() as u64).sum();
@@ -578,14 +716,30 @@ impl Session {
             survivors.clear();
         }
 
-        // Receiver: FEC repair if possible, best-effort reassembly
-        // otherwise, resilient decode of whatever materialized.
+        // Receiver-side burst bookkeeping: per-packet loss flags derived
+        // from what was offered vs what materialized (seq identifies
+        // each packet; parity packets count — they ride the same
+        // channel). PRNG-free, so it is always on.
+        let survivor_seqs: Vec<u32> = survivors.iter().map(|p| p.seq).collect();
+        for p in &sent {
+            let erased = !survivor_seqs.contains(&p.seq);
+            self.burst_estimator.record(erased);
+            self.packet_plr_estimator.record(erased);
+        }
+
+        // Receiver: FEC repair of every recoverable block, best-effort
+        // reassembly of the rest, resilient decode of whatever
+        // materialized. A partial repair still shrinks the damage.
         let mut fec_recovered = false;
         let bytes = match &self.fec {
-            Some(fec) => match fec.recover(&survivors) {
-                Some(repaired) => {
-                    fec_recovered = true;
-                    reassemble_frame(&repaired)
+            Some(fec) => match fec.recover(&survivors, &mut frame_fec) {
+                Some(rec) => {
+                    fec_recovered = frame_fec.blocks_repaired > 0;
+                    if rec.complete {
+                        reassemble_frame(&rec.data)
+                    } else {
+                        reassemble_frame_damaged(&rec.data)
+                    }
                 }
                 None => reassemble_frame_damaged(&survivors),
             },
@@ -639,16 +793,24 @@ impl Session {
             && now.is_multiple_of(self.cfg.feedback_interval)
             && now >= self.blackout_until
         {
-            self.feedback
-                .send_with_retry(now, self.plr_estimator.estimate(), &self.cfg.retry);
+            self.feedback.send_with_retry(
+                now,
+                self.plr_estimator.estimate(),
+                self.packet_plr_estimator.estimate(),
+                self.burst_estimator.estimate(),
+                &self.cfg.retry,
+            );
         }
 
         // Ledger.
+        let fec_joules = self.energy.fec_energy(&frame_fec).get();
         self.lost_streak = if lost { self.lost_streak + 1 } else { 0 };
         self.stats.frames_encoded += 1;
         self.stats.frames_lost += lost as u64;
         self.stats.frames_damaged += damaged as u64;
         self.stats.fec_recoveries += fec_recovered as u64;
+        self.stats.fec += frame_fec;
+        self.stats.fec_joules += fec_joules;
         self.stats.encoded_bytes += encoded.data.len() as u64;
         self.stats.sent_bytes += sent_bytes;
         self.stats.encode_joules += encode_joules;
@@ -658,10 +820,18 @@ impl Session {
             t.frames_lost.inc(lost as u64);
             t.frames_damaged.inc(damaged as u64);
             t.fec_recovered.inc(fec_recovered as u64);
+            if let Some(f) = &t.fec {
+                f.blocks_repaired.inc(frame_fec.blocks_repaired);
+                f.blocks_failed.inc(frame_fec.blocks_failed);
+                f.parity_bytes.inc(frame_fec.parity_bytes);
+                f.xor_bytes.inc(frame_fec.xor_bytes);
+                f.gf_mul_bytes.inc(frame_fec.gf_mul_bytes);
+            }
         }
 
         FrameOutcome {
             encode_joules,
+            fec_joules,
             encoded_bytes: encoded.data.len() as u64,
             sent_bytes,
             lost,
@@ -806,5 +976,119 @@ mod tests {
         let mut cfg = SessionConfig::standard(0, 1);
         cfg.fec_group = Some(0);
         assert!(Session::new(cfg).is_err());
+    }
+
+    #[test]
+    fn conflicting_fec_sources_rejected() {
+        let mut cfg = SessionConfig::standard(0, 1);
+        cfg.fec_group = Some(3);
+        cfg.fec = Some(FecSpec::Rs { k: 4, r: 2 });
+        assert!(Session::new(cfg).is_err());
+        let mut cfg = SessionConfig::standard(0, 1);
+        cfg.fec = Some(FecSpec::Rs { k: 4, r: 2 });
+        cfg.redundancy = Some(RedundancyConfig::new(FecSpec::Rs { k: 4, r: 1 }));
+        assert!(Session::new(cfg).is_err());
+        let mut cfg = SessionConfig::standard(0, 1);
+        cfg.fec = Some(FecSpec::Rs { k: 200, r: 60 });
+        assert!(Session::new(cfg).is_err(), "invalid spec must not build");
+    }
+
+    #[test]
+    fn rs_session_charges_fec_ops_and_energy() {
+        let mut cfg = SessionConfig::standard(0, 31);
+        cfg.plr = 0.10;
+        cfg.corruption = 0.0;
+        cfg.mtu = 200;
+        cfg.fec = Some(FecSpec::Rs { k: 4, r: 2 });
+        let mut s = Session::new(cfg).unwrap();
+        for _ in 0..60 {
+            s.step_frame();
+        }
+        let stats = s.stats();
+        assert!(stats.fec.blocks_encoded > 0);
+        assert!(stats.fec.parity_bytes > 0);
+        assert!(stats.fec.gf_mul_bytes > 0, "RS parity is GF(256) work");
+        assert!(stats.fec_joules > 0.0);
+        assert!(
+            stats.fec_recoveries > 0,
+            "10% loss over 60 multi-fragment frames must repair something"
+        );
+        assert!(stats.sent_bytes > stats.encoded_bytes);
+    }
+
+    #[test]
+    fn parity_bytes_hit_the_wire_exactly_once() {
+        // Same seed with and without FEC: frame 0 is encoded before any
+        // feedback diverges the trajectories, so the wire-byte delta of
+        // that frame must be exactly the parity bytes the ops ledger
+        // charged — parity is neither double-counted nor free.
+        let base = {
+            let mut c = SessionConfig::standard(0, 77);
+            c.corruption = 0.0;
+            c.mtu = 200;
+            c
+        };
+        let mut with = base.clone();
+        with.fec = Some(FecSpec::Rs { k: 4, r: 2 });
+        let mut plain = Session::new(base).unwrap();
+        let mut protected = Session::new(with).unwrap();
+        let a = plain.step_frame();
+        let b = protected.step_frame();
+        assert_eq!(a.encoded_bytes, b.encoded_bytes, "same seed, same encode");
+        let parity = protected.stats().fec.parity_bytes;
+        assert!(parity > 0);
+        assert_eq!(
+            b.sent_bytes,
+            a.sent_bytes + parity,
+            "wire delta must equal charged parity bytes exactly"
+        );
+    }
+
+    #[test]
+    fn adaptive_session_decides_and_replays() {
+        let mut cfg = SessionConfig::standard(0, 41);
+        cfg.plr = 0.15;
+        cfg.corruption = 0.0;
+        cfg.mtu = 200;
+        cfg.redundancy = Some(RedundancyConfig {
+            budget_ratio: 1.5,
+            gop: 5,
+            ..RedundancyConfig::new(FecSpec::Rs { k: 4, r: 1 })
+        });
+        let run_once = || {
+            let mut s = Session::new(cfg.clone()).unwrap();
+            for _ in 0..40 {
+                s.step_frame();
+            }
+            assert!(s.fec_enabled());
+            let d = s.redundancy_decision().expect("controller runs");
+            (s.stats().clone(), s.quality().psnr_series().to_vec(), d)
+        };
+        let (a_stats, a_psnr, a_d) = run_once();
+        let (b_stats, b_psnr, b_d) = run_once();
+        assert_eq!(a_psnr, b_psnr, "adaptive FEC must replay");
+        assert_eq!(a_d, b_d);
+        assert_eq!(a_stats.fec, b_stats.fec);
+        assert!(
+            a_d.parity >= 1,
+            "15% loss must keep the controller protecting"
+        );
+        assert!(a_stats.fec.blocks_encoded > 0);
+    }
+
+    #[test]
+    fn burst_estimate_reaches_the_controller() {
+        let mut cfg = SessionConfig::standard(0, 51);
+        cfg.plr = 0.20;
+        cfg.corruption = 0.0;
+        cfg.mtu = 200;
+        let mut s = Session::new(cfg).unwrap();
+        for _ in 0..40 {
+            s.step_frame();
+        }
+        assert!(
+            s.burst_estimate() >= 1.0,
+            "estimator must have a run-length estimate"
+        );
     }
 }

@@ -4,7 +4,8 @@
 //! byte-identical deterministic digests, even while admission control is
 //! actively degrading, rate-dropping, and shedding sessions.
 
-use pbpair_serve::{run, run_instrumented, ServeConfig};
+use pbpair_netsim::FecSpec;
+use pbpair_serve::{run, run_instrumented, RedundancyConfig, ServeConfig};
 use pbpair_telemetry::Telemetry;
 
 fn digest(cfg: &ServeConfig, workers: usize) -> String {
@@ -118,4 +119,57 @@ fn fec_fleet_replays_across_worker_counts() {
         ..ServeConfig::default()
     };
     assert_eq!(digest(&cfg, 2), digest(&cfg, 8));
+}
+
+#[test]
+fn adaptive_fec_fleet_replays_across_worker_counts() {
+    // The joint controller re-decides (Intra_Th, parity) every GOP from
+    // fed-back channel state. All of that state is per-session, so the
+    // digest — including the fec sub-lines — must be byte-identical at
+    // 1, 2 and 8 workers.
+    let mut cfg = ServeConfig {
+        sessions: 4,
+        frames: 24,
+        seed: 2005,
+        plr: 0.12,
+        mtu: 300,
+        ..ServeConfig::default()
+    };
+    cfg.redundancy = Some(RedundancyConfig {
+        budget_ratio: 1.4,
+        gop: 6,
+        ..RedundancyConfig::new(FecSpec::Rs { k: 4, r: 2 })
+    });
+    let one = digest(&cfg, 1);
+    let two = digest(&cfg, 2);
+    let eight = digest(&cfg, 8);
+    assert_eq!(one, two, "digest must not depend on worker count");
+    assert_eq!(two, eight, "digest must not depend on worker count");
+    assert!(
+        one.contains("fec session="),
+        "adaptive run must surface fec sub-lines in the digest:\n{one}"
+    );
+}
+
+#[test]
+fn fec_counters_merge_commutatively_across_worker_counts() {
+    // fec.* telemetry counters are sums of per-session FecOps deltas;
+    // the shard merge must commute, so the deterministic JSON export is
+    // identical no matter how sessions were spread over workers.
+    let cfg = ServeConfig {
+        sessions: 6,
+        frames: 16,
+        seed: 123,
+        plr: 0.18,
+        mtu: 300,
+        fec: Some(FecSpec::Rs { k: 4, r: 2 }),
+        ..ServeConfig::default()
+    };
+    let one = telemetry_json(&cfg, 1);
+    let two = telemetry_json(&cfg, 2);
+    let eight = telemetry_json(&cfg, 8);
+    assert_eq!(one, two, "fec telemetry must not depend on worker count");
+    assert_eq!(two, eight, "fec telemetry must not depend on worker count");
+    assert!(one.contains("\"fec.parity_bytes\":"));
+    assert!(one.contains("\"fec.blocks_repaired\":"));
 }
