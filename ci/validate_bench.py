@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
-"""Validates the schema and invariants of a perf-benchmark JSON file
-(`BENCH_PR5.json` or a CI `--smoke` run).
+"""Validates the schema and invariants of a perf-benchmark JSON file.
+The schema is selected by `meta.bench`:
 
-Usage: python3 ci/validate_bench.py <bench.json>
+  * `pr5-encode-hot-path` (`BENCH_PR5.json`, `perf [--smoke]`);
+  * `pr8_kernels` (`BENCH_PR8.json`, `perf --kernels [--smoke]`).
 
-Checks:
+Usage: python3 ci/validate_bench.py <bench.json> [--detected <tier>]
+
+PR5 checks:
   * schema: meta block + per-result field names and types;
   * every (clip, variant) cell present: naive/fast at 1 thread plus
     slice-parallel at 2 and 4 threads;
@@ -14,12 +17,34 @@ Checks:
   * single-thread steady state performs zero allocations per frame;
   * slice-parallel SAD work is identical for 2 and 4 threads (the
     determinism argument in DESIGN.md depends on it).
+
+PR8 checks:
+  * schema: meta block (arch, detected-best tier, per-arch pins) +
+    per-result field names and types;
+  * every kernel is measured on every tier the run reported, with the
+    scalar baseline pinned at exactly 1.0x;
+  * the best tier clears a 2.0x floor on the SAD and fused-transform
+    microbenches (the PR8 acceptance claim);
+  * `--detected <tier>`: the tier the running host detects as best
+    (from `perf --kernels-info`) matches the committed per-arch pin, so
+    a silently broken dispatch chain fails CI instead of benching
+    scalar everywhere.
 """
 
 import json
 import sys
 
 SPEEDUP_FLOOR = 1.2
+
+KERNEL_SPEEDUP_FLOORS = {"sad16": 2.0, "fused_transform": 2.0}
+KERNEL_META_FIELDS = {"bench", "arch", "detected_best", "pins", "scale"}
+KERNEL_RESULT_FIELDS = {
+    "kernel": str,
+    "tier": str,
+    "ns_per_call": (int, float),
+    "speedup_vs_scalar": (int, float),
+}
+KERNELS = {"sad16", "sad16_bounded", "fused_transform", "idct8", "halfpel16"}
 
 META_FIELDS = {"bench", "config", "warmup_frames", "measured_frames_per_clip"}
 RESULT_FIELDS = {
@@ -45,12 +70,80 @@ def fail(msg):
     sys.exit(1)
 
 
-def main(path):
+def validate_kernels(doc, detected):
+    if set(doc["meta"]) != KERNEL_META_FIELDS:
+        fail(f"meta keys {sorted(doc['meta'])} != {sorted(KERNEL_META_FIELDS)}")
+    meta = doc["meta"]
+    pins = meta["pins"]
+    if not isinstance(pins, dict) or not pins:
+        fail("meta.pins must be a non-empty arch -> tier map")
+    if meta["scale"] not in ("full", "smoke"):
+        fail(f"meta.scale {meta['scale']!r} not full/smoke")
+    results = doc["results"]
+    if not results:
+        fail("empty results")
+
+    by_kernel = {}
+    tiers = []
+    for r in results:
+        if set(r) != set(KERNEL_RESULT_FIELDS):
+            fail(f"result keys {sorted(r)} != {sorted(KERNEL_RESULT_FIELDS)}")
+        for field, ty in KERNEL_RESULT_FIELDS.items():
+            if not isinstance(r[field], ty):
+                fail(f"{r['kernel']}/{r['tier']}: {field} is {type(r[field]).__name__}")
+        if r["ns_per_call"] <= 0:
+            fail(f"{r['kernel']}/{r['tier']}: non-positive ns_per_call")
+        by_kernel.setdefault(r["kernel"], {})[r["tier"]] = r
+        if r["tier"] not in tiers:
+            tiers.append(r["tier"])
+
+    if set(by_kernel) != KERNELS:
+        fail(f"kernels {sorted(by_kernel)} != {sorted(KERNELS)}")
+    if tiers[0] != "scalar":
+        fail("the scalar baseline must be measured first")
+    for kernel, cells in sorted(by_kernel.items()):
+        if set(cells) != set(tiers):
+            fail(f"{kernel}: tiers {sorted(cells)} != {sorted(tiers)}")
+        if cells["scalar"]["speedup_vs_scalar"] != 1.0:
+            fail(f"{kernel}: scalar speedup {cells['scalar']['speedup_vs_scalar']} != 1.0")
+    if len(tiers) > 1:
+        for kernel, floor in sorted(KERNEL_SPEEDUP_FLOORS.items()):
+            best = max(r["speedup_vs_scalar"] for r in by_kernel[kernel].values())
+            if best < floor:
+                fail(f"{kernel}: best speedup {best} below floor {floor}")
+
+    if detected is not None:
+        pin = pins.get(meta["arch"])
+        if pin is None:
+            fail(f"no pin committed for arch {meta['arch']}")
+        if detected != pin:
+            fail(
+                f"host detects best tier {detected!r} but the committed pin"
+                f" for {meta['arch']} is {pin!r} — dispatch regressed"
+            )
+
+    best = {
+        kernel: max(r["speedup_vs_scalar"] for r in cells.values())
+        for kernel, cells in sorted(by_kernel.items())
+    }
+    print(
+        f"bench OK: {len(results)} kernel results over tiers {tiers}, best "
+        + ", ".join(f"{k}={v:.2f}x" for k, v in best.items())
+        + (f", detected={detected} matches pin" if detected is not None else "")
+    )
+
+
+def main(path, detected=None):
     with open(path) as f:
         doc = json.load(f)
 
     if set(doc) != {"meta", "results"}:
         fail(f"top-level keys {sorted(doc)} != ['meta', 'results']")
+    if doc.get("meta", {}).get("bench") == "pr8_kernels":
+        validate_kernels(doc, detected)
+        return
+    if detected is not None:
+        fail("--detected only applies to pr8_kernels benches")
     if set(doc["meta"]) != META_FIELDS:
         fail(f"meta keys {sorted(doc['meta'])} != {sorted(META_FIELDS)}")
     results = doc["results"]
@@ -100,6 +193,9 @@ def main(path):
 
 
 if __name__ == "__main__":
-    if len(sys.argv) != 2:
-        fail("usage: validate_bench.py <bench.json>")
-    main(sys.argv[1])
+    if len(sys.argv) == 2:
+        main(sys.argv[1])
+    elif len(sys.argv) == 4 and sys.argv[2] == "--detected":
+        main(sys.argv[1], sys.argv[3])
+    else:
+        fail("usage: validate_bench.py <bench.json> [--detected <tier>]")

@@ -2,6 +2,7 @@
 //! decoder, guaranteeing bit-identical reconstruction on both sides.
 
 use crate::dct::{BLOCK, BLOCK_LEN};
+use crate::kernels::Kernels;
 use pbpair_media::Plane;
 
 /// Loads an 8×8 block of samples at `(x, y)` as `i32` (fully inside the
@@ -50,11 +51,24 @@ pub fn residual_block(
 ///
 /// Panics if the block is out of bounds.
 pub fn store_block_clamped(p: &mut Plane, x: usize, y: usize, data: &[i32; BLOCK_LEN]) {
+    store_block_clamped_with(Kernels::active(), p, x, y, data)
+}
+
+/// [`store_block_clamped`] through an explicit kernel table.
+///
+/// # Panics
+///
+/// Panics if the block is out of bounds.
+pub fn store_block_clamped_with(
+    k: &Kernels,
+    p: &mut Plane,
+    x: usize,
+    y: usize,
+    data: &[i32; BLOCK_LEN],
+) {
     for by in 0..BLOCK {
         let row = &mut p.row_mut(y + by)[x..x + BLOCK];
-        for (bx, slot) in row.iter_mut().enumerate() {
-            *slot = data[by * BLOCK + bx].clamp(0, 255) as u8;
-        }
+        k.store_clamped8(row, &data[by * BLOCK..(by + 1) * BLOCK]);
     }
 }
 
@@ -72,12 +86,29 @@ pub fn store_pred_plus_residual(
     py: usize,
     resid: &[i32; BLOCK_LEN],
 ) {
+    store_pred_plus_residual_with(Kernels::active(), p, x, y, pred, stride, px, py, resid)
+}
+
+/// [`store_pred_plus_residual`] through an explicit kernel table.
+#[allow(clippy::too_many_arguments)]
+pub fn store_pred_plus_residual_with(
+    k: &Kernels,
+    p: &mut Plane,
+    x: usize,
+    y: usize,
+    pred: &[u8],
+    stride: usize,
+    px: usize,
+    py: usize,
+    resid: &[i32; BLOCK_LEN],
+) {
     for by in 0..BLOCK {
         let row = &mut p.row_mut(y + by)[x..x + BLOCK];
-        for (bx, slot) in row.iter_mut().enumerate() {
-            let v = pred[(py + by) * stride + (px + bx)] as i32 + resid[by * BLOCK + bx];
-            *slot = v.clamp(0, 255) as u8;
-        }
+        k.add_residual8(
+            row,
+            &pred[(py + by) * stride + px..(py + by) * stride + px + BLOCK],
+            &resid[by * BLOCK..(by + 1) * BLOCK],
+        );
     }
 }
 

@@ -9,14 +9,14 @@
 //! similarity factor).
 
 use crate::bitstream::{BitReader, BitstreamError};
-use crate::block::{store_block_clamped, store_pred, store_pred_plus_residual};
+use crate::block::{store_block_clamped_with, store_pred, store_pred_plus_residual_with};
 use crate::blockcode::read_coeff_block;
-use crate::dct;
 use crate::encoder::{PICTURE_START_CODE, PICTURE_START_CODE_LEN};
+use crate::kernels::{KernelChoice, Kernels};
 use crate::mb::{MbMode, MotionVector, SubPelVector};
 use crate::mc::{
-    predict_chroma, predict_chroma_subpel, predict_luma, predict_luma_subpel, CHROMA_BLOCK,
-    LUMA_BLOCK,
+    predict_chroma, predict_chroma_subpel_with, predict_luma, predict_luma_subpel_with,
+    CHROMA_BLOCK, LUMA_BLOCK,
 };
 use crate::policy::FrameKind;
 use crate::quant::{dequantize_block, Qp};
@@ -176,6 +176,11 @@ pub struct DecodedInfo {
 #[derive(Debug)]
 pub struct Decoder {
     format: VideoFormat,
+    /// The pixel-kernel tier (IDCT, motion compensation, reconstruction
+    /// clamps); defaults to the process-wide active tier and is
+    /// re-pinnable via [`Decoder::set_kernels`]. Every tier reconstructs
+    /// pixel-identically.
+    kernels: &'static Kernels,
     grid: MbGrid,
     recon: Frame,
     concealment: Concealment,
@@ -244,6 +249,7 @@ impl Decoder {
         let grid = MbGrid::new(format);
         Decoder {
             format,
+            kernels: Kernels::active(),
             recon: Frame::new(format),
             concealment,
             decoded_any: false,
@@ -252,6 +258,18 @@ impl Decoder {
             tel: None,
             trace: None,
         }
+    }
+
+    /// Pins the pixel-kernel tier for subsequent decoding — the decoder
+    /// side of the forced-dispatch test matrix. Reconstruction is
+    /// pixel-identical under every tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a forced tier is not available on this host (see
+    /// [`KernelChoice::resolve`]).
+    pub fn set_kernels(&mut self, choice: KernelChoice) {
+        self.kernels = choice.resolve();
     }
 
     /// Attaches a telemetry context; subsequent decode and concealment
@@ -428,9 +446,9 @@ impl Decoder {
                     let mv = self.last_mvs[self.grid.flat_index(mb)];
                     let (lx, ly) = mb.luma_origin();
                     let (cx, cy) = mb.chroma_origin();
-                    predict_luma_subpel(self.recon.y(), mb, mv, &mut pred_y);
-                    predict_chroma_subpel(self.recon.cb(), mb, mv, &mut pred_cb);
-                    predict_chroma_subpel(self.recon.cr(), mb, mv, &mut pred_cr);
+                    predict_luma_subpel_with(self.kernels, self.recon.y(), mb, mv, &mut pred_y);
+                    predict_chroma_subpel_with(self.kernels, self.recon.cb(), mb, mv, &mut pred_cb);
+                    predict_chroma_subpel_with(self.kernels, self.recon.cr(), mb, mv, &mut pred_cr);
                     store_pred(
                         concealed.y_mut(),
                         lx,
@@ -732,9 +750,9 @@ impl Decoder {
             };
             let (lx, ly) = mb.luma_origin();
             let (cx, cy) = mb.chroma_origin();
-            predict_luma_subpel(self.recon.y(), mb, mv, &mut pred_y);
-            predict_chroma_subpel(self.recon.cb(), mb, mv, &mut pred_cb);
-            predict_chroma_subpel(self.recon.cr(), mb, mv, &mut pred_cr);
+            predict_luma_subpel_with(self.kernels, self.recon.y(), mb, mv, &mut pred_y);
+            predict_chroma_subpel_with(self.kernels, self.recon.cb(), mb, mv, &mut pred_cb);
+            predict_chroma_subpel_with(self.kernels, self.recon.cr(), mb, mv, &mut pred_cr);
             store_pred(
                 new_recon.y_mut(),
                 lx,
@@ -789,7 +807,7 @@ impl Decoder {
             let quantized = zigzag::unscan(&zig);
             let coefs = dequantize_block(&quantized, qp, true);
             let mut spatial = [0i32; 64];
-            dct::inverse(&coefs, &mut spatial);
+            self.kernels.idct8(&coefs, &mut spatial);
             let (dx, dy, plane) = match i {
                 0 => (lx, ly, new_recon.y_mut()),
                 1 => (lx + 8, ly, new_recon.y_mut()),
@@ -798,7 +816,7 @@ impl Decoder {
                 4 => (cx, cy, new_recon.cb_mut()),
                 _ => (cx, cy, new_recon.cr_mut()),
             };
-            store_block_clamped(plane, dx, dy, &spatial);
+            store_block_clamped_with(self.kernels, plane, dx, dy, &spatial);
         }
         Ok(())
     }
@@ -869,11 +887,11 @@ impl Decoder {
         let cbp = vlc::read_cbp(r)?;
 
         let mut pred_y = [0u8; LUMA_BLOCK * LUMA_BLOCK];
-        predict_luma_subpel(self.recon.y(), mb, mv, &mut pred_y);
+        predict_luma_subpel_with(self.kernels, self.recon.y(), mb, mv, &mut pred_y);
         let mut pred_cb = [0u8; CHROMA_BLOCK * CHROMA_BLOCK];
         let mut pred_cr = [0u8; CHROMA_BLOCK * CHROMA_BLOCK];
-        predict_chroma_subpel(self.recon.cb(), mb, mv, &mut pred_cb);
-        predict_chroma_subpel(self.recon.cr(), mb, mv, &mut pred_cr);
+        predict_chroma_subpel_with(self.kernels, self.recon.cb(), mb, mv, &mut pred_cb);
+        predict_chroma_subpel_with(self.kernels, self.recon.cr(), mb, mv, &mut pred_cr);
 
         let sub = [(0usize, 0usize), (8, 0), (0, 8), (8, 8)];
         #[allow(clippy::needless_range_loop)] // i indexes both cbp bits and sub[]
@@ -883,7 +901,7 @@ impl Decoder {
                 let quantized = zigzag::unscan(&zig);
                 let coefs = dequantize_block(&quantized, qp, false);
                 let mut spatial = [0i32; 64];
-                dct::inverse(&coefs, &mut spatial);
+                self.kernels.idct8(&coefs, &mut spatial);
                 spatial
             } else {
                 [0i32; 64]
@@ -891,7 +909,8 @@ impl Decoder {
             match i {
                 0..=3 => {
                     let (sx, sy) = sub[i];
-                    store_pred_plus_residual(
+                    store_pred_plus_residual_with(
+                        self.kernels,
                         new_recon.y_mut(),
                         lx + sx,
                         ly + sy,
@@ -902,7 +921,8 @@ impl Decoder {
                         &resid,
                     );
                 }
-                4 => store_pred_plus_residual(
+                4 => store_pred_plus_residual_with(
+                    self.kernels,
                     new_recon.cb_mut(),
                     cx,
                     cy,
@@ -912,7 +932,8 @@ impl Decoder {
                     0,
                     &resid,
                 ),
-                _ => store_pred_plus_residual(
+                _ => store_pred_plus_residual_with(
+                    self.kernels,
                     new_recon.cr_mut(),
                     cx,
                     cy,

@@ -36,6 +36,7 @@
 //!   allocation after warm-up (a counting-allocator test asserts this).
 
 use crate::bitstream::BitWriter;
+use crate::kernels::{KernelChoice, Kernels};
 use crate::mb::{FrameStats, MbMode, MotionVector, SubPelVector};
 use crate::mbcode::{code_inter_mb, code_intra_mb, BlockCodeCfg};
 use crate::mc::LUMA_BLOCK;
@@ -81,28 +82,38 @@ pub struct OptConfig {
     /// bitstream is deterministic and independent of the thread count.
     #[serde(default)]
     pub slices: u8,
+    /// Which SIMD pixel-kernel tier to dispatch through
+    /// ([`crate::kernels`]). [`KernelChoice::Auto`] (the default) uses
+    /// the process-wide active tier — the detected best, or the
+    /// `PBPAIR_KERNELS` override; forcing a tier pins this encoder only.
+    /// Every tier produces the exact same bitstream.
+    #[serde(default)]
+    pub kernels: KernelChoice,
 }
 
 impl Default for OptConfig {
-    /// Fast ME and the fused transform on; serial (1 slice).
+    /// Fast ME and the fused transform on; serial (1 slice); auto kernel
+    /// dispatch.
     fn default() -> Self {
         OptConfig {
             fast_me: true,
             fused_transform: true,
             slices: 1,
+            kernels: KernelChoice::Auto,
         }
     }
 }
 
 impl OptConfig {
     /// The retained naive reference path: no fast ME, no fused kernel,
-    /// serial. Benchmarks use this as the speedup baseline and the
-    /// differential tests as the ground truth.
+    /// serial, scalar pixel kernels. Benchmarks use this as the speedup
+    /// baseline and the differential tests as the ground truth.
     pub fn naive() -> Self {
         OptConfig {
             fast_me: false,
             fused_transform: false,
             slices: 1,
+            kernels: KernelChoice::Scalar,
         }
     }
 }
@@ -217,6 +228,10 @@ impl EncodedFrame {
 #[derive(Debug)]
 pub struct Encoder {
     cfg: EncoderConfig,
+    /// The pixel-kernel tier, resolved once from `cfg.opt.kernels` at
+    /// construction; every hot loop (ME, transform, MC, reconstruction)
+    /// dispatches through this single table.
+    kernels: &'static Kernels,
     grid: MbGrid,
     /// Reconstructed previous frame (the prediction reference).
     recon: Frame,
@@ -319,6 +334,7 @@ impl Encoder {
         let mbs = grid.len();
         Encoder {
             cfg,
+            kernels: cfg.opt.kernels.resolve(),
             grid,
             recon: Frame::new(cfg.format),
             prev_original: Frame::new(cfg.format),
@@ -734,6 +750,7 @@ impl Encoder {
             let prev_mvs = &self.prev_mvs;
             let me_cfg = self.cfg.me;
             let fast_me = self.cfg.opt.fast_me;
+            let kernels = self.kernels;
             let ParScratch { mbs, rows: rowscr } = &mut par;
             let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = mbs
                 .chunks_mut(cols)
@@ -766,9 +783,24 @@ impl Encoder {
                             }
                             let mut bias = |mv: MotionVector| frozen(mb, mv);
                             let me_result = if fast_me {
-                                me::search_fast(frame.y(), recon.y(), mb, me_cfg, &mut bias, &cands)
+                                me::search_fast_with(
+                                    kernels,
+                                    frame.y(),
+                                    recon.y(),
+                                    mb,
+                                    me_cfg,
+                                    &mut bias,
+                                    &cands,
+                                )
                             } else {
-                                me::search(frame.y(), recon.y(), mb, me_cfg, &mut bias)
+                                me::search_with(
+                                    kernels,
+                                    frame.y(),
+                                    recon.y(),
+                                    mb,
+                                    me_cfg,
+                                    &mut bias,
+                                )
                             };
                             rs.ops.me_invocations += 1;
                             rs.me_invocations += 1;
@@ -822,6 +854,7 @@ impl Encoder {
             let bcfg = self.block_cfg();
             let recon = &self.recon;
             let half_pel = self.cfg.half_pel;
+            let kernels = self.kernels;
             let ParScratch { mbs, rows: rowscr } = &mut par;
             let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = mbs
                 .chunks_mut(cols)
@@ -851,7 +884,8 @@ impl Encoder {
                                 st.sad_mv = None;
                             } else if let Some(int_mv) = st.inter_mv {
                                 let (mv, sad) = if half_pel {
-                                    let refined = me::refine_half_pel(
+                                    let refined = me::refine_half_pel_with(
+                                        kernels,
                                         frame.y(),
                                         recon.y(),
                                         mb,
@@ -996,6 +1030,7 @@ impl Encoder {
             qp: self.cfg.qp,
             half_pel: self.cfg.half_pel,
             fused: self.cfg.opt.fused_transform,
+            kernels: self.kernels,
         }
     }
 
@@ -1071,7 +1106,8 @@ impl Encoder {
             (MbMode::Intra, SubPelVector::ZERO, None, false)
         } else {
             let me_result = if self.cfg.opt.fast_me {
-                me::search_fast(
+                me::search_fast_with(
+                    self.kernels,
                     frame.y(),
                     self.recon.y(),
                     mb,
@@ -1080,9 +1116,14 @@ impl Encoder {
                     cands,
                 )
             } else {
-                me::search(frame.y(), self.recon.y(), mb, self.cfg.me, &mut |mv| {
-                    policy.me_bias(&ctx, mv)
-                })
+                me::search_with(
+                    self.kernels,
+                    frame.y(),
+                    self.recon.y(),
+                    mb,
+                    self.cfg.me,
+                    &mut |mv| policy.me_bias(&ctx, mv),
+                )
             };
             self.ops.me_invocations += 1;
             self.frame_me_invocations += 1;
@@ -1096,8 +1137,14 @@ impl Encoder {
             if natural_intra || post == PostMeDecision::ForceIntra {
                 (MbMode::Intra, SubPelVector::ZERO, Some(me_result.sad), true)
             } else if self.cfg.half_pel {
-                let refined =
-                    me::refine_half_pel(frame.y(), self.recon.y(), mb, me_result.mv, me_result.sad);
+                let refined = me::refine_half_pel_with(
+                    self.kernels,
+                    frame.y(),
+                    self.recon.y(),
+                    mb,
+                    me_result.mv,
+                    me_result.sad,
+                );
                 self.ops.sad_ops += refined.sad_ops;
                 (MbMode::Inter, refined.mv, Some(refined.sad), true)
             } else {

@@ -16,8 +16,10 @@
 //! [`crate::quant::quantize_ac`].
 
 use crate::dct::{basis, BLOCK, BLOCK_LEN, HALF, Q};
+use crate::kernels::{KernelTier, Kernels};
 use crate::quant::{quantize_intra_dc, Qp};
 use crate::zigzag::ZIGZAG;
+use std::sync::OnceLock;
 
 /// Zigzag position of each natural-order coefficient — the inverse
 /// permutation of [`ZIGZAG`], computed at compile time.
@@ -43,6 +45,40 @@ fn quantize_ac_branchless(coef: i32, q: i32, dead_zone: i32) -> i32 {
     let level = ((coef.abs() - dead_zone).max(0) / (2 * q)).min(127);
     let s = coef >> 31; // 0 or -1
     (level ^ s) - s
+}
+
+/// Shift for the magic-multiply division used by the SIMD quantize path.
+/// 18 is the smallest shift whose round-up multiplier is exact for every
+/// H.263 divisor `2q` over the verified numerator range (17 fails for
+/// `d = 54` and `d = 62`), and `MAGIC_NUM_MAX · (2¹⁸/2 + 1)` still fits
+/// `u32`.
+const MAGIC_SHIFT: u32 = 18;
+/// Largest numerator the magic multiply is verified for. Legitimate
+/// forward-DCT coefficients of 8-bit content are bounded by ~2 040, so
+/// production numerators never exceed this; larger ones (possible only
+/// for synthetic out-of-range inputs) take the division fallback.
+const MAGIC_NUM_MAX: i32 = 4095;
+
+/// Per-QP magic multipliers `M = ⌊2¹⁸/(2q)⌋ + 1` such that
+/// `(num·M) >> 18 == num/(2q)` for every `num` in `0..=MAGIC_NUM_MAX` —
+/// **exhaustively verified at init** (an entry that failed verification
+/// would be stored as 0, routing every numerator to the division
+/// fallback; the `magic_multipliers_verified_for_all_qp` test asserts
+/// this never happens).
+fn magic_table() -> &'static [u32; 31] {
+    static T: OnceLock<[u32; 31]> = OnceLock::new();
+    T.get_or_init(|| {
+        std::array::from_fn(|i| {
+            let d = 2 * (i as u32 + 1);
+            let m = (1u32 << MAGIC_SHIFT) / d + 1;
+            let exact = (0..=MAGIC_NUM_MAX as u32).all(|num| (num * m) >> MAGIC_SHIFT == num / d);
+            if exact {
+                m
+            } else {
+                0
+            }
+        })
+    })
 }
 
 /// Forward-transforms `spatial`, quantizes at `qp`, and writes the levels
@@ -91,6 +127,64 @@ pub fn fdct_quant_scan(
             zig[zpos] = level;
             coded |= level != 0 && zpos >= first;
         }
+    }
+    coded
+}
+
+/// [`fdct_quant_scan`] through an explicit kernel table.
+///
+/// The scalar tier runs the fused single-pass kernel above (its i64 row
+/// intermediates never materialize a frequency block). SIMD tiers run the
+/// vectorized forward transform ([`Kernels::fdct8`], bit-identical to
+/// [`crate::dct::forward`]) and then quantize + zigzag-scatter the
+/// resulting block with a magic-multiply dead-zone quantizer that equals
+/// `quantize_ac_branchless` coefficient-for-coefficient — so every tier
+/// produces the same `zig` and the same coded flag for every input.
+pub fn fdct_quant_scan_with(
+    k: &Kernels,
+    spatial: &[i32; BLOCK_LEN],
+    qp: Qp,
+    intra: bool,
+    zig: &mut [i32; BLOCK_LEN],
+) -> bool {
+    if k.tier() == KernelTier::Scalar {
+        return fdct_quant_scan(spatial, qp, intra, zig);
+    }
+    let mut freq = [0i32; BLOCK_LEN];
+    k.fdct8(spatial, &mut freq);
+    quant_scan_natural(&freq, qp, intra, zig)
+}
+
+/// Quantizes a natural-order frequency block and scatters the levels into
+/// zigzag order — the post-transform half of the fused kernel, shared by
+/// every SIMD tier.
+fn quant_scan_natural(
+    freq: &[i32; BLOCK_LEN],
+    qp: Qp,
+    intra: bool,
+    zig: &mut [i32; BLOCK_LEN],
+) -> bool {
+    let q = qp.get() as i32;
+    let dead_zone = q / 2;
+    let first = usize::from(intra);
+    let m = magic_table()[qp.get() as usize - 1];
+    let mut coded = false;
+    for (nat, &coef) in freq.iter().enumerate() {
+        let level = if intra && nat == 0 {
+            quantize_intra_dc(coef)
+        } else {
+            let num = (coef.abs() - dead_zone).max(0);
+            let lv = if m != 0 && num <= MAGIC_NUM_MAX {
+                ((num as u32 * m) >> MAGIC_SHIFT) as i32
+            } else {
+                num / (2 * q)
+            };
+            let s = coef >> 31; // 0 or -1
+            (lv.min(127) ^ s) - s
+        };
+        let zpos = UNZIGZAG[nat];
+        zig[zpos] = level;
+        coded |= level != 0 && zpos >= first;
     }
     coded
 }
@@ -158,6 +252,48 @@ mod tests {
     fn unzigzag_inverts_zigzag() {
         for (zpos, &nat) in ZIGZAG.iter().enumerate() {
             assert_eq!(UNZIGZAG[nat], zpos);
+        }
+    }
+
+    #[test]
+    fn magic_multipliers_verified_for_all_qp() {
+        // Every QP's magic multiplier must pass its init-time exhaustive
+        // verification — a zero entry would silently demote that QP to
+        // the division fallback.
+        for (i, &m) in magic_table().iter().enumerate() {
+            assert_ne!(m, 0, "qp {} failed magic verification", i + 1);
+        }
+    }
+
+    #[test]
+    fn fused_with_matches_scalar_fused_on_every_tier() {
+        let mut state = 0x243f6a8885a308d3u64;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for tier in Kernels::available() {
+            let k = Kernels::get(tier).unwrap();
+            for round in 0..40 {
+                // Residual/pixel-range blocks plus out-of-gate extremes
+                // (scalar-transform fallback + division-fallback quant).
+                let amp: i32 = if round % 8 == 7 { 3_000_000 } else { 255 };
+                let spatial: [i32; BLOCK_LEN] =
+                    std::array::from_fn(|_| (rng() % (2 * amp as u32 + 1)) as i32 - amp);
+                for qp_v in [1u8, 7, 8, 17, 31] {
+                    let qp = Qp::new(qp_v).unwrap();
+                    for intra in [false, true] {
+                        let mut want = [0i32; BLOCK_LEN];
+                        let mut got = [0i32; BLOCK_LEN];
+                        let want_coded = fdct_quant_scan(&spatial, qp, intra, &mut want);
+                        let got_coded = fdct_quant_scan_with(k, &spatial, qp, intra, &mut got);
+                        assert_eq!(got, want, "{tier} round {round} qp {qp_v} intra {intra}");
+                        assert_eq!(got_coded, want_coded, "{tier} round {round} qp {qp_v}");
+                    }
+                }
+            }
         }
     }
 }

@@ -1,0 +1,158 @@
+//! NEON kernel tier (aarch64).
+//!
+//! NEON is baseline on `aarch64`, so these are plain functions with
+//! `unsafe` only around the loads/stores. The tier accelerates SAD,
+//! half-pel interpolation, and the reconstruction rows; the DCT pair
+//! stays on the scalar transforms (the `i32` splat-multiply formulation
+//! buys little on 128-bit lanes, and correctness on this arch is proven
+//! by the same differential suite that covers x86).
+//!
+//! Exactness mirrors the x86 tier: `vabd`+`vaddlv` is the exact SAD,
+//! `vrhadd` is the exact `(a + b + 1) >> 1` rounding average, the
+//! diagonal average is widened to `u16` (max 1022), and the saturating
+//! `s32 → s16 → u8` narrows equal `clamp(0, 255)` for every `i32`.
+
+use super::{halfpel_scalar, KernelTier, Kernels};
+use crate::dct;
+use core::arch::aarch64::*;
+
+static NEON: Kernels = Kernels {
+    tier: KernelTier::Neon,
+    sad16: sad16_neon,
+    sad16_bounded: sad16_bounded_neon,
+    fdct8: dct::forward,
+    idct8: dct::inverse,
+    halfpel: halfpel_neon,
+    add_residual8: add_residual8_neon,
+    store_clamped8: store_clamped8_neon,
+};
+
+pub(super) fn neon_kernels() -> &'static Kernels {
+    &NEON
+}
+
+#[inline]
+unsafe fn row_sad_neon(a: *const u8, b: *const u8) -> u64 {
+    let pa = vld1q_u8(a);
+    let pb = vld1q_u8(b);
+    vaddlvq_u8(vabdq_u8(pa, pb)) as u64
+}
+
+fn sad16_neon(a: &[u8], a_stride: usize, b: &[u8], b_stride: usize) -> u64 {
+    let mut acc = 0u64;
+    for y in 0..16 {
+        acc += unsafe { row_sad_neon(a.as_ptr().add(y * a_stride), b.as_ptr().add(y * b_stride)) };
+    }
+    acc
+}
+
+fn sad16_bounded_neon(
+    a: &[u8],
+    a_stride: usize,
+    b: &[u8],
+    b_stride: usize,
+    limit: u64,
+) -> (u64, u64) {
+    let mut acc = 0u64;
+    let mut ops = 0u64;
+    for y in 0..16 {
+        acc += unsafe { row_sad_neon(a.as_ptr().add(y * a_stride), b.as_ptr().add(y * b_stride)) };
+        ops += 16;
+        if acc >= limit {
+            return (acc, ops);
+        }
+    }
+    (acc, ops)
+}
+
+/// `(a + b + c + d + 2) >> 2` for one 8-lane half, widened to u16.
+#[inline]
+unsafe fn diag_avg8(a: uint8x8_t, b: uint8x8_t, c: uint8x8_t, d: uint8x8_t) -> uint8x8_t {
+    let s = vaddq_u16(vaddl_u8(a, b), vaddl_u8(c, d));
+    vmovn_u16(vshrq_n_u16::<2>(vaddq_u16(s, vdupq_n_u16(2))))
+}
+
+fn halfpel_neon(region: &[u8], rw: usize, hx: usize, hy: usize, out: &mut [u8], side: usize) {
+    match side {
+        16 => unsafe { halfpel16_neon(region, rw, hx, hy, out) },
+        8 => unsafe { halfpel8_neon(region, rw, hx, hy, out) },
+        _ => halfpel_scalar(region, rw, hx, hy, out, side),
+    }
+}
+
+unsafe fn halfpel16_neon(region: &[u8], rw: usize, hx: usize, hy: usize, out: &mut [u8]) {
+    let rp = region.as_ptr();
+    for y in 0..16 {
+        let base = y * rw;
+        let a = vld1q_u8(rp.add(base));
+        let v = match (hx, hy) {
+            (1, 0) => vrhaddq_u8(a, vld1q_u8(rp.add(base + 1))),
+            (0, 1) => vrhaddq_u8(a, vld1q_u8(rp.add(base + rw))),
+            _ => {
+                let b = vld1q_u8(rp.add(base + 1));
+                let c = vld1q_u8(rp.add(base + rw));
+                let d = vld1q_u8(rp.add(base + rw + 1));
+                let lo = diag_avg8(
+                    vget_low_u8(a),
+                    vget_low_u8(b),
+                    vget_low_u8(c),
+                    vget_low_u8(d),
+                );
+                let hi = diag_avg8(
+                    vget_high_u8(a),
+                    vget_high_u8(b),
+                    vget_high_u8(c),
+                    vget_high_u8(d),
+                );
+                vcombine_u8(lo, hi)
+            }
+        };
+        vst1q_u8(out[y * 16..].as_mut_ptr(), v);
+    }
+}
+
+unsafe fn halfpel8_neon(region: &[u8], rw: usize, hx: usize, hy: usize, out: &mut [u8]) {
+    let rp = region.as_ptr();
+    for y in 0..8 {
+        let base = y * rw;
+        let a = vld1_u8(rp.add(base));
+        let v = match (hx, hy) {
+            (1, 0) => vrhadd_u8(a, vld1_u8(rp.add(base + 1))),
+            (0, 1) => vrhadd_u8(a, vld1_u8(rp.add(base + rw))),
+            _ => {
+                let b = vld1_u8(rp.add(base + 1));
+                let c = vld1_u8(rp.add(base + rw));
+                let d = vld1_u8(rp.add(base + rw + 1));
+                diag_avg8(a, b, c, d)
+            }
+        };
+        vst1_u8(out[y * 8..].as_mut_ptr(), v);
+    }
+}
+
+/// Saturating-narrow an 8-lane i32 row to u8 — equal to
+/// `clamp(0, 255)` for every input.
+#[inline]
+unsafe fn narrow_clamp8(lo: int32x4_t, hi: int32x4_t) -> uint8x8_t {
+    vqmovun_s16(vcombine_s16(vqmovn_s32(lo), vqmovn_s32(hi)))
+}
+
+fn add_residual8_neon(dst: &mut [u8], pred: &[u8], resid: &[i32]) {
+    unsafe {
+        let p16 = vreinterpretq_s16_u16(vmovl_u8(vld1_u8(pred.as_ptr())));
+        let plo = vmovl_s16(vget_low_s16(p16));
+        let phi = vmovl_s16(vget_high_s16(p16));
+        let rlo = vld1q_s32(resid.as_ptr());
+        let rhi = vld1q_s32(resid.as_ptr().add(4));
+        let v = narrow_clamp8(vaddq_s32(plo, rlo), vaddq_s32(phi, rhi));
+        vst1_u8(dst.as_mut_ptr(), v);
+    }
+}
+
+fn store_clamped8_neon(dst: &mut [u8], data: &[i32]) {
+    unsafe {
+        let lo = vld1q_s32(data.as_ptr());
+        let hi = vld1q_s32(data.as_ptr().add(4));
+        vst1_u8(dst.as_mut_ptr(), narrow_clamp8(lo, hi));
+    }
+}

@@ -50,6 +50,7 @@ pub mod deblock;
 pub mod decoder;
 pub mod encoder;
 pub mod fused;
+pub mod kernels;
 pub mod mb;
 pub(crate) mod mbcode;
 pub mod mc;
@@ -65,6 +66,7 @@ pub mod zigzag;
 pub use bitstream::BitstreamError;
 pub use decoder::{Concealment, DecodeError, DecodeReport, DecodedInfo, Decoder};
 pub use encoder::{EncodedFrame, Encoder, EncoderConfig, OptConfig};
+pub use kernels::{KernelChoice, KernelTier, Kernels};
 pub use mb::{FrameStats, MbMode, MotionVector};
 pub use me::{MeConfig, MeResult, SearchStrategy};
 pub use ops::OpCounts;

@@ -13,13 +13,13 @@
 
 use crate::bitstream::BitWriter;
 use crate::block::{
-    load_block, residual_block, store_block_clamped, store_pred, store_pred_plus_residual,
+    load_block, residual_block, store_block_clamped_with, store_pred, store_pred_plus_residual_with,
 };
 use crate::blockcode::{block_is_coded, write_coeff_block};
-use crate::dct;
 use crate::fused;
+use crate::kernels::Kernels;
 use crate::mb::{MbMode, SubPelVector};
-use crate::mc::{predict_chroma_subpel, predict_luma_subpel, CHROMA_BLOCK, LUMA_BLOCK};
+use crate::mc::{predict_chroma_subpel_with, predict_luma_subpel_with, CHROMA_BLOCK, LUMA_BLOCK};
 use crate::ops::OpCounts;
 use crate::quant::{dequantize_block, quantize_block, Qp};
 use crate::vlc;
@@ -33,6 +33,8 @@ pub(crate) struct BlockCodeCfg {
     pub half_pel: bool,
     /// Use the fused `dct→quant→zigzag` kernel ([`fused::fdct_quant_scan`]).
     pub fused: bool,
+    /// The pixel-kernel tier every block-level loop dispatches through.
+    pub kernels: &'static Kernels,
 }
 
 /// Transforms one spatial block into zigzag-ordered levels, via either
@@ -50,10 +52,10 @@ fn transform_block(
     ops.dct_blocks += 1;
     ops.quant_blocks += 1;
     if cfg.fused {
-        fused::fdct_quant_scan(spatial, cfg.qp, intra, zig)
+        fused::fdct_quant_scan_with(cfg.kernels, spatial, cfg.qp, intra, zig)
     } else {
         let mut freq = [0i32; 64];
-        dct::forward(spatial, &mut freq);
+        cfg.kernels.fdct8(spatial, &mut freq);
         let quantized = quantize_block(&freq, cfg.qp, intra);
         *zig = zigzag::scan(&quantized);
         block_is_coded(zig, usize::from(intra))
@@ -105,7 +107,7 @@ pub(crate) fn code_intra_mb(
         let quantized = zigzag::unscan(zig);
         let coefs = dequantize_block(&quantized, cfg.qp, true);
         let mut spatial = [0i32; 64];
-        dct::inverse(&coefs, &mut spatial);
+        cfg.kernels.idct8(&coefs, &mut spatial);
         ops.dequant_blocks += 1;
         ops.idct_blocks += 1;
         let (dx, dy, plane) = match i {
@@ -116,7 +118,7 @@ pub(crate) fn code_intra_mb(
             4 => (cx, cy, new_recon.cb_mut()),
             _ => (cx, cy, new_recon.cr_mut()),
         };
-        store_block_clamped(plane, dx, dy, &spatial);
+        store_block_clamped_with(cfg.kernels, plane, dx, dy, &spatial);
     }
 }
 
@@ -139,11 +141,11 @@ pub(crate) fn code_inter_mb(
 
     // Predictions.
     let mut pred_y = [0u8; LUMA_BLOCK * LUMA_BLOCK];
-    predict_luma_subpel(reference.y(), mb, mv, &mut pred_y);
+    predict_luma_subpel_with(cfg.kernels, reference.y(), mb, mv, &mut pred_y);
     let mut pred_cb = [0u8; CHROMA_BLOCK * CHROMA_BLOCK];
     let mut pred_cr = [0u8; CHROMA_BLOCK * CHROMA_BLOCK];
-    predict_chroma_subpel(reference.cb(), mb, mv, &mut pred_cb);
-    predict_chroma_subpel(reference.cr(), mb, mv, &mut pred_cr);
+    predict_chroma_subpel_with(cfg.kernels, reference.cb(), mb, mv, &mut pred_cb);
+    predict_chroma_subpel_with(cfg.kernels, reference.cr(), mb, mv, &mut pred_cr);
     ops.mc_luma_blocks += 1;
     ops.mc_chroma_blocks += 2;
 
@@ -227,7 +229,7 @@ pub(crate) fn code_inter_mb(
             let quantized = zigzag::unscan(zig);
             let coefs = dequantize_block(&quantized, cfg.qp, false);
             let mut spatial = [0i32; 64];
-            dct::inverse(&coefs, &mut spatial);
+            cfg.kernels.idct8(&coefs, &mut spatial);
             ops.dequant_blocks += 1;
             ops.idct_blocks += 1;
             spatial
@@ -237,7 +239,8 @@ pub(crate) fn code_inter_mb(
         match i {
             0..=3 => {
                 let (sx, sy) = sub[i];
-                store_pred_plus_residual(
+                store_pred_plus_residual_with(
+                    cfg.kernels,
                     new_recon.y_mut(),
                     lx + sx,
                     ly + sy,
@@ -248,7 +251,8 @@ pub(crate) fn code_inter_mb(
                     &resid,
                 );
             }
-            4 => store_pred_plus_residual(
+            4 => store_pred_plus_residual_with(
+                cfg.kernels,
                 new_recon.cb_mut(),
                 cx,
                 cy,
@@ -258,7 +262,8 @@ pub(crate) fn code_inter_mb(
                 0,
                 &resid,
             ),
-            _ => store_pred_plus_residual(
+            _ => store_pred_plus_residual_with(
+                cfg.kernels,
                 new_recon.cr_mut(),
                 cx,
                 cy,

@@ -7,6 +7,7 @@
 //! Both encoder and decoder use these exact functions, so prediction is
 //! bit-identical end to end.
 
+use crate::kernels::Kernels;
 use crate::mb::{MotionVector, SubPelVector};
 use pbpair_media::{MbIndex, Plane};
 
@@ -43,6 +44,23 @@ pub fn predict_luma(reference: &Plane, mb: MbIndex, mv: MotionVector, out: &mut 
 ///
 /// Panics if `out.len() != 256`.
 pub fn predict_luma_subpel(reference: &Plane, mb: MbIndex, mv: SubPelVector, out: &mut [u8]) {
+    predict_luma_subpel_with(Kernels::active(), reference, mb, mv, out)
+}
+
+/// [`predict_luma_subpel`] through an explicit kernel table: the region
+/// fetch (edge clamping) stays scalar, the averaging runs on the tier's
+/// half-pel kernel.
+///
+/// # Panics
+///
+/// Panics if `out.len() != 256`.
+pub fn predict_luma_subpel_with(
+    k: &Kernels,
+    reference: &Plane,
+    mb: MbIndex,
+    mv: SubPelVector,
+    out: &mut [u8],
+) {
     assert_eq!(out.len(), LUMA_BLOCK * LUMA_BLOCK);
     let (hx, hy) = (mv.half_x as usize, mv.half_y as usize);
     if hx == 0 && hy == 0 {
@@ -61,23 +79,7 @@ pub fn predict_luma_subpel(reference: &Plane, mb: MbIndex, mv: SubPelVector, out
         h,
         &mut region[..w * h],
     );
-    for y in 0..LUMA_BLOCK {
-        for x in 0..LUMA_BLOCK {
-            let a = region[y * w + x] as u16;
-            let v = match (hx, hy) {
-                (1, 0) => (a + region[y * w + x + 1] as u16).div_ceil(2),
-                (0, 1) => (a + region[(y + 1) * w + x] as u16).div_ceil(2),
-                _ => {
-                    (a + region[y * w + x + 1] as u16
-                        + region[(y + 1) * w + x] as u16
-                        + region[(y + 1) * w + x + 1] as u16
-                        + 2)
-                        / 4
-                }
-            };
-            out[y * LUMA_BLOCK + x] = v as u8;
-        }
-    }
+    k.halfpel(&region[..w * h], w, hx, hy, out, LUMA_BLOCK);
 }
 
 /// Fills `out` (8×8 row-major) with the motion-compensated chroma
@@ -107,6 +109,21 @@ pub fn predict_chroma(reference: &Plane, mb: MbIndex, mv: MotionVector, out: &mu
 ///
 /// Panics if `out.len() != 64`.
 pub fn predict_chroma_subpel(reference: &Plane, mb: MbIndex, mv: SubPelVector, out: &mut [u8]) {
+    predict_chroma_subpel_with(Kernels::active(), reference, mb, mv, out)
+}
+
+/// [`predict_chroma_subpel`] through an explicit kernel table.
+///
+/// # Panics
+///
+/// Panics if `out.len() != 64`.
+pub fn predict_chroma_subpel_with(
+    k: &Kernels,
+    reference: &Plane,
+    mb: MbIndex,
+    mv: SubPelVector,
+    out: &mut [u8],
+) {
     assert_eq!(out.len(), CHROMA_BLOCK * CHROMA_BLOCK);
     let (chx, chy) = mv.chroma_half_units();
     let (ix, hx) = (chx.div_euclid(2), chx.rem_euclid(2) as usize);
@@ -132,23 +149,7 @@ pub fn predict_chroma_subpel(reference: &Plane, mb: MbIndex, mv: SubPelVector, o
         h,
         &mut region[..w * h],
     );
-    for y in 0..CHROMA_BLOCK {
-        for x in 0..CHROMA_BLOCK {
-            let a = region[y * w + x] as u16;
-            let v = match (hx, hy) {
-                (1, 0) => (a + region[y * w + x + 1] as u16).div_ceil(2),
-                (0, 1) => (a + region[(y + 1) * w + x] as u16).div_ceil(2),
-                _ => {
-                    (a + region[y * w + x + 1] as u16
-                        + region[(y + 1) * w + x] as u16
-                        + region[(y + 1) * w + x + 1] as u16
-                        + 2)
-                        / 4
-                }
-            };
-            out[y * CHROMA_BLOCK + x] = v as u8;
-        }
-    }
+    k.halfpel(&region[..w * h], w, hx, hy, out, CHROMA_BLOCK);
 }
 
 #[cfg(test)]

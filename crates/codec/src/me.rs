@@ -18,8 +18,9 @@
 //! Each search also reports how many absolute-difference operations it
 //! executed, feeding the operation-accounting energy model.
 
+use crate::kernels::Kernels;
 use crate::mb::{MotionVector, SubPelVector};
-use crate::mc::{predict_luma_subpel, LUMA_BLOCK};
+use crate::mc::{predict_luma_subpel_with, LUMA_BLOCK};
 use pbpair_media::{MbIndex, Plane};
 use serde::{Deserialize, Serialize};
 
@@ -68,25 +69,42 @@ pub struct MeResult {
 }
 
 /// SAD between the macroblock `mb` of `cur` and the same-size block of
-/// `reference` displaced by `mv` (edge-clamped).
+/// `reference` displaced by `mv` (edge-clamped). Uses the process-wide
+/// active kernel tier; see [`sad_mb_with`].
 pub fn sad_mb(cur: &Plane, reference: &Plane, mb: MbIndex, mv: MotionVector) -> u64 {
+    sad_mb_with(Kernels::active(), cur, reference, mb, mv)
+}
+
+/// [`sad_mb`] through an explicit kernel table. Interior candidates
+/// (both blocks fully inside their planes) run the tier's SAD kernel;
+/// edge-clamped candidates read through [`Plane::get_clamped`] and stay
+/// scalar on every tier — the replication pattern defeats contiguous
+/// loads, and border candidates are a vanishing fraction of the search.
+pub fn sad_mb_with(
+    k: &Kernels,
+    cur: &Plane,
+    reference: &Plane,
+    mb: MbIndex,
+    mv: MotionVector,
+) -> u64 {
     let (ox, oy) = mb.luma_origin();
     let rx = ox as isize + mv.x as isize;
     let ry = oy as isize + mv.y as isize;
     let w = reference.width() as isize;
     let h = reference.height() as isize;
-    let mut acc = 0u64;
     if rx >= 0 && ry >= 0 && rx + 16 <= w && ry + 16 <= h {
         // Fast path: contiguous rows on both sides.
         let (rx, ry) = (rx as usize, ry as usize);
-        for dy in 0..16 {
-            let a = &cur.row(oy + dy)[ox..ox + 16];
-            let b = &reference.row(ry + dy)[rx..rx + 16];
-            for (pa, pb) in a.iter().zip(b) {
-                acc += (*pa as i32 - *pb as i32).unsigned_abs() as u64;
-            }
-        }
+        let cur_stride = cur.width();
+        let ref_stride = reference.width();
+        k.sad16(
+            &cur.samples()[oy * cur_stride + ox..],
+            cur_stride,
+            &reference.samples()[ry * ref_stride + rx..],
+            ref_stride,
+        )
     } else {
+        let mut acc = 0u64;
         for dy in 0..16 {
             let a = &cur.row(oy + dy)[ox..ox + 16];
             for (dx, pa) in a.iter().enumerate() {
@@ -94,17 +112,49 @@ pub fn sad_mb(cur: &Plane, reference: &Plane, mb: MbIndex, mv: MotionVector) -> 
                 acc += (*pa as i32 - pb as i32).unsigned_abs() as u64;
             }
         }
+        acc
     }
-    acc
 }
 
 /// Bounded SAD with early termination: accumulates row by row and
 /// abandons the candidate as soon as the partial sum reaches `limit`
-/// (at which point it can no longer win). Returns the accumulated sum —
-/// a valid full SAD **iff** it is `< limit` — plus the number of
-/// absolute-difference operations actually executed (16 per row
-/// visited, against [`sad_mb`]'s unconditional 256).
+/// (at which point it can no longer win). Returns the accumulated sum
+/// plus the number of absolute-difference operations actually executed
+/// (16 per row visited, against [`sad_mb`]'s unconditional 256). Uses
+/// the process-wide active kernel tier; see [`sad_mb_bounded_with`].
+///
+/// # Contract
+///
+/// Callers may rely on exactly two properties of the returned `(acc,
+/// ops)` — and nothing else:
+///
+/// 1. if `acc < limit`, then `acc` **is** the exact full SAD;
+/// 2. if `acc ≥ limit`, the true SAD is `≥ limit` (the candidate was
+///    abandoned; `acc` is only a lower bound on the true SAD).
+///
+/// In particular, callers must NOT assume the bound is consulted after
+/// every row: an implementation that checks it every 2 rows (or per
+/// whole block) still satisfies 1–2, and the motion searches remain
+/// winner-identical under it because they adopt a candidate only when
+/// `acc < limit` — see `tests/kernel_equiv.rs`
+/// (`coarse_bounded_sad_is_winner_identical`), which proves the searches
+/// against a deliberately 2-row-granular tier
+/// ([`Kernels::coarse2_for_tests`]). Every *production* tier does check
+/// per row, which is the stronger property that keeps `ops` (and the
+/// energy model) tier-invariant, not just the winner.
 pub fn sad_mb_bounded(
+    cur: &Plane,
+    reference: &Plane,
+    mb: MbIndex,
+    mv: MotionVector,
+    limit: u64,
+) -> (u64, u64) {
+    sad_mb_bounded_with(Kernels::active(), cur, reference, mb, mv, limit)
+}
+
+/// [`sad_mb_bounded`] through an explicit kernel table (same contract).
+pub fn sad_mb_bounded_with(
+    k: &Kernels,
     cur: &Plane,
     reference: &Plane,
     mb: MbIndex,
@@ -116,22 +166,20 @@ pub fn sad_mb_bounded(
     let ry = oy as isize + mv.y as isize;
     let w = reference.width() as isize;
     let h = reference.height() as isize;
-    let mut acc = 0u64;
-    let mut ops = 0u64;
     if rx >= 0 && ry >= 0 && rx + 16 <= w && ry + 16 <= h {
         let (rx, ry) = (rx as usize, ry as usize);
-        for dy in 0..16 {
-            let a = &cur.row(oy + dy)[ox..ox + 16];
-            let b = &reference.row(ry + dy)[rx..rx + 16];
-            for (pa, pb) in a.iter().zip(b) {
-                acc += (*pa as i32 - *pb as i32).unsigned_abs() as u64;
-            }
-            ops += 16;
-            if acc >= limit {
-                return (acc, ops);
-            }
-        }
+        let cur_stride = cur.width();
+        let ref_stride = reference.width();
+        k.sad16_bounded(
+            &cur.samples()[oy * cur_stride + ox..],
+            cur_stride,
+            &reference.samples()[ry * ref_stride + rx..],
+            ref_stride,
+            limit,
+        )
     } else {
+        let mut acc = 0u64;
+        let mut ops = 0u64;
         for dy in 0..16 {
             let a = &cur.row(oy + dy)[ox..ox + 16];
             for (dx, pa) in a.iter().enumerate() {
@@ -143,8 +191,8 @@ pub fn sad_mb_bounded(
                 return (acc, ops);
             }
         }
+        (acc, ops)
     }
-    (acc, ops)
 }
 
 /// Sum of absolute deviations of macroblock `mb` from its own mean — the
@@ -219,9 +267,21 @@ pub fn search(
     cfg: MeConfig,
     bias: &mut dyn FnMut(MotionVector) -> i64,
 ) -> MeResult {
+    search_with(Kernels::active(), cur, reference, mb, cfg, bias)
+}
+
+/// [`search`] through an explicit kernel table.
+pub fn search_with(
+    k: &Kernels,
+    cur: &Plane,
+    reference: &Plane,
+    mb: MbIndex,
+    cfg: MeConfig,
+    bias: &mut dyn FnMut(MotionVector) -> i64,
+) -> MeResult {
     match cfg.strategy {
-        SearchStrategy::Full => full_search(cur, reference, mb, cfg.search_range, bias),
-        SearchStrategy::ThreeStep => three_step(cur, reference, mb, cfg.search_range, bias),
+        SearchStrategy::Full => full_search(k, cur, reference, mb, cfg.search_range, bias),
+        SearchStrategy::ThreeStep => three_step(k, cur, reference, mb, cfg.search_range, bias),
     }
 }
 
@@ -252,15 +312,30 @@ pub fn search_fast(
     bias: &mut dyn FnMut(MotionVector) -> i64,
     prepass: &MvCandidates,
 ) -> MeResult {
+    search_fast_with(Kernels::active(), cur, reference, mb, cfg, bias, prepass)
+}
+
+/// [`search_fast`] through an explicit kernel table.
+#[allow(clippy::too_many_arguments)]
+pub fn search_fast_with(
+    k: &Kernels,
+    cur: &Plane,
+    reference: &Plane,
+    mb: MbIndex,
+    cfg: MeConfig,
+    bias: &mut dyn FnMut(MotionVector) -> i64,
+    prepass: &MvCandidates,
+) -> MeResult {
     match cfg.strategy {
         SearchStrategy::Full => {
-            full_search_fast(cur, reference, mb, cfg.search_range, bias, prepass)
+            full_search_fast(k, cur, reference, mb, cfg.search_range, bias, prepass)
         }
-        SearchStrategy::ThreeStep => three_step_fast(cur, reference, mb, cfg.search_range, bias),
+        SearchStrategy::ThreeStep => three_step_fast(k, cur, reference, mb, cfg.search_range, bias),
     }
 }
 
 fn full_search_fast(
+    k: &Kernels,
     cur: &Plane,
     reference: &Plane,
     mb: MbIndex,
@@ -270,7 +345,7 @@ fn full_search_fast(
 ) -> MeResult {
     let r = range as i16;
     // Zero vector first, fully evaluated: the tie-breaking anchor.
-    let zero_sad = sad_mb(cur, reference, mb, MotionVector::ZERO);
+    let zero_sad = sad_mb_with(k, cur, reference, mb, MotionVector::ZERO);
     let mut best = MeResult {
         mv: MotionVector::ZERO,
         sad: zero_sad,
@@ -288,7 +363,7 @@ fn full_search_fast(
         if mv == MotionVector::ZERO {
             continue;
         }
-        let sad = sad_mb(cur, reference, mb, mv);
+        let sad = sad_mb_with(k, cur, reference, mb, mv);
         best.candidates += 1;
         best.sad_ops += 256;
         bound = bound.min(sad as i64 + bias(mv));
@@ -308,7 +383,7 @@ fn full_search_fast(
             if limit <= 0 {
                 continue;
             }
-            let (sad, ops) = sad_mb_bounded(cur, reference, mb, mv, limit as u64);
+            let (sad, ops) = sad_mb_bounded_with(k, cur, reference, mb, mv, limit as u64);
             best.sad_ops += ops;
             if sad < limit as u64 {
                 // Fully evaluated and strictly under the limit, hence
@@ -323,6 +398,7 @@ fn full_search_fast(
 }
 
 fn three_step_fast(
+    k: &Kernels,
     cur: &Plane,
     reference: &Plane,
     mb: MbIndex,
@@ -330,7 +406,7 @@ fn three_step_fast(
     bias: &mut dyn FnMut(MotionVector) -> i64,
 ) -> MeResult {
     let r = range as i16;
-    let zero_sad = sad_mb(cur, reference, mb, MotionVector::ZERO);
+    let zero_sad = sad_mb_with(k, cur, reference, mb, MotionVector::ZERO);
     let mut best = MeResult {
         mv: MotionVector::ZERO,
         sad: zero_sad,
@@ -368,7 +444,7 @@ fn three_step_fast(
                     if limit <= 0 {
                         continue;
                     }
-                    let (sad, ops) = sad_mb_bounded(cur, reference, mb, cand, limit as u64);
+                    let (sad, ops) = sad_mb_bounded_with(k, cur, reference, mb, cand, limit as u64);
                     best.sad_ops += ops;
                     if sad < limit as u64 {
                         best.mv = cand;
@@ -412,6 +488,19 @@ pub fn refine_half_pel(
     int_mv: MotionVector,
     int_sad: u64,
 ) -> SubPelResult {
+    refine_half_pel_with(Kernels::active(), cur, reference, mb, int_mv, int_sad)
+}
+
+/// [`refine_half_pel`] through an explicit kernel table (interpolation
+/// and SAD both run on the tier's kernels).
+pub fn refine_half_pel_with(
+    k: &Kernels,
+    cur: &Plane,
+    reference: &Plane,
+    mb: MbIndex,
+    int_mv: MotionVector,
+    int_sad: u64,
+) -> SubPelResult {
     let (ox, oy) = mb.luma_origin();
     let mut best = SubPelResult {
         mv: SubPelVector::integer(int_mv),
@@ -419,6 +508,8 @@ pub fn refine_half_pel(
         sad_ops: 0,
     };
     let (cx, cy) = (2 * int_mv.x, 2 * int_mv.y);
+    let cur_stride = cur.width();
+    let cur_base = &cur.samples()[oy * cur_stride + ox..];
     let mut pred = [0u8; LUMA_BLOCK * LUMA_BLOCK];
     for dy in -1i16..=1 {
         for dx in -1i16..=1 {
@@ -426,14 +517,8 @@ pub fn refine_half_pel(
                 continue;
             }
             let cand = SubPelVector::from_half_units(cx + dx, cy + dy);
-            predict_luma_subpel(reference, mb, cand, &mut pred);
-            let mut sad = 0u64;
-            for y in 0..LUMA_BLOCK {
-                let row = &cur.row(oy + y)[ox..ox + LUMA_BLOCK];
-                for (x, &p) in row.iter().enumerate() {
-                    sad += (p as i32 - pred[y * LUMA_BLOCK + x] as i32).unsigned_abs() as u64;
-                }
-            }
+            predict_luma_subpel_with(k, reference, mb, cand, &mut pred);
+            let sad = k.sad16(cur_base, cur_stride, &pred, LUMA_BLOCK);
             // 256 interpolation ops + 256 difference ops per candidate.
             best.sad_ops += 512;
             if sad < best.sad {
@@ -446,6 +531,7 @@ pub fn refine_half_pel(
 }
 
 fn evaluate(
+    k: &Kernels,
     cur: &Plane,
     reference: &Plane,
     mb: MbIndex,
@@ -453,7 +539,7 @@ fn evaluate(
     bias: &mut dyn FnMut(MotionVector) -> i64,
     best: &mut MeResult,
 ) {
-    let sad = sad_mb(cur, reference, mb, mv);
+    let sad = sad_mb_with(k, cur, reference, mb, mv);
     let cost = sad as i64 + bias(mv);
     best.candidates += 1;
     best.sad_ops += 256;
@@ -467,6 +553,7 @@ fn evaluate(
 }
 
 fn full_search(
+    k: &Kernels,
     cur: &Plane,
     reference: &Plane,
     mb: MbIndex,
@@ -482,13 +569,14 @@ fn full_search(
         sad_ops: 0,
     };
     // Zero vector first so ties resolve to it.
-    evaluate(cur, reference, mb, MotionVector::ZERO, bias, &mut best);
+    evaluate(k, cur, reference, mb, MotionVector::ZERO, bias, &mut best);
     for dy in -r..=r {
         for dx in -r..=r {
             if dx == 0 && dy == 0 {
                 continue;
             }
             evaluate(
+                k,
                 cur,
                 reference,
                 mb,
@@ -502,6 +590,7 @@ fn full_search(
 }
 
 fn three_step(
+    k: &Kernels,
     cur: &Plane,
     reference: &Plane,
     mb: MbIndex,
@@ -516,7 +605,7 @@ fn three_step(
         candidates: 0,
         sad_ops: 0,
     };
-    evaluate(cur, reference, mb, MotionVector::ZERO, bias, &mut best);
+    evaluate(k, cur, reference, mb, MotionVector::ZERO, bias, &mut best);
     // Initial stride: largest power of two ≤ max(range, 1) rounded to
     // cover the window (8 for the ±15 default).
     let mut step = 1i16;
@@ -543,7 +632,7 @@ fn three_step(
                         continue;
                     }
                     let before = best.cost;
-                    evaluate(cur, reference, mb, cand, bias, &mut best);
+                    evaluate(k, cur, reference, mb, cand, bias, &mut best);
                     if best.cost < before && best.mv == cand {
                         improved = true;
                     }

@@ -12,22 +12,28 @@ use pbpair_codec::{
 };
 use pbpair_media::{metrics, Frame, Plane, VideoFormat};
 
-/// A frame whose texture is globally shifted by `(dx, dy)` — every
-/// macroblock's true motion is the same large vector, so border MBs must
-/// search (and clamp) against the frame edge.
-fn shifted_frame(dx: isize, dy: isize) -> Frame {
+/// A frame in `format` whose texture is globally shifted by `(dx, dy)` —
+/// every macroblock's true motion is the same large vector, so border MBs
+/// must search (and clamp) against the frame edge.
+fn shifted_frame_in(format: VideoFormat, dx: isize, dy: isize) -> Frame {
     let texture = |x: isize, y: isize| -> u8 {
         let (x, y) = (x.rem_euclid(256), y.rem_euclid(256));
         ((x * 7 + y * 13 + (x * y) / 9) % 256) as u8
     };
-    let y = Plane::from_fn(176, 144, |x, yy| texture(x as isize + dx, yy as isize + dy));
-    let cb = Plane::from_fn(88, 72, |x, yy| {
+    let (w, h) = (format.width(), format.height());
+    let y = Plane::from_fn(w, h, |x, yy| texture(x as isize + dx, yy as isize + dy));
+    let cb = Plane::from_fn(w / 2, h / 2, |x, yy| {
         texture(x as isize + dx / 2, yy as isize + dy / 2)
     });
-    let cr = Plane::from_fn(88, 72, |x, yy| {
+    let cr = Plane::from_fn(w / 2, h / 2, |x, yy| {
         texture(x as isize - dx / 2, yy as isize - dy / 2)
     });
-    Frame::from_planes(VideoFormat::QCIF, y, cb, cr).unwrap()
+    Frame::from_planes(format, y, cb, cr).unwrap()
+}
+
+/// [`shifted_frame_in`] at QCIF.
+fn shifted_frame(dx: isize, dy: isize) -> Frame {
+    shifted_frame_in(VideoFormat::QCIF, dx, dy)
 }
 
 /// Large global motion right at the search-range limit, both strategies,
@@ -187,6 +193,61 @@ fn coeff_block_roundtrips_at_extreme_positions() {
         let mut r = BitReader::new(&bytes);
         let got = read_coeff_block(&mut r, *first).unwrap();
         assert_eq!(got, zig, "case {i}");
+    }
+}
+
+/// Vector-tail coverage for the SIMD kernel tiers: frame widths whose
+/// macroblock rows are *not* a multiple of any vector width force the
+/// kernels through their per-row (rather than whole-plane) load paths —
+/// a 48-wide luma plane has 16-sample SAD rows starting at stride
+/// offsets 0/16/32, and QCIF's 88-wide chroma planes put half of every
+/// chroma block row on an odd 8-byte boundary. Every available tier must
+/// produce the identical bitstream and a drift-free decode on both.
+#[test]
+fn kernel_tiers_agree_on_vector_tail_formats() {
+    use pbpair_codec::{KernelChoice, Kernels};
+    let formats = [
+        (
+            "48x48",
+            VideoFormat::custom(48, 48).expect("multiple of 16"),
+        ),
+        ("qcif", VideoFormat::QCIF),
+    ];
+    let motions = [(0isize, 0isize), (15, 7), (-15, -15), (3, 12)];
+    for (label, format) in formats {
+        let mut reference_streams: Option<Vec<Vec<u8>>> = None;
+        for tier in Kernels::available() {
+            let mut enc = Encoder::new(EncoderConfig {
+                format,
+                opt: OptConfig {
+                    kernels: KernelChoice::forced(tier),
+                    ..OptConfig::default()
+                },
+                ..EncoderConfig::default()
+            });
+            let mut dec = Decoder::new(format);
+            dec.set_kernels(KernelChoice::forced(tier));
+            let mut policy = NaturalPolicy::new();
+            let mut streams = Vec::new();
+            for (i, (dx, dy)) in motions.iter().enumerate() {
+                let frame = shifted_frame_in(format, *dx, *dy);
+                let encoded = enc.encode_frame(&frame, &mut policy);
+                let (decoded, _) = dec.decode_frame(&encoded.data).expect("decodable");
+                let drift = metrics::psnr_y(&decoded, enc.reconstructed());
+                assert!(
+                    drift.is_infinite(),
+                    "{label} frame {i}: decoder drifted from encoder on tier {tier}"
+                );
+                streams.push(encoded.data);
+            }
+            match &reference_streams {
+                None => reference_streams = Some(streams),
+                Some(want) => assert_eq!(
+                    &streams, want,
+                    "{label}: tier {tier} bitstream diverged from the first tier"
+                ),
+            }
+        }
     }
 }
 

@@ -15,9 +15,12 @@
 
 use pbpair::{AirPolicy, GopPolicy, NoPolicy, PbpairConfig, PbpairPolicy, PgopPolicy};
 use pbpair_codec::policy::RefreshPolicy;
-use pbpair_codec::{Encoder, EncoderConfig, MeConfig, OptConfig, SearchStrategy};
+use pbpair_codec::{
+    Decoder, Encoder, EncoderConfig, KernelChoice, Kernels, MeConfig, OpCounts, OptConfig,
+    SearchStrategy,
+};
 use pbpair_media::synth::SyntheticSequence;
-use pbpair_media::VideoFormat;
+use pbpair_media::{Frame, VideoFormat};
 
 const FRAMES: usize = 10;
 const SEED: u64 = 77;
@@ -47,6 +50,13 @@ fn make_policy(scheme: &str) -> Box<dyn RefreshPolicy> {
 
 /// Length-prefixed concatenation of `FRAMES` encoded frames.
 fn encode(scheme: &str, strategy: SearchStrategy, opt: OptConfig) -> Vec<u8> {
+    encode_with_ops(scheme, strategy, opt).0
+}
+
+/// [`encode`] plus the encoder's cumulative operation counts — the SIMD
+/// tier sweep asserts these (and therefore the energy model built on
+/// them) are tier-invariant, not just the bitstream.
+fn encode_with_ops(scheme: &str, strategy: SearchStrategy, opt: OptConfig) -> (Vec<u8>, OpCounts) {
     let mut enc = Encoder::new(EncoderConfig {
         me: MeConfig {
             search_range: 15,
@@ -63,7 +73,23 @@ fn encode(scheme: &str, strategy: SearchStrategy, opt: OptConfig) -> Vec<u8> {
         out.extend_from_slice(&u32::try_from(e.data.len()).expect("fits").to_le_bytes());
         out.extend_from_slice(&e.data);
     }
-    out
+    (out, *enc.ops())
+}
+
+/// Splits a length-prefixed stream back into frames and decodes each with
+/// the given kernel tier, returning the decoded frames.
+fn decode_all(stream: &[u8], tier: pbpair_codec::KernelTier) -> Vec<Frame> {
+    let mut dec = Decoder::new(VideoFormat::QCIF);
+    dec.set_kernels(KernelChoice::forced(tier));
+    let mut frames = Vec::new();
+    let mut rest = stream;
+    while !rest.is_empty() {
+        let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+        let (frame, _) = dec.decode_frame(&rest[4..4 + len]).expect("decodable");
+        frames.push(frame);
+        rest = &rest[4 + len..];
+    }
+    frames
 }
 
 struct Vector {
@@ -166,6 +192,63 @@ fn every_scheme_and_search_matches_its_golden_digest_under_all_optimizations() {
                 "{} {:?}: bitstream drifted from the committed golden digest",
                 v.scheme, v.strategy
             );
+        }
+    }
+}
+
+/// The forced-dispatch kernel matrix: every golden vector re-encoded with
+/// every available SIMD tier pinned via [`KernelChoice::forced`] must
+/// reproduce the committed digest byte for byte, with identical
+/// operation counts (so the paper's energy model sees the same inputs
+/// regardless of the host's vector units). Decoder side, every tier must
+/// reproduce pixel-identical frames from the golden streams.
+#[test]
+fn golden_digests_are_kernel_tier_invariant() {
+    if std::env::var_os("PBPAIR_BLESS").is_some() {
+        return; // Blessing happens against the scalar-checked test above.
+    }
+    let tiers = Kernels::available();
+    assert!(
+        tiers.contains(&pbpair_codec::KernelTier::Scalar),
+        "the scalar reference tier must always be available"
+    );
+    for v in VECTORS {
+        let mut reference: Option<(Vec<u8>, OpCounts, Vec<Frame>)> = None;
+        for &tier in &tiers {
+            let opt = OptConfig {
+                kernels: KernelChoice::forced(tier),
+                ..OptConfig::default()
+            };
+            let (stream, ops) = encode_with_ops(v.scheme, v.strategy, opt);
+            assert_eq!(
+                fnv1a(&stream),
+                v.digest,
+                "{} {:?}: tier {} drifted from the golden digest",
+                v.scheme,
+                v.strategy,
+                tier
+            );
+            let decoded = decode_all(&stream, tier);
+            match &reference {
+                None => reference = Some((stream, ops, decoded)),
+                Some((want_stream, want_ops, want_frames)) => {
+                    assert_eq!(
+                        &stream, want_stream,
+                        "{} {:?}: tier {} bitstream diverged",
+                        v.scheme, v.strategy, tier
+                    );
+                    assert_eq!(
+                        &ops, want_ops,
+                        "{} {:?}: tier {} op counts (sad_ops/energy inputs) diverged",
+                        v.scheme, v.strategy, tier
+                    );
+                    assert_eq!(
+                        &decoded, want_frames,
+                        "{} {:?}: tier {} decoded pixels diverged",
+                        v.scheme, v.strategy, tier
+                    );
+                }
+            }
         }
     }
 }

@@ -4,17 +4,27 @@
 //! synthetic clips. Emits the JSON committed as `BENCH_PR5.json`
 //! (schema enforced by `ci/validate_bench.py`).
 //!
+//! A second mode (`--kernels`) microbenchmarks the SIMD pixel-kernel
+//! tiers against the scalar reference — SAD, bounded SAD, the fused
+//! transform, the inverse DCT, and half-pel interpolation — asserting
+//! bit-identical results while timing, and emits the JSON committed as
+//! `BENCH_PR8.json` (same validator, keyed on `meta.bench`).
+//!
 //! Usage:
 //!   cargo run --release -p pbpair-eval --bin perf              # full run, JSON to stdout
 //!   cargo run --release -p pbpair-eval --bin perf -- --smoke   # CI-sized run
 //!   cargo run --release -p pbpair-eval --bin perf -- --out BENCH_PR5.json
+//!   cargo run --release -p pbpair-eval --bin perf -- --kernels --out BENCH_PR8.json
+//!   cargo run --release -p pbpair-eval --bin perf -- --kernels-info  # detected tier to stdout
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
+use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use pbpair_codec::{EncodedFrame, Encoder, EncoderConfig, NaturalPolicy, OptConfig};
+use pbpair_codec::fused::fdct_quant_scan_with;
+use pbpair_codec::{EncodedFrame, Encoder, EncoderConfig, Kernels, NaturalPolicy, OptConfig, Qp};
 use pbpair_media::synth::SyntheticSequence;
 use pbpair_media::Frame;
 
@@ -181,6 +191,216 @@ fn emit_json(results: &[Measurement], frames_per_clip: usize) -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// `--kernels`: per-tier pixel-kernel microbenchmarks (BENCH_PR8.json).
+// ---------------------------------------------------------------------
+
+/// The per-arch detected-best pins committed in BENCH_PR8.json. CI fails
+/// if the running host detects a different best tier than its pin (a
+/// silent dispatch regression would otherwise bench scalar and call it
+/// a day).
+const TIER_PINS: &[(&str, &str)] = &[("x86_64", "avx2"), ("aarch64", "neon")];
+
+struct KernelMeasurement {
+    kernel: &'static str,
+    tier: &'static str,
+    ns_per_call: f64,
+    speedup_vs_scalar: f64,
+}
+
+/// Deterministic byte fill (splitmix-style) — the microbench needs
+/// repeatable inputs, not statistical quality.
+fn fill_bytes(buf: &mut [u8], mut state: u64) {
+    for b in buf {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *b = (state >> 33) as u8;
+    }
+}
+
+/// Times `iters` calls of `f`, returning (ns/call, checksum). The
+/// checksum both defeats dead-code elimination and lets the harness
+/// assert every tier computed identical results.
+fn timed<F: FnMut(usize) -> u64>(iters: usize, mut f: F) -> (f64, u64) {
+    for i in 0..iters / 8 {
+        black_box(f(i));
+    }
+    let mut sum = 0u64;
+    let t0 = Instant::now();
+    for i in 0..iters {
+        sum = sum.wrapping_add(f(i));
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    (dt * 1e9 / iters as f64, sum)
+}
+
+fn sum_u8(buf: &[u8]) -> u64 {
+    buf.iter().map(|&b| b as u64).sum()
+}
+
+fn sum_i32(buf: &[i32]) -> u64 {
+    buf.iter()
+        .map(|&v| v as i64 as u64)
+        .fold(0, u64::wrapping_add)
+}
+
+fn bench_kernels(smoke: bool) -> Vec<KernelMeasurement> {
+    const STRIDE: usize = 176;
+    const ROWS: usize = 144;
+    let scale = if smoke { 20 } else { 1 };
+    let qp = Qp::new(8).unwrap();
+
+    // Shared inputs: two pseudo-random planes for SAD/half-pel, a pool of
+    // residual-range spatial blocks, and legal dequantized coefficient
+    // blocks for the inverse transform.
+    let mut plane_a = vec![0u8; STRIDE * ROWS];
+    let mut plane_b = vec![0u8; STRIDE * ROWS];
+    fill_bytes(&mut plane_a, 0x9e3779b97f4a7c15);
+    fill_bytes(&mut plane_b, 0xd1b54a32d192ed03);
+    // Power-of-two offset pool so the hot loops index with a mask — the
+    // harness must not dilute the kernel-to-kernel ratio with division.
+    let offsets: [usize; 64] =
+        std::array::from_fn(|i| ((i * 23) % (ROWS - 16)) * STRIDE + (i * 37) % (STRIDE - 16));
+    let spatial: Vec<[i32; 64]> = (0..32)
+        .map(|i| {
+            let mut bytes = [0u8; 64];
+            fill_bytes(&mut bytes, 0x100 + i as u64);
+            std::array::from_fn(|j| bytes[j] as i32 - 128)
+        })
+        .collect();
+    let scalar = Kernels::scalar();
+    let coefs: Vec<[i32; 64]> = spatial
+        .iter()
+        .map(|s| {
+            let mut freq = [0i32; 64];
+            scalar.fdct8(s, &mut freq);
+            let q = pbpair_codec::quant::quantize_block(&freq, qp, false);
+            pbpair_codec::quant::dequantize_block(&q, qp, false)
+        })
+        .collect();
+
+    let mut results = Vec::new();
+    let mut scalar_ns: Vec<(&'static str, f64)> = Vec::new();
+    let mut checksums: Vec<(&'static str, u64)> = Vec::new();
+    for tier in Kernels::available() {
+        let k = Kernels::get(tier).expect("available tier resolves");
+        let mut record = |name: &'static str, ns: f64, sum: u64| {
+            match checksums.iter().find(|(n, _)| *n == name) {
+                None => checksums.push((name, sum)),
+                Some((_, want)) => assert_eq!(
+                    sum, *want,
+                    "{name}: tier {tier} computed different results than scalar"
+                ),
+            }
+            let speedup = match scalar_ns.iter().find(|(n, _)| *n == name) {
+                None => {
+                    scalar_ns.push((name, ns));
+                    1.0
+                }
+                Some((_, base)) => base / ns,
+            };
+            eprintln!(
+                "{:>16}/{:<6} {:9.1} ns/call  {:5.2}x",
+                name,
+                tier.label(),
+                ns,
+                speedup
+            );
+            results.push(KernelMeasurement {
+                kernel: name,
+                tier: tier.label(),
+                ns_per_call: ns,
+                speedup_vs_scalar: speedup,
+            });
+        };
+
+        let (ns, sum) = timed(1_000_000 / scale, |i| {
+            k.sad16(
+                &plane_a[offsets[i & 63]..],
+                STRIDE,
+                &plane_b[offsets[(i + 17) & 63]..],
+                STRIDE,
+            )
+        });
+        record("sad16", ns, sum);
+
+        let (ns, sum) = timed(1_000_000 / scale, |i| {
+            let (acc, ops) = k.sad16_bounded(
+                &plane_a[offsets[i & 63]..],
+                STRIDE,
+                &plane_b[offsets[(i + 29) & 63]..],
+                STRIDE,
+                2_000,
+            );
+            acc.wrapping_mul(31).wrapping_add(ops)
+        });
+        record("sad16_bounded", ns, sum);
+
+        let (ns, sum) = timed(200_000 / scale, |i| {
+            let mut zig = [0i32; 64];
+            let coded = fdct_quant_scan_with(k, &spatial[i & 31], qp, false, &mut zig);
+            sum_i32(&zig).wrapping_add(coded as u64)
+        });
+        record("fused_transform", ns, sum);
+
+        let (ns, sum) = timed(200_000 / scale, |i| {
+            let mut out = [0i32; 64];
+            k.idct8(&coefs[i & 31], &mut out);
+            sum_i32(&out)
+        });
+        record("idct8", ns, sum);
+
+        let (ns, sum) = timed(200_000 / scale, |i| {
+            let mut out = [0u8; 256];
+            k.halfpel(&plane_a[offsets[i & 63]..], STRIDE, 1, 1, &mut out, 16);
+            sum_u8(&out)
+        });
+        record("halfpel16", ns, sum);
+    }
+    results
+}
+
+fn emit_kernels_json(results: &[KernelMeasurement], smoke: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"meta\": {\n");
+    let _ = writeln!(out, "    \"bench\": \"pr8_kernels\",");
+    let _ = writeln!(out, "    \"arch\": \"{}\",", std::env::consts::ARCH);
+    let _ = writeln!(
+        out,
+        "    \"detected_best\": \"{}\",",
+        Kernels::detect_best().label()
+    );
+    out.push_str("    \"pins\": {");
+    for (i, (arch, tier)) in TIER_PINS.iter().enumerate() {
+        let _ = write!(out, "\"{arch}\": \"{tier}\"");
+        if i + 1 != TIER_PINS.len() {
+            out.push_str(", ");
+        }
+    }
+    out.push_str("},\n");
+    let _ = writeln!(
+        out,
+        "    \"scale\": \"{}\"",
+        if smoke { "smoke" } else { "full" }
+    );
+    out.push_str("  },\n  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        out.push_str("    {");
+        let _ = write!(out, "\"kernel\": \"{}\", ", m.kernel);
+        let _ = write!(out, "\"tier\": \"{}\", ", m.tier);
+        let _ = write!(out, "\"ns_per_call\": {:.2}, ", m.ns_per_call);
+        let _ = write!(out, "\"speedup_vs_scalar\": {:.3}", m.speedup_vs_scalar);
+        out.push_str(if i + 1 == results.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -188,6 +408,33 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .map(|i| args.get(i + 1).expect("--out requires a path").clone());
+    if args.iter().any(|a| a == "--kernels-info") {
+        // Bare detected-best tier on stdout (CI compares it against the
+        // committed pin); the full picture goes to stderr.
+        eprintln!(
+            "arch={} available={}",
+            std::env::consts::ARCH,
+            Kernels::available()
+                .iter()
+                .map(|t| t.label())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        println!("{}", Kernels::detect_best().label());
+        return;
+    }
+    if args.iter().any(|a| a == "--kernels") {
+        let results = bench_kernels(smoke);
+        let json = emit_kernels_json(&results, smoke);
+        match out_path {
+            Some(p) => {
+                std::fs::write(&p, &json).expect("write bench JSON");
+                eprintln!("wrote {p}");
+            }
+            None => print!("{json}"),
+        }
+        return;
+    }
     let frames_per_clip = if smoke { 12 } else { 64 } + WARMUP;
 
     type MakeSeq = fn(u64) -> SyntheticSequence;

@@ -1,4 +1,4 @@
-//! Packet-level forward error correction over [`pbpair-fec`] codecs.
+//! Packet-level forward error correction over `pbpair-fec` codecs.
 //!
 //! The paper closes with "cooperation with error control channel coding
 //! can be another interesting research topic since PBPAIR is independent
