@@ -4,6 +4,7 @@ per-scenario resilience bounds, with trend tracking.
 
 Usage: python3 ci/validate_scenarios.py <scenarios.json> [<bounds.json>]
        python3 ci/validate_scenarios.py --fec <fec.json> [<bounds.json>]
+       python3 ci/validate_scenarios.py --dashboard <dashboard.json> [<bounds.json>]
 
 Checks (default scenario mode):
   * schema: 18 cells (3 scenarios x 2 clips x 3 schemes), every field
@@ -28,6 +29,15 @@ Checks (--fec mode, against the 'fec' section of the bounds file):
   * headline claim: on the committed burst channel the adaptive
     multi-erasure arms beat fixed XOR on residual frame loss at the
     same wire budget.
+
+Checks (--dashboard mode, against the 'dashboard' section):
+  * schema: 4 cells (3 committed scenarios + burst_kill), integer alert
+    tallies per SLO;
+  * per scenario: total SLO firing transitions within the committed
+    [fired_min, fired_max] band, with drift against the baseline;
+  * the burst_kill incident drives the full observability chain:
+    residual_loss fires, the flight recorder dumps (reason "slo"), and
+    the health ledger records slo: transitions.
 """
 
 import json
@@ -254,11 +264,89 @@ def main_fec(report_path, bounds_path):
           f"burst gate holds for {', '.join(gate['better_arms'])}")
 
 
+EXPECTED_DASHBOARD_SCENARIOS = EXPECTED_SCENARIOS | {"burst_kill"}
+DASHBOARD_CELL_FIELDS = {
+    "scenario": str,
+    "alerts": dict,
+    "slo_dumps": int,
+    "slo_transitions": int,
+    "impaired": int,
+    "recovered": int,
+}
+
+
+def main_dashboard(report_path, bounds_path):
+    with open(report_path) as f:
+        doc = json.load(f)
+    with open(bounds_path) as f:
+        bounds = json.load(f)["dashboard"]["scenarios"]
+
+    if set(doc) != {"frames", "sessions", "cells"}:
+        fail(f"dashboard top-level keys {sorted(doc)}")
+    cells = doc["cells"]
+    if len(cells) != len(EXPECTED_DASHBOARD_SCENARIOS):
+        fail(f"{len(cells)} dashboard cells != {len(EXPECTED_DASHBOARD_SCENARIOS)}")
+
+    by_name = {}
+    for c in cells:
+        if set(c) != set(DASHBOARD_CELL_FIELDS):
+            fail(f"dashboard cell keys {sorted(c)} != {sorted(DASHBOARD_CELL_FIELDS)}")
+        for field, ty in DASHBOARD_CELL_FIELDS.items():
+            if not isinstance(c[field], ty):
+                fail(f"{c['scenario']}: {field} is {type(c[field]).__name__}")
+        for slo, tally in c["alerts"].items():
+            if set(tally) != {"fired", "cleared"} or not all(
+                    isinstance(v, int) for v in tally.values()):
+                fail(f"{c['scenario']}: malformed alert tally for {slo}: {tally}")
+        by_name[c["scenario"]] = c
+
+    if set(by_name) != EXPECTED_DASHBOARD_SCENARIOS:
+        fail(f"dashboard scenarios {sorted(by_name)} != "
+             f"{sorted(EXPECTED_DASHBOARD_SCENARIOS)}")
+    if set(by_name) != set(bounds):
+        fail(f"dashboard scenarios {sorted(by_name)} != bounded {sorted(bounds)}")
+
+    for name in sorted(by_name):
+        c, b = by_name[name], bounds[name]
+        base = b["baseline"]
+        fired = sum(t["fired"] for t in c["alerts"].values())
+        trend = drift(fired, base["fired"])
+        print(f"{name}: fired = {fired} "
+              f"(band [{b['fired_min']}, {b['fired_max']}], "
+              f"drift vs baseline {trend}); "
+              f"slo_dumps = {c['slo_dumps']}, "
+              f"slo_transitions = {c['slo_transitions']}")
+        if fired < b["fired_min"]:
+            fail(f"{name}: {fired} firing transitions below committed "
+                 f"floor {b['fired_min']}")
+        if fired > b["fired_max"]:
+            fail(f"{name}: {fired} firing transitions above committed "
+                 f"ceiling {b['fired_max']}")
+        if "residual_loss_fired_min" in b:
+            got = c["alerts"].get("residual_loss", {}).get("fired", 0)
+            if got < b["residual_loss_fired_min"]:
+                fail(f"{name}: residual_loss fired {got} times, committed "
+                     f"floor {b['residual_loss_fired_min']}")
+        if "slo_dumps_min" in b and c["slo_dumps"] < b["slo_dumps_min"]:
+            fail(f"{name}: {c['slo_dumps']} flight-recorder dumps below "
+                 f"committed floor {b['slo_dumps_min']}")
+        if ("slo_transitions_min" in b
+                and c["slo_transitions"] < b["slo_transitions_min"]):
+            fail(f"{name}: {c['slo_transitions']} ledger transitions below "
+                 f"committed floor {b['slo_transitions_min']}")
+
+    print(f"dashboard OK: {len(cells)} scenarios within committed alert bounds; "
+          f"burst_kill drives the full metric -> alert -> ledger -> trace chain")
+
+
 if __name__ == "__main__":
     args = sys.argv[1:]
     fec_mode = "--fec" in args
-    args = [a for a in args if a != "--fec"]
+    dashboard_mode = "--dashboard" in args
+    args = [a for a in args if a not in ("--fec", "--dashboard")]
+    if fec_mode and dashboard_mode:
+        fail("pick one of --fec / --dashboard")
     if len(args) not in (1, 2):
-        fail("usage: validate_scenarios.py [--fec] <report.json> [<bounds.json>]")
-    entry = main_fec if fec_mode else main
+        fail("usage: validate_scenarios.py [--fec|--dashboard] <report.json> [<bounds.json>]")
+    entry = main_fec if fec_mode else main_dashboard if dashboard_mode else main
     entry(args[0], args[1] if len(args) == 2 else "ci/scenario_bounds.json")

@@ -3,11 +3,12 @@
 //! The telemetry contract promises that *disabled* instrumentation is
 //! free: a `Telemetry::disabled()` handle reduces every flush to a
 //! branch on a `None`, and a `Tracer::disabled()` handle does the same
-//! for causal-trace emission. This bench prices four encode
-//! configurations — nothing wired, disabled telemetry, a disabled
-//! tracer, and an enabled registry — and **fails** (exit 1) if either
-//! disabled mode costs more than the budgeted fraction of the plain
-//! encode hot loop.
+//! for causal-trace emission; a `TimeSeries::disabled()` ring reduces
+//! its per-round `tick_due` check to the same. This bench prices five
+//! encode configurations — nothing wired, disabled telemetry, a
+//! disabled tracer, a disabled time-series tick path, and an enabled
+//! registry — and **fails** (exit 1) if any disabled mode costs more
+//! than the budgeted fraction of the plain encode hot loop.
 //!
 //! Run: `cargo bench -p pbpair-bench --bench telemetry`
 //! The gate (percent) can be widened for noisy machines via
@@ -16,6 +17,7 @@
 use pbpair_bench::{default_pbpair, frames, BENCH_FRAMES};
 use pbpair_codec::{Encoder, EncoderConfig};
 use pbpair_media::Frame;
+use pbpair_telemetry::timeseries::TimeSeries;
 use pbpair_telemetry::Telemetry;
 use pbpair_trace::Tracer;
 use std::hint::black_box;
@@ -34,6 +36,27 @@ fn encode_pass(frames: &[Frame], tel: Option<&Telemetry>, trace: Option<&Tracer>
     frames
         .iter()
         .map(|f| enc.encode_frame(f, &mut policy).data.len())
+        .sum()
+}
+
+/// The encode pass plus the observability plane's per-round check
+/// against a disabled ring — the exact branch the serve manager takes
+/// every round when no time-series is configured.
+fn encode_pass_with_series(frames: &[Frame], series: &TimeSeries) -> usize {
+    let mut enc = Encoder::new(EncoderConfig::default());
+    let mut policy = default_pbpair();
+    frames
+        .iter()
+        .enumerate()
+        .map(|(round, f)| {
+            let len = enc.encode_frame(f, &mut policy).data.len();
+            if black_box(series.tick_due(round as u64)) {
+                // Unreachable for a disabled ring; keeps the branch live.
+                len + series.len()
+            } else {
+                len
+            }
+        })
         .sum()
 }
 
@@ -62,6 +85,7 @@ fn main() {
     let disabled = Telemetry::disabled();
     let enabled = Telemetry::with_shards(1);
     let tracer_off = Tracer::disabled();
+    let series_off = TimeSeries::disabled();
 
     // Warm-up: page in code, ramp the CPU governor.
     encode_pass(&fs, None, None);
@@ -76,16 +100,19 @@ fn main() {
     let mut plain_s = f64::INFINITY;
     let mut disabled_ratios = Vec::with_capacity(reps);
     let mut tracer_ratios = Vec::with_capacity(reps);
+    let mut series_ratios = Vec::with_capacity(reps);
     let mut enabled_ratios = Vec::with_capacity(reps);
     for rep in 0..reps {
-        let (p, d, t, e);
+        let (p, d, t, s, e);
         if rep % 2 == 0 {
             p = timed(&mut || encode_pass(&fs, None, None));
             d = timed(&mut || encode_pass(&fs, Some(&disabled), None));
             t = timed(&mut || encode_pass(&fs, None, Some(&tracer_off)));
+            s = timed(&mut || encode_pass_with_series(&fs, &series_off));
             e = timed(&mut || encode_pass(&fs, Some(&enabled), None));
         } else {
             e = timed(&mut || encode_pass(&fs, Some(&enabled), None));
+            s = timed(&mut || encode_pass_with_series(&fs, &series_off));
             t = timed(&mut || encode_pass(&fs, None, Some(&tracer_off)));
             d = timed(&mut || encode_pass(&fs, Some(&disabled), None));
             p = timed(&mut || encode_pass(&fs, None, None));
@@ -93,6 +120,7 @@ fn main() {
         plain_s = plain_s.min(p);
         disabled_ratios.push(d / p);
         tracer_ratios.push(t / p);
+        series_ratios.push(s / p);
         enabled_ratios.push(e / p);
     }
     let median = |v: &mut Vec<f64>| {
@@ -101,6 +129,7 @@ fn main() {
     };
     let disabled_s = plain_s * median(&mut disabled_ratios);
     let tracer_s = plain_s * median(&mut tracer_ratios);
+    let series_s = plain_s * median(&mut series_ratios);
     let enabled_s = plain_s * median(&mut enabled_ratios);
 
     let pct = |t: f64| (t - plain_s) / plain_s * 100.0;
@@ -120,6 +149,11 @@ fn main() {
         pct(tracer_s)
     );
     println!(
+        "  disabled series    {:>9.3} ms  ({:+.2}%)",
+        series_s * 1e3,
+        pct(series_s)
+    );
+    println!(
         "  enabled registry   {:>9.3} ms  ({:+.2}%)",
         enabled_s * 1e3,
         pct(enabled_s)
@@ -136,6 +170,13 @@ fn main() {
         eprintln!(
             "FAIL: disabled-mode tracing costs {:.2}% (> {gate_pct}% budget)",
             pct(tracer_s)
+        );
+        std::process::exit(1);
+    }
+    if pct(series_s) > gate_pct {
+        eprintln!(
+            "FAIL: disabled-mode time-series tick path costs {:.2}% (> {gate_pct}% budget)",
+            pct(series_s)
         );
         std::process::exit(1);
     }

@@ -3,7 +3,7 @@
 //! the same 1.25× wire-byte budget, run through the serving layer.
 //!
 //! Usage: `cargo run --release -p pbpair-eval --bin fec \
-//!   [-- --smoke] [--workers N] [--out <path>]`
+//!   [-- --smoke] [--workers N] [--out <path>] [--telemetry]`
 //!
 //! The deterministic JSON report goes to stdout by default; `--out
 //! <path>` redirects it to a file (the human table then stays on
@@ -12,9 +12,16 @@
 //! — `ci/validate_scenarios.py --fec` gates the committed residual-loss
 //! and energy bounds on it. `PBPAIR_FRAMES` overrides the
 //! frames-per-session depth.
+//!
+//! `--telemetry` instruments every cell's fleet into one shared
+//! registry and prints the full [`pbpair_telemetry::TelemetryReport`]
+//! as JSON on stdout (same flag semantics as the serve binary; use
+//! `--out` to capture the matrix JSON, which otherwise moves to stderr
+//! so stdout carries exactly one JSON stream).
 
-use pbpair_eval::experiments::fec::run_fec_matrix;
+use pbpair_eval::experiments::fec::run_fec_matrix_instrumented;
 use pbpair_eval::experiments::frames_from_env;
+use pbpair_telemetry::Telemetry;
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -40,10 +47,16 @@ fn main() {
         (frames_from_env(96), 4)
     };
 
+    let telemetry = args.iter().any(|a| a == "--telemetry");
     eprintln!(
         "fec: 2 channels x 7 arms, {sessions} sessions x {frames} frames/cell, {workers} workers"
     );
-    let matrix = match run_fec_matrix(frames, sessions, workers) {
+    let tel = if telemetry {
+        Telemetry::with_config(sessions, true)
+    } else {
+        Telemetry::disabled()
+    };
+    let matrix = match run_fec_matrix_instrumented(frames, sessions, workers, &tel) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("fec matrix failed: {e}");
@@ -64,8 +77,16 @@ fn main() {
         }
         None => {
             eprintln!("{table}");
-            println!("{json}");
+            if telemetry {
+                // Telemetry owns stdout; keep the report reachable.
+                eprintln!("{json}");
+            } else {
+                println!("{json}");
+            }
         }
+    }
+    if telemetry {
+        println!("{}", tel.report().to_json());
     }
 
     if smoke {

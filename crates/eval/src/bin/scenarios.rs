@@ -5,7 +5,8 @@
 //! tracing on.
 //!
 //! Usage: `cargo run --release -p pbpair-eval --bin scenarios \
-//!   [-- --smoke] [--workers N] [--out <path>]`
+//!   [-- --smoke] [--workers N] [--out <path>] [--telemetry] \
+//!   [--dashboard] [--csv <path>]`
 //!
 //! The deterministic JSON report goes to stdout by default; `--out
 //! <path>` redirects it to a file (the human table then stays on
@@ -14,9 +15,25 @@
 //! — `ci/validate_scenarios.py` gates the committed per-scenario
 //! resilience bounds on it. `PBPAIR_FRAMES` overrides the
 //! frames-per-session depth.
+//!
+//! `--telemetry` instruments every cell's fleet into one shared
+//! registry and prints the full [`pbpair_telemetry::TelemetryReport`]
+//! as JSON on stdout (same flag semantics as the serve binary; use
+//! `--out` to capture the matrix JSON, which otherwise moves to stderr
+//! so stdout carries exactly one JSON stream).
+//!
+//! `--dashboard` switches to the observed replay: every committed
+//! scenario plus the `burst_kill` incident runs with the observability
+//! plane on (per-round time-series, standard SLOs, tracing). The
+//! deterministic alert/health summary goes to stdout (or `--out`), and
+//! `--csv <path>` writes the per-round time-series CSV a dashboard
+//! would plot. `ci/validate_scenarios.py --dashboard` gates the
+//! summary against the committed alert bounds.
 
+use pbpair_eval::experiments::dashboard::run_dashboard;
 use pbpair_eval::experiments::frames_from_env;
-use pbpair_eval::experiments::scenarios::run_scenario_matrix;
+use pbpair_eval::experiments::scenarios::run_scenario_matrix_instrumented;
+use pbpair_telemetry::Telemetry;
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -25,9 +42,76 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
+/// Routes a (table, json) pair to stdout/file/stderr such that stdout
+/// carries at most one machine-parseable stream.
+fn emit(table: String, json: String, out_path: &Option<String>, stdout_taken: bool) {
+    match out_path {
+        Some(path) => {
+            println!("{table}");
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("deterministic report written to {path}");
+        }
+        None => {
+            eprintln!("{table}");
+            if stdout_taken {
+                // Telemetry owns stdout; keep the report reachable.
+                eprintln!("{json}");
+            } else {
+                println!("{json}");
+            }
+        }
+    }
+}
+
+fn run_dashboard_mode(frames: usize, sessions: usize, workers: usize, args: &[String]) {
+    let out_path = flag_value(args, "--out");
+    let csv_path = flag_value(args, "--csv");
+    eprintln!("scenarios --dashboard: 4 scenarios, {sessions} sessions x {frames} frames/cell, {workers} workers");
+    let report = match run_dashboard(frames, sessions, workers) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dashboard replay failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(path) = &csv_path {
+        if let Err(e) = std::fs::write(path, report.csv()) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("per-round time-series CSV written to {path}");
+    }
+    emit(
+        report.table().to_string(),
+        report.deterministic_json(),
+        &out_path,
+        false,
+    );
+    // Gate: the committed incident must drive the full alert chain.
+    let kill = report
+        .cells
+        .iter()
+        .find(|c| c.scenario == "burst_kill")
+        .expect("burst_kill cell is committed");
+    if kill.total_fired() == 0 || kill.slo_dumps == 0 || kill.slo_transitions == 0 {
+        eprintln!(
+            "dashboard gate failed: burst_kill must fire, dump, and transition \
+             (fired={}, dumps={}, transitions={})",
+            kill.total_fired(),
+            kill.slo_dumps,
+            kill.slo_transitions
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let telemetry = args.iter().any(|a| a == "--telemetry");
     let workers = flag_value(&args, "--workers")
         .map(|v| {
             v.parse::<usize>()
@@ -42,8 +126,18 @@ fn main() {
         (frames_from_env(48), 4)
     };
 
+    if args.iter().any(|a| a == "--dashboard") {
+        run_dashboard_mode(frames, sessions, workers, &args);
+        return;
+    }
+
     eprintln!("scenarios: 3 channels x 2 clips x 3 schemes, {sessions} sessions x {frames} frames/cell, {workers} workers");
-    let matrix = match run_scenario_matrix(frames, sessions, workers) {
+    let tel = if telemetry {
+        Telemetry::with_config(sessions, true)
+    } else {
+        Telemetry::disabled()
+    };
+    let matrix = match run_scenario_matrix_instrumented(frames, sessions, workers, &tel) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("scenario matrix failed: {e}");
@@ -51,21 +145,14 @@ fn main() {
         }
     };
 
-    let json = matrix.deterministic_json();
-    let table = matrix.table().to_string();
-    match &out_path {
-        Some(path) => {
-            println!("{table}");
-            if let Err(e) = std::fs::write(path, &json) {
-                eprintln!("failed to write {path}: {e}");
-                std::process::exit(1);
-            }
-            eprintln!("deterministic scenario report written to {path}");
-        }
-        None => {
-            eprintln!("{table}");
-            println!("{json}");
-        }
+    emit(
+        matrix.table().to_string(),
+        matrix.deterministic_json(),
+        &out_path,
+        telemetry,
+    );
+    if telemetry {
+        println!("{}", tel.report().to_json());
     }
 
     if smoke {
@@ -88,6 +175,10 @@ fn main() {
         }
         if matrix.cells.iter().all(|c| c.heal_events == 0) {
             eprintln!("smoke gate failed: no damage events recorded across the matrix");
+            std::process::exit(1);
+        }
+        if telemetry && tel.report().counter("serve.rounds") == 0 {
+            eprintln!("smoke gate failed: telemetry registry saw no rounds");
             std::process::exit(1);
         }
     }

@@ -5,7 +5,8 @@
 //!
 //! Usage: `cargo run --release -p pbpair-eval --bin serve \
 //!   [-- --smoke] [--telemetry] [--workers N] [--trace] \
-//!   [--trace-out <path>] [--trace-chrome <path>]`
+//!   [--trace-out <path>] [--trace-chrome <path>] \
+//!   [--expose <port>] [--expose-hold <secs>]`
 //!
 //! `--smoke` runs the minimal CI configuration (4 sessions × 16 frames)
 //! and exits nonzero unless the fleet reports nonzero throughput.
@@ -19,11 +20,22 @@
 //! by default, or to a file with `--trace-out <path>`. `--trace-chrome
 //! <path>` additionally writes the flight-recorder timeline as a
 //! `chrome://tracing` / Perfetto JSON file.
+//! `--expose <port>` switches the smoke run onto the observability
+//! plane: per-round time-series, the standard SLO set, and a live
+//! Prometheus scrape endpoint on `127.0.0.1:<port>` serving `/metrics`
+//! (text exposition 0.0.4), `/health`, and `/timeseries` (port `0`
+//! picks an ephemeral port; the bound address is announced on stderr).
+//! `--expose-hold <secs>` keeps the endpoint serving the finished run's
+//! registry for that many seconds after the run — CI's scrape validator
+//! polls it during the hold, then kills the process.
 //! `PBPAIR_FRAMES` overrides the frames-per-session depth of the sweeps.
 
 use pbpair_eval::experiments::frames_from_env;
 use pbpair_eval::report::{fmt_f, Table};
-use pbpair_serve::{run, run_instrumented, run_traced, ServeConfig};
+use pbpair_serve::{
+    run, run_instrumented, run_observed, run_traced, run_traced_observed, standard_slos,
+    ObservabilityConfig, ServeConfig,
+};
 use pbpair_telemetry::Telemetry;
 
 fn base_config(sessions: usize, frames: usize, workers: usize) -> ServeConfig {
@@ -43,16 +55,38 @@ struct TraceArgs {
     chrome: Option<String>,
 }
 
-fn smoke(workers: usize, telemetry: bool, trace_args: &TraceArgs) -> Result<(), String> {
-    let cfg = base_config(4, 16, workers);
-    let tel = if telemetry {
-        // One shard per session keeps concurrent flushes contention-free.
+fn smoke(
+    workers: usize,
+    telemetry: bool,
+    trace_args: &TraceArgs,
+    expose: Option<u16>,
+    hold_secs: u64,
+) -> Result<(), String> {
+    let mut cfg = base_config(4, 16, workers);
+    if let Some(port) = expose {
+        cfg.observability = ObservabilityConfig {
+            tick_every: 1,
+            ring_capacity: 256,
+            expose_port: Some(port),
+            slos: standard_slos(),
+        };
+    }
+    let tel = if telemetry || expose.is_some() {
+        // One shard per session keeps concurrent flushes contention-free
+        // (and the scrape endpoint needs a live registry).
         Telemetry::with_config(cfg.sessions, true)
     } else {
         Telemetry::disabled()
     };
+    let mut observability = None;
     let report = if trace_args.enabled {
-        let (report, trace) = run_traced(&cfg, &tel)?;
+        let (report, trace) = if expose.is_some() {
+            let (report, trace, obs) = run_traced_observed(&cfg, &tel)?;
+            observability = Some(obs);
+            (report, trace)
+        } else {
+            run_traced(&cfg, &tel)?
+        };
         let json = trace.deterministic_json();
         match &trace_args.out {
             Some(path) => {
@@ -66,6 +100,10 @@ fn smoke(workers: usize, telemetry: bool, trace_args: &TraceArgs) -> Result<(), 
                 .map_err(|e| format!("write {path}: {e}"))?;
             eprintln!("chrome://tracing timeline written to {path}");
         }
+        report
+    } else if expose.is_some() {
+        let (report, obs) = run_observed(&cfg, &tel)?;
+        observability = Some(obs);
         report
     } else {
         run_instrumented(&cfg, &tel)?
@@ -96,6 +134,16 @@ fn smoke(workers: usize, telemetry: bool, trace_args: &TraceArgs) -> Result<(), 
     }
     if report.timing.throughput_fps <= 0.0 {
         return Err("throughput must be nonzero".into());
+    }
+    if let Some(obs) = &observability {
+        if let Some(srv) = &obs.expose {
+            // Announced on stderr so scrapers can find an ephemeral port.
+            eprintln!("expose: serving /metrics on http://{}/metrics", srv.addr());
+            if hold_secs > 0 {
+                eprintln!("expose: holding the endpoint for {hold_secs}s");
+                std::thread::sleep(std::time::Duration::from_secs(hold_secs));
+            }
+        }
     }
     Ok(())
 }
@@ -229,7 +277,11 @@ fn main() {
         out: flag_value("--trace-out"),
         chrome: flag_value("--trace-chrome"),
     };
-    if args.iter().any(|a| a == "--smoke") || trace_args.enabled {
+    let expose = flag_value("--expose").map(|v| {
+        v.parse::<u16>()
+            .unwrap_or_else(|_| panic!("--expose expects a port number, got {v:?}"))
+    });
+    if args.iter().any(|a| a == "--smoke") || trace_args.enabled || expose.is_some() {
         let telemetry = args.iter().any(|a| a == "--telemetry");
         let workers = flag_value("--workers")
             .map(|v| {
@@ -237,7 +289,13 @@ fn main() {
                     .unwrap_or_else(|_| panic!("--workers expects a number, got {v:?}"))
             })
             .unwrap_or(2);
-        if let Err(e) = smoke(workers, telemetry, &trace_args) {
+        let hold_secs = flag_value("--expose-hold")
+            .map(|v| {
+                v.parse::<u64>()
+                    .unwrap_or_else(|_| panic!("--expose-hold expects seconds, got {v:?}"))
+            })
+            .unwrap_or(0);
+        if let Err(e) = smoke(workers, telemetry, &trace_args, expose, hold_secs) {
             eprintln!("serve smoke failed: {e}");
             std::process::exit(1);
         }

@@ -21,7 +21,8 @@
 
 use crate::report::{fmt_f, Table};
 use pbpair_netsim::{ChannelSpec, FecSpec};
-use pbpair_serve::{run, DeviceMix, RedundancyConfig, ServeConfig};
+use pbpair_serve::{run_instrumented, DeviceMix, RedundancyConfig, ServeConfig};
+use pbpair_telemetry::Telemetry;
 use pbpair_trace::json::{push_field, push_string_field};
 
 /// FNV-1a, the same digest the scenario matrix commits.
@@ -319,13 +320,30 @@ fn cell_config(
 ///
 /// Returns an error for invalid fleet configuration.
 pub fn run_fec_matrix(frames: usize, sessions: usize, workers: usize) -> Result<FecMatrix, String> {
+    run_fec_matrix_instrumented(frames, sessions, workers, &Telemetry::disabled())
+}
+
+/// [`run_fec_matrix`] with every cell's fleet reporting into `tel`
+/// (same semantics as the serve binary's `--telemetry`): the registry
+/// accumulates across cells, and its deterministic section stays
+/// byte-identical for any worker count.
+///
+/// # Errors
+///
+/// Returns an error for invalid fleet configuration.
+pub fn run_fec_matrix_instrumented(
+    frames: usize,
+    sessions: usize,
+    workers: usize,
+    tel: &Telemetry,
+) -> Result<FecMatrix, String> {
     let channels = committed_channels();
     let arms = committed_arms();
     let mut cells = Vec::with_capacity(channels.len() * arms.len());
     for channel in &channels {
         for arm in &arms {
             let cfg = cell_config(channel, arm, frames, sessions, workers);
-            let report = run(&cfg)?;
+            let report = run_instrumented(&cfg, tel)?;
             cells.push(FecCell {
                 channel: channel.name.to_string(),
                 arm: arm.name.to_string(),

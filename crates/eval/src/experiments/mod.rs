@@ -3,6 +3,7 @@
 //! directly. See DESIGN.md's experiment index for the full mapping.
 
 pub mod adaptive;
+pub mod dashboard;
 pub mod extensions;
 pub mod fec;
 pub mod fig5;

@@ -274,6 +274,23 @@ pub fn run_scenario_matrix(
     sessions: usize,
     workers: usize,
 ) -> Result<ScenarioMatrix, String> {
+    run_scenario_matrix_instrumented(frames, sessions, workers, &Telemetry::disabled())
+}
+
+/// [`run_scenario_matrix`] with every cell's fleet reporting into `tel`
+/// (same semantics as the serve binary's `--telemetry`): the registry
+/// accumulates across cells, and its deterministic section stays
+/// byte-identical for any worker count.
+///
+/// # Errors
+///
+/// Returns an error for invalid fleet configuration.
+pub fn run_scenario_matrix_instrumented(
+    frames: usize,
+    sessions: usize,
+    workers: usize,
+    tel: &Telemetry,
+) -> Result<ScenarioMatrix, String> {
     let scenarios = committed_scenarios();
     let clips = matrix_clips();
     let schemes = matrix_schemes();
@@ -282,7 +299,7 @@ pub fn run_scenario_matrix(
         for &clip in &clips {
             for &scheme in &schemes {
                 let cfg = cell_config(scenario, clip, scheme, frames, sessions, workers);
-                let (report, trace) = run_traced(&cfg, &Telemetry::disabled())?;
+                let (report, trace) = run_traced(&cfg, tel)?;
                 let mut cell = ScenarioCell {
                     scenario: scenario.name.to_string(),
                     clip: clip.label().to_string(),

@@ -272,6 +272,32 @@ impl StalenessWatchdog {
         }
     }
 
+    /// Records an externally detected SLO violation against this
+    /// session — the observability plane's burn-rate alerts feed the
+    /// ledger through here. Escalation follows the same strict one-step
+    /// rule as [`StalenessWatchdog::observe`] (healthy/recovered →
+    /// degraded → quarantined) with reason `slo:<name>`, and the fresh
+    /// streak resets: an SLO breach is evidence of ill health even when
+    /// the per-session signals look calm. Returns the `Intra_Th` floor
+    /// now in force.
+    pub fn alert(&mut self, frame: u64, slo: &str) -> f64 {
+        self.fresh_streak = 0;
+        match self.state {
+            HealthState::Healthy | HealthState::Recovered => {
+                self.transition(frame, HealthState::Degraded, format!("slo:{slo}"));
+            }
+            HealthState::Degraded => {
+                self.transition(frame, HealthState::Quarantined, format!("slo:{slo}"));
+            }
+            HealthState::Quarantined => {}
+        }
+        if self.state == HealthState::Quarantined {
+            self.cfg.quarantine_floor_th
+        } else {
+            0.0
+        }
+    }
+
     fn transition(&mut self, frame: u64, to: HealthState, reason: String) {
         let from = self.state;
         self.state = to;

@@ -43,6 +43,7 @@ pub mod admission;
 pub mod chaos;
 pub mod health;
 pub mod manager;
+pub mod observe;
 pub mod redundancy;
 pub mod report;
 pub mod sched;
@@ -52,7 +53,10 @@ pub mod trace;
 pub use admission::{AdmissionConfig, AdmissionController, RoundDecision, ServiceLevel};
 pub use chaos::{ChaosEvent, ChaosFault, ChaosPlan};
 pub use health::{HealthLedger, HealthState, HealthTransition, StalenessWatchdog, WatchdogConfig};
-pub use manager::{run, run_instrumented, run_traced, DeviceMix, ServeConfig};
+pub use manager::{
+    run, run_instrumented, run_observed, run_traced, run_traced_observed, DeviceMix, ServeConfig,
+};
+pub use observe::{standard_slos, Observability, ObservabilityConfig};
 pub use redundancy::{RedundancyConfig, RedundancyController, RedundancyDecision};
 pub use report::{FleetHealth, FleetTiming, ServeReport, SessionReport};
 pub use sched::WorkStealingPool;

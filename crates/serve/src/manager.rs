@@ -19,6 +19,9 @@
 use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::chaos::ChaosPlan;
 use crate::health::WatchdogConfig;
+use crate::observe::{
+    firing_events, fleet_health_json, Observability, ObservabilityConfig, ObserveState,
+};
 use crate::redundancy::RedundancyConfig;
 use crate::report::{quantile_ms, FleetHealth, FleetTiming, ServeReport, SessionReport};
 use crate::sched::WorkStealingPool;
@@ -113,6 +116,9 @@ pub struct ServeConfig {
     pub watchdog: WatchdogConfig,
     /// Fault-injection schedule.
     pub chaos: ChaosPlan,
+    /// Live observability plane (time-series, SLO alerting, scrape
+    /// endpoint). Off by default.
+    pub observability: ObservabilityConfig,
 }
 
 impl Default for ServeConfig {
@@ -143,6 +149,7 @@ impl Default for ServeConfig {
             retry: RetryConfig::default(),
             watchdog: WatchdogConfig::default(),
             chaos: ChaosPlan::none(),
+            observability: ObservabilityConfig::default(),
         }
     }
 }
@@ -182,6 +189,7 @@ impl ServeConfig {
             rc.validate()?;
         }
         self.watchdog.validate()?;
+        self.observability.validate()?;
         self.admission.validate()
     }
 
@@ -240,7 +248,7 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, String> {
 ///
 /// Returns an error for invalid configuration; the run itself is total.
 pub fn run_instrumented(cfg: &ServeConfig, tel: &Telemetry) -> Result<ServeReport, String> {
-    run_internal(cfg, tel, None).map(|(report, _)| report)
+    run_internal(cfg, tel, None).map(|(report, _, _)| report)
 }
 
 /// Like [`run_instrumented`], but with a causal tracer attached to every
@@ -256,16 +264,63 @@ pub fn run_instrumented(cfg: &ServeConfig, tel: &Telemetry) -> Result<ServeRepor
 ///
 /// Returns an error for invalid configuration; the run itself is total.
 pub fn run_traced(cfg: &ServeConfig, tel: &Telemetry) -> Result<(ServeReport, FleetTrace), String> {
-    let (report, trace) = run_internal(cfg, tel, Some(TraceState::new(cfg.sessions)))?;
+    let (report, trace, _) = run_internal(cfg, tel, Some(TraceState::new(cfg.sessions)))?;
     Ok((report, trace.expect("tracing was enabled")))
+}
+
+/// Like [`run_instrumented`], but with the observability plane active:
+/// the manager maintains `slo.*` counters at every round barrier, ticks
+/// the time-series ring, evaluates the configured burn-rate SLOs, and —
+/// when [`ObservabilityConfig::expose_port`] is set — serves `/metrics`,
+/// `/health` and `/timeseries` for the duration of the run. The
+/// returned [`Observability`] keeps the endpoint alive until dropped,
+/// so callers can hold it open for scrapers after the run finishes.
+///
+/// # Errors
+///
+/// Returns an error for invalid configuration, when
+/// [`ServeConfig::observability`] is fully disabled, or when the
+/// telemetry context is disabled (the plane would export zeros).
+pub fn run_observed(
+    cfg: &ServeConfig,
+    tel: &Telemetry,
+) -> Result<(ServeReport, Observability), String> {
+    if !cfg.observability.enabled() {
+        return Err("observability is disabled; set tick_every or expose_port".into());
+    }
+    let (report, _, obs) = run_internal(cfg, tel, None)?;
+    Ok((report, obs.expect("observability was enabled")))
+}
+
+/// [`run_traced`] and [`run_observed`] combined: causal tracing plus the
+/// observability plane, with firing SLO alerts dumping flight-recorder
+/// rings (reason `"slo"`).
+///
+/// # Errors
+///
+/// Same contract as [`run_observed`].
+pub fn run_traced_observed(
+    cfg: &ServeConfig,
+    tel: &Telemetry,
+) -> Result<(ServeReport, FleetTrace, Observability), String> {
+    if !cfg.observability.enabled() {
+        return Err("observability is disabled; set tick_every or expose_port".into());
+    }
+    let (report, trace, obs) = run_internal(cfg, tel, Some(TraceState::new(cfg.sessions)))?;
+    Ok((
+        report,
+        trace.expect("tracing was enabled"),
+        obs.expect("observability was enabled"),
+    ))
 }
 
 fn run_internal(
     cfg: &ServeConfig,
     tel: &Telemetry,
     mut tracing: Option<TraceState>,
-) -> Result<(ServeReport, Option<FleetTrace>), String> {
+) -> Result<(ServeReport, Option<FleetTrace>, Option<Observability>), String> {
     cfg.validate()?;
+    let mut obs = ObserveState::build(&cfg.observability, tel)?;
     let mut controller = AdmissionController::new(cfg.admission)?;
     let slots: Vec<Arc<Mutex<Slot>>> = (0..cfg.sessions)
         .map(|id| {
@@ -338,10 +393,24 @@ fn run_internal(
         let mut round_cost = Vec::with_capacity(slots.len());
         for (id, slot) in slots.iter().enumerate() {
             let mut slot = slot.lock().expect("slot lock");
-            if let Some(outcome) = slot.outcome.take() {
+            let outcome = slot.outcome.take();
+            if let Some(outcome) = &outcome {
                 // FEC processing is session compute too; the admission
                 // controller budgets the sum (identical when FEC is off).
                 round_cost.push((id as u32, outcome.encode_joules + outcome.fec_joules));
+            }
+            if let Some(obs) = &obs {
+                // Live sessions only: a shed slot carries no traffic and
+                // would dilute every per-slot SLO ratio.
+                if !slot.session.is_shed() {
+                    let s = &slot.session;
+                    obs.note_session(
+                        outcome.as_ref(),
+                        s.lost_streak(),
+                        s.feedback_dark().unwrap_or(0),
+                        s.last_psnr_mdb(),
+                    );
+                }
             }
         }
         let decision = controller.observe_round(&round_cost);
@@ -384,10 +453,46 @@ fn run_internal(
                 ts.note_resyncs(round as u32, id, resyncs);
             }
         }
+        if let Some(obs) = obs.as_mut() {
+            if obs.tick_due(round as u64) {
+                // Snapshot → delta frame → SLO evaluation, all on the
+                // deterministic side of the registry. A firing alert
+                // escalates every live session's watchdog one step
+                // (reason `slo:<name>`) and dumps its flight recorder.
+                let events = obs.tick(round as u64, tel);
+                let firing = firing_events(&events);
+                if !firing.is_empty() {
+                    let mut affected = vec![false; slots.len()];
+                    for (id, slot) in slots.iter().enumerate() {
+                        let mut slot = slot.lock().expect("slot lock");
+                        if slot.session.is_shed() {
+                            continue;
+                        }
+                        affected[id] = true;
+                        for e in &firing {
+                            slot.session.on_slo_alert(round as u64, &e.slo);
+                        }
+                    }
+                    if let Some(ts) = tracing.as_mut() {
+                        ts.note_slo(round as u32, &affected);
+                    }
+                }
+            }
+            if obs.has_expose() {
+                obs.publish(health_body(round as u64 + 1, &slots, obs));
+            }
+        }
     }
     let wall_s = started.elapsed().as_secs_f64();
     let migrations = pool.migrations();
     drop(pool);
+    if let Some(obs) = &obs {
+        // Final publish so a scraper holding the endpoint open after the
+        // run sees the completed-run state.
+        if obs.has_expose() {
+            obs.publish(health_body(cfg.frames as u64, &slots, obs));
+        }
+    }
 
     // Assemble the report.
     let mut sessions = Vec::with_capacity(slots.len());
@@ -469,9 +574,37 @@ fn run_internal(
         total_encode_joules: total_joules,
         total_fec_joules,
         health,
+        alerts: obs
+            .as_ref()
+            .map(|o| o.alerts().to_vec())
+            .unwrap_or_default(),
         timing,
     };
-    Ok((report, tracing.map(|ts| ts.finish(cfg))))
+    Ok((
+        report,
+        tracing.map(|ts| ts.finish(cfg)),
+        obs.map(ObserveState::finish),
+    ))
+}
+
+/// Renders the `/health` body for the scrape endpoint: per-session
+/// health snapshot plus the firing SLO set.
+fn health_body(rounds_done: u64, slots: &[Arc<Mutex<Slot>>], obs: &ObserveState) -> String {
+    let entries: Vec<(u32, &'static str, usize, bool)> = slots
+        .iter()
+        .enumerate()
+        .map(|(id, slot)| {
+            let slot = slot.lock().expect("slot lock");
+            let s = &slot.session;
+            (
+                id as u32,
+                s.health().label(),
+                s.health_ledger().transitions().len(),
+                s.is_shed(),
+            )
+        })
+        .collect();
+    fleet_health_json(rounds_done, &entries, &obs.firing())
 }
 
 #[cfg(test)]

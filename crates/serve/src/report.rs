@@ -15,6 +15,7 @@
 use crate::health::{HealthState, HealthTransition};
 use pbpair_codec::DecodeReport;
 use pbpair_netsim::FecOps;
+use pbpair_telemetry::slo::AlertEvent;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -144,6 +145,10 @@ pub struct ServeReport {
     pub total_fec_joules: f64,
     /// Final health tally across the fleet.
     pub health: FleetHealth,
+    /// SLO burn-rate alert transitions, in firing order (empty unless
+    /// the observability plane ran with SLOs configured). Deterministic:
+    /// the engine only sees deterministic counters.
+    pub alerts: Vec<AlertEvent>,
     /// Wall-clock measurements.
     pub timing: FleetTiming,
 }
@@ -176,6 +181,20 @@ impl ServeReport {
             self.health.quarantined,
             self.health.recovered,
         );
+        // Alert lines only when the observability plane produced any, so
+        // observability-off digests (including the committed scenario
+        // goldens) keep the pre-observability format.
+        for a in &self.alerts {
+            let _ = writeln!(
+                out,
+                "alert round={} slo={} state={} burn_fast_milli={} burn_slow_milli={}",
+                a.round,
+                a.slo,
+                a.state.label(),
+                a.burn_fast_milli,
+                a.burn_slow_milli,
+            );
+        }
         for s in &self.sessions {
             let _ = writeln!(
                 out,

@@ -568,6 +568,38 @@ impl Session {
         self.watchdog.ledger()
     }
 
+    /// Consecutive whole-frame losses ending at the last processed slot
+    /// (resets to zero the moment a frame lands).
+    pub fn lost_streak(&self) -> u64 {
+        self.lost_streak
+    }
+
+    /// Feedback staleness (frames since the last applied report) as of
+    /// the last processed frame slot; `None` before any report arrives.
+    pub fn feedback_dark(&self) -> Option<u64> {
+        self.degradation.frames_dark(self.frame.saturating_sub(1))
+    }
+
+    /// Most recent displayed-frame PSNR in milli-dB, clamped to 120 dB
+    /// because identical frames report infinite PSNR. Zero before the
+    /// first frame.
+    pub fn last_psnr_mdb(&self) -> u64 {
+        self.quality
+            .psnr_series()
+            .last()
+            .map(|p| (p.clamp(0.0, 120.0) * 1000.0).round() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Applies a fleet-level SLO alert to this session's watchdog. The
+    /// returned quarantine floor (if any) folds into the same threshold
+    /// floor the staleness path uses, so an alerting session encodes
+    /// conservatively until the ledger clears it.
+    pub fn on_slo_alert(&mut self, frame: u64, slo: &str) {
+        let floor = self.watchdog.alert(frame, slo);
+        self.watchdog_floor_th = self.watchdog_floor_th.max(floor);
+    }
+
     /// Sets the fleet-imposed threshold floor (admission control).
     pub fn set_load_floor(&mut self, th: f64) {
         self.load_floor_th = th.clamp(0.0, 1.0);

@@ -28,8 +28,9 @@ pub struct TraceDump {
     pub session: u32,
     /// Round (frame slot) the incident landed in.
     pub round: u32,
-    /// `"degraded"` (service-level transition) or `"resync"` (the
-    /// decoder scanned forward past damage this round).
+    /// `"degraded"` (service-level transition), `"resync"` (the decoder
+    /// scanned forward past damage this round), or `"slo"` (a burn-rate
+    /// alert started firing this round).
     pub reason: &'static str,
     /// Ring contents at dump time, oldest first.
     pub events: Vec<RecordedEvent>,
@@ -231,6 +232,23 @@ impl TraceState {
                 round,
                 reason: "resync",
                 events: self.tracers[id].ring_snapshot(),
+            });
+        }
+    }
+
+    /// Dumps every affected session's ring when an SLO burn-rate alert
+    /// starts firing — the metric → alert → causal-trace hop of the
+    /// observability plane. One dump per session per alerting round.
+    pub fn note_slo(&mut self, round: u32, affected: &[bool]) {
+        for (id, tracer) in self.tracers.iter().enumerate() {
+            if !affected[id] {
+                continue;
+            }
+            self.dumps.push(TraceDump {
+                session: id as u32,
+                round,
+                reason: "slo",
+                events: tracer.ring_snapshot(),
             });
         }
     }

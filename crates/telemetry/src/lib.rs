@@ -26,6 +26,13 @@
 //! `BTreeMap`); the hot path — `inc`, `record`, `observe` — touches only
 //! pre-resolved atomics.
 //!
+//! On top of the registry sits the live observability plane:
+//! [`timeseries`] turns periodic report snapshots into a ring of
+//! round-indexed delta frames (same deterministic/timing split),
+//! [`slo`] evaluates burn-rate SLOs over those frames into
+//! deterministic alert events, and [`expose`] serves the whole thing
+//! over a std-only Prometheus scrape endpoint.
+//!
 //! # Quick start
 //!
 //! ```rust
@@ -46,9 +53,14 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+pub mod expose;
 mod report;
+pub mod slo;
+pub mod timeseries;
 
-pub use report::{GaugeSnapshot, HistogramSnapshot, StageSnapshot, TelemetryReport};
+pub use report::{
+    GaugeSnapshot, HistogramDelta, HistogramSnapshot, StageSnapshot, TelemetryReport,
+};
 
 /// A cache-line-padded atomic cell: one per shard per metric, so relaxed
 /// increments from different worker threads never contend on a line.

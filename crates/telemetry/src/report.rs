@@ -12,6 +12,18 @@ use std::fmt::Write as _;
 /// Merged view of one histogram: bucket counts over inclusive upper
 /// `bounds` plus an implicit overflow bucket (`counts.len() ==
 /// bounds.len() + 1`), with total observation count and value sum.
+///
+/// # Bucket-edge convention
+///
+/// Bounds are **inclusive upper edges**: bucket `i` covers the half-open
+/// integer range `(bounds[i-1], bounds[i]]` (with an implicit lower edge
+/// of 0 for bucket 0), so a value exactly equal to a bound lands in that
+/// bound's bucket — the same convention as Prometheus `le` buckets,
+/// which lets the scrape endpoint render cumulative `le` counts without
+/// reshuffling. The regression test
+/// `histogram_buckets_are_inclusive_upper_edges` in the crate root pins
+/// this; every consumer (quantiles, JSON/CSV export, the Prometheus
+/// renderer) assumes it.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Inclusive upper bucket edges, ascending.
@@ -68,6 +80,94 @@ impl HistogramSnapshot {
         }
         self.bounds.last().copied()
     }
+
+    /// Estimated value at quantile `q` in `[0, 1]` by linear
+    /// interpolation inside the containing bucket (the standard
+    /// `histogram_quantile` estimator). Bucket `i` is treated as the
+    /// interval `(lower, bounds[i]]` where `lower` is the previous bound
+    /// (or 0 for the first bucket); the rank's position within the
+    /// bucket's count picks the point on that interval. Observations in
+    /// the overflow bucket are reported as the last finite bound — the
+    /// estimator cannot see past it. `None` when empty.
+    ///
+    /// The error versus an exact sorted reference is at most one bucket
+    /// width (property-tested in `tests/proptest_telemetry.rs`).
+    pub fn quantile_estimate(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                return Some(match self.bounds.get(i) {
+                    Some(&hi) => {
+                        let lo = if i == 0 { 0 } else { self.bounds[i - 1] };
+                        let frac = (rank - seen) as f64 / c as f64;
+                        lo as f64 + frac * (hi - lo) as f64
+                    }
+                    // Overflow bucket: clamp to the last finite edge.
+                    None => self.bounds.last().copied().unwrap_or(u64::MAX) as f64,
+                });
+            }
+            seen += c;
+        }
+        self.bounds.last().map(|&b| b as f64)
+    }
+
+    /// Median estimate ([`Self::quantile_estimate`] at 0.5).
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile_estimate(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile_estimate(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile_estimate(0.99)
+    }
+
+    /// What this snapshot accumulated since `prev`, as a slim per-bucket
+    /// delta. `prev` must be an earlier snapshot of the same histogram
+    /// (same bounds, element-wise `counts >= prev.counts`); counts are
+    /// monotone, so saturating subtraction only guards against misuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two snapshots have different bounds.
+    pub fn delta(&self, prev: &HistogramSnapshot) -> HistogramDelta {
+        assert_eq!(self.bounds, prev.bounds, "delta over mismatched histograms");
+        HistogramDelta {
+            counts: self
+                .counts
+                .iter()
+                .zip(&prev.counts)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            count: self.count.saturating_sub(prev.count),
+            sum: self.sum.saturating_sub(prev.sum),
+        }
+    }
+}
+
+/// Per-bucket increments of one histogram between two snapshots. Bounds
+/// are omitted — a delta only makes sense alongside the histogram it
+/// came from, and repeating edges every time-series tick would bloat the
+/// ring.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramDelta {
+    /// Per-bucket new observations, overflow bucket last.
+    pub counts: Vec<u64>,
+    /// New observations in the interval.
+    pub count: u64,
+    /// Sum of values observed in the interval.
+    pub sum: u64,
 }
 
 /// Last-set value and running max of a gauge.
@@ -209,7 +309,7 @@ impl TelemetryReport {
     }
 }
 
-fn write_u64_map(out: &mut String, map: &BTreeMap<String, u64>) {
+pub(crate) fn write_u64_map(out: &mut String, map: &BTreeMap<String, u64>) {
     out.push('{');
     for (i, (name, v)) in map.iter().enumerate() {
         if i > 0 {
@@ -221,7 +321,7 @@ fn write_u64_map(out: &mut String, map: &BTreeMap<String, u64>) {
     out.push('}');
 }
 
-fn write_histogram_map(out: &mut String, map: &BTreeMap<String, HistogramSnapshot>) {
+pub(crate) fn write_histogram_map(out: &mut String, map: &BTreeMap<String, HistogramSnapshot>) {
     out.push('{');
     for (i, (name, h)) in map.iter().enumerate() {
         if i > 0 {
@@ -237,7 +337,7 @@ fn write_histogram_map(out: &mut String, map: &BTreeMap<String, HistogramSnapsho
     out.push('}');
 }
 
-fn write_u64_list(out: &mut String, values: &[u64]) {
+pub(crate) fn write_u64_list(out: &mut String, values: &[u64]) {
     out.push('[');
     for (i, v) in values.iter().enumerate() {
         if i > 0 {
@@ -251,7 +351,7 @@ fn write_u64_list(out: &mut String, values: &[u64]) {
 /// Minimal JSON string escaping: quotes, backslashes, and control
 /// characters. Metric names are plain ASCII identifiers in practice,
 /// but the emitter must not produce invalid JSON for any input.
-fn write_json_string(out: &mut String, s: &str) {
+pub(crate) fn write_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -268,7 +368,7 @@ fn write_json_string(out: &mut String, s: &str) {
 
 /// Metric names avoid commas/quotes by convention; replace them if they
 /// ever appear so a row can't split.
-fn csv_field(s: &str) -> String {
+pub(crate) fn csv_field(s: &str) -> String {
     s.replace([',', '"', '\n', '\r'], "_")
 }
 
@@ -374,6 +474,75 @@ mod tests {
         assert_eq!(merged.counts, vec![4, 6, 2]);
         assert_eq!(merged.count, 12);
         assert_eq!(merged.sum, 642);
+    }
+
+    #[test]
+    fn quantile_estimate_interpolates_within_buckets() {
+        // 10 observations, all in (0, 10]: ranks map linearly onto the
+        // bucket interval, so p50 = 5.0 exactly.
+        let h = HistogramSnapshot {
+            bounds: vec![10, 100],
+            counts: vec![10, 0, 0],
+            count: 10,
+            sum: 55,
+        };
+        assert_eq!(h.quantile_estimate(0.5), Some(5.0));
+        assert_eq!(h.p50(), Some(5.0));
+        assert_eq!(h.quantile_estimate(1.0), Some(10.0));
+
+        // Mixed buckets: ranks 1-2 in (0,10], ranks 3-5 in (10,100],
+        // rank 6 in overflow (clamped to the last finite bound).
+        let h = sample_hist();
+        assert_eq!(h.quantile_estimate(0.0), Some(5.0));
+        let p50 = h.p50().unwrap();
+        assert!(p50 > 10.0 && p50 <= 100.0, "p50 {p50} in second bucket");
+        assert_eq!(h.p99(), Some(100.0), "overflow clamps to last bound");
+        assert_eq!(HistogramSnapshot::default().p95(), None);
+    }
+
+    #[test]
+    fn quantile_estimate_brackets_the_exact_quantile_bucket() {
+        // Estimate and exact reference always land in the same bucket,
+        // so they differ by at most one bucket width (the proptest in
+        // tests/proptest_telemetry.rs sweeps this; here we pin one case).
+        let values = [1u64, 2, 9, 10, 11, 40, 99, 100];
+        let bounds = [10u64, 100];
+        let mut counts = vec![0u64; 3];
+        for &v in &values {
+            counts[bounds.partition_point(|&b| b < v)] += 1;
+        }
+        let h = HistogramSnapshot {
+            bounds: bounds.to_vec(),
+            counts,
+            count: values.len() as u64,
+            sum: values.iter().sum(),
+        };
+        for q in [0.25, 0.5, 0.75, 0.95] {
+            let rank = ((q * values.len() as f64).ceil() as usize).max(1);
+            let exact = values[rank - 1] as f64;
+            let est = h.quantile_estimate(q).unwrap();
+            let width = if exact <= 10.0 { 10.0 } else { 90.0 };
+            assert!(
+                (est - exact).abs() <= width,
+                "q={q}: est {est} vs exact {exact} exceeds bucket width"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_subtracts_element_wise() {
+        let prev = sample_hist();
+        let mut cur = prev.clone();
+        cur.counts = vec![3, 5, 1];
+        cur.count = 9;
+        cur.sum = 500;
+        let d = cur.delta(&prev);
+        assert_eq!(d.counts, vec![1, 2, 0]);
+        assert_eq!(d.count, 3);
+        assert_eq!(d.sum, 179);
+        let zero = prev.delta(&prev);
+        assert_eq!(zero.count, 0);
+        assert!(zero.counts.iter().all(|&c| c == 0));
     }
 
     #[test]

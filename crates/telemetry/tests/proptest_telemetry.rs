@@ -89,4 +89,44 @@ proptest! {
         prop_assert_eq!(s.sum, values.iter().sum::<u64>());
         prop_assert_eq!(s.counts.iter().sum::<u64>(), s.count);
     }
+
+    #[test]
+    fn quantile_estimate_within_one_bucket_width_of_exact(
+        // Stay inside the finite buckets: the overflow bucket clamps to
+        // the last bound, so its error is unbounded by design.
+        mut values in prop::collection::vec(1u64..=1024, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let s = snapshot_of(&values);
+        values.sort_unstable();
+        // Exact reference: the rank-th smallest, same rank rule as the
+        // estimator (ceil, 1-based, clamped).
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1];
+        let est = s.quantile_estimate(q).unwrap();
+        // The estimate interpolates inside the bucket holding the exact
+        // rank, so it can miss by at most that bucket's width.
+        let bucket = BOUNDS.partition_point(|&b| b < exact);
+        let lo = if bucket == 0 { 0 } else { BOUNDS[bucket - 1] };
+        let width = (BOUNDS[bucket] - lo) as f64;
+        prop_assert!(
+            (est - exact as f64).abs() <= width,
+            "q={} est={} exact={} width={}", q, est, exact, width
+        );
+        // And the interpolated point never leaves the histogram range.
+        prop_assert!(est >= 0.0 && est <= *BOUNDS.last().unwrap() as f64);
+    }
+
+    #[test]
+    fn quantile_estimate_is_monotone_in_q(
+        values in prop::collection::vec(0u64..5000, 1..200),
+        qa in 0.0f64..=1.0,
+        qb in 0.0f64..=1.0,
+    ) {
+        let s = snapshot_of(&values);
+        let (lo_q, hi_q) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(
+            s.quantile_estimate(lo_q).unwrap() <= s.quantile_estimate(hi_q).unwrap()
+        );
+    }
 }
