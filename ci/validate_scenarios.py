@@ -5,6 +5,7 @@ per-scenario resilience bounds, with trend tracking.
 Usage: python3 ci/validate_scenarios.py <scenarios.json> [<bounds.json>]
        python3 ci/validate_scenarios.py --fec <fec.json> [<bounds.json>]
        python3 ci/validate_scenarios.py --dashboard <dashboard.json> [<bounds.json>]
+       python3 ci/validate_scenarios.py --rde <rde.json> [<rde_bounds.json>]
 
 Checks (default scenario mode):
   * schema: 18 cells (3 scenarios x 2 clips x 3 schemes), every field
@@ -29,6 +30,22 @@ Checks (--fec mode, against the 'fec' section of the bounds file):
   * headline claim: on the committed burst channel the adaptive
     multi-erasure arms beat fixed XOR on residual frame loss at the
     same wire budget.
+
+Checks (--rde mode, against ci/rde_bounds.json):
+  * schema: 7 arms (baseline, zero gate, five lambda points),
+    integer-only metrics, nonzero digests and PSNR;
+  * zero-lambda gate: the rde-zero arm's digest is byte-identical to
+    the pure-PBPAIR baseline's (the controller at lambda1=lambda2=0 is
+    provably inert);
+  * Pareto front: dominance is recomputed from the reported metrics,
+    the on_front flags must match it, and front membership must match
+    the committed list;
+  * weak dominance: some front arm matches or beats pure PBPAIR on
+    encode energy AND displayed quality simultaneously;
+  * energy lever: some energy-priced arm encodes strictly cheaper than
+    the baseline;
+  * committed per-arm bounds: PSNR floor (milli-dB) and encode-energy
+    ceiling (uJ), each with drift reported against the baseline.
 
 Checks (--dashboard mode, against the 'dashboard' section):
   * schema: 4 cells (3 committed scenarios + burst_kill), integer alert
@@ -264,6 +281,129 @@ def main_fec(report_path, bounds_path):
           f"burst gate holds for {', '.join(gate['better_arms'])}")
 
 
+EXPECTED_RDE_ARMS = {
+    "pbpair", "rde-zero",
+    "rde-r12", "rde-r20",
+    "rde-e4", "rde-e8",
+    "rde-r16-e4",
+}
+RDE_CELL_FIELDS = {
+    "arm": str,
+    "lambda1_q16": int,
+    "lambda2_q16": int,
+    "digest": str,
+    "frames": int,
+    "frames_lost": int,
+    "frames_damaged": int,
+    "psnr_mdb": int,
+    "encode_uj": int,
+    "sent_bytes": int,
+    "on_front": int,
+}
+
+
+def rde_dominates(a, b):
+    """Weak Pareto dominance: energy and bytes down, quality up."""
+    no_worse = (a["encode_uj"] <= b["encode_uj"]
+                and a["sent_bytes"] <= b["sent_bytes"]
+                and a["psnr_mdb"] >= b["psnr_mdb"])
+    better = (a["encode_uj"] < b["encode_uj"]
+              or a["sent_bytes"] < b["sent_bytes"]
+              or a["psnr_mdb"] > b["psnr_mdb"])
+    return no_worse and better
+
+
+def main_rde(report_path, bounds_path):
+    with open(report_path) as f:
+        doc = json.load(f)
+    with open(bounds_path) as f:
+        bounds = json.load(f)
+    arm_bounds = bounds["arms"]
+
+    if set(doc) != {"frames", "sessions", "cells"}:
+        fail(f"rde top-level keys {sorted(doc)}")
+    cells = doc["cells"]
+    if len(cells) != len(EXPECTED_RDE_ARMS):
+        fail(f"{len(cells)} rde arms != {len(EXPECTED_RDE_ARMS)}")
+
+    by_arm = {}
+    for c in cells:
+        if set(c) != set(RDE_CELL_FIELDS):
+            fail(f"rde cell keys {sorted(c)} != {sorted(RDE_CELL_FIELDS)}")
+        for field, ty in RDE_CELL_FIELDS.items():
+            if not isinstance(c[field], ty):
+                fail(f"{c['arm']}: {field} is {type(c[field]).__name__}")
+        if c["psnr_mdb"] == 0:
+            fail(f"{c['arm']}: zero PSNR")
+        if c["digest"] == "0" * 16:
+            fail(f"{c['arm']}: zero digest")
+        by_arm[c["arm"]] = c
+
+    if set(by_arm) != EXPECTED_RDE_ARMS:
+        fail(f"rde arms {sorted(by_arm)} != {sorted(EXPECTED_RDE_ARMS)}")
+    if set(by_arm) != set(arm_bounds):
+        fail(f"rde arms {sorted(by_arm)} != bounded {sorted(arm_bounds)}")
+
+    # The inert gate: the controller at zero lambda must be invisible.
+    base, zero = by_arm["pbpair"], by_arm["rde-zero"]
+    if (base["lambda1_q16"], base["lambda2_q16"]) != (0, 0):
+        fail("pbpair baseline carries nonzero lambda weights")
+    if (zero["lambda1_q16"], zero["lambda2_q16"]) != (0, 0):
+        fail("rde-zero gate carries nonzero lambda weights")
+    if zero["digest"] != base["digest"]:
+        fail(f"zero-lambda digest {zero['digest']} != pbpair {base['digest']}")
+    print(f"rde zero gate: digest {zero['digest']} identical to baseline")
+
+    # The Pareto front, recomputed from the reported metrics: the
+    # report's flags must agree, and membership must match the
+    # committed front exactly (the sweep is deterministic).
+    for c in cells:
+        dominated = any(rde_dominates(o, c) for o in cells)
+        if bool(c["on_front"]) == dominated:
+            fail(f"{c['arm']}: on_front={c['on_front']} contradicts "
+                 f"recomputed dominance")
+    observed_front = sorted(c["arm"] for c in cells if c["on_front"])
+    committed_front = sorted(bounds["front"])
+    if observed_front != committed_front:
+        fail(f"Pareto front {observed_front} != committed {committed_front}")
+    print(f"rde front: {', '.join(observed_front)}")
+
+    # The headline claims: the front weakly dominates pure PBPAIR at
+    # equal energy, and the energy price strictly cuts encode cost
+    # somewhere on the plane.
+    witnesses = [c["arm"] for c in cells if c["on_front"]
+                 and c["encode_uj"] <= base["encode_uj"]
+                 and c["psnr_mdb"] >= base["psnr_mdb"]]
+    if not witnesses:
+        fail("no front arm weakly dominates pure PBPAIR at equal energy")
+    print(f"rde dominance: {', '.join(witnesses)} weakly dominate pbpair "
+          f"({base['encode_uj']} uJ, {base['psnr_mdb']} mdB)")
+    savers = [c["arm"] for c in cells
+              if c["lambda2_q16"] > 0 and c["encode_uj"] < base["encode_uj"]]
+    if not savers:
+        fail("no energy-priced arm encoded cheaper than baseline")
+
+    # Per-arm gates: PSNR floor and encode-energy ceiling with drift.
+    for arm in sorted(by_arm):
+        c, b = by_arm[arm], arm_bounds[arm]
+        base_b = b["baseline"]
+        checks = [
+            ("psnr_mdb", c["psnr_mdb"], b["psnr_min_mdb"], "min", "mdB"),
+            ("encode_uj", c["encode_uj"], b["encode_uj_max"], "max", "uJ"),
+        ]
+        for field, observed, bound, kind, unit in checks:
+            trend = drift(observed, base_b[field])
+            print(f"{arm}: {field} = {observed} {unit} "
+                  f"(bound {kind} {bound}, drift vs baseline {trend})")
+            if kind == "min" and observed < bound:
+                fail(f"{arm}: {field} {observed} below committed floor {bound}")
+            if kind == "max" and observed > bound:
+                fail(f"{arm}: {field} {observed} above committed ceiling {bound}")
+
+    print(f"rde OK: {len(cells)} arms within committed bounds, zero gate "
+          f"holds, front dominates pure PBPAIR")
+
+
 EXPECTED_DASHBOARD_SCENARIOS = EXPECTED_SCENARIOS | {"burst_kill"}
 DASHBOARD_CELL_FIELDS = {
     "scenario": str,
@@ -343,10 +483,16 @@ if __name__ == "__main__":
     args = sys.argv[1:]
     fec_mode = "--fec" in args
     dashboard_mode = "--dashboard" in args
-    args = [a for a in args if a not in ("--fec", "--dashboard")]
-    if fec_mode and dashboard_mode:
-        fail("pick one of --fec / --dashboard")
+    rde_mode = "--rde" in args
+    args = [a for a in args if a not in ("--fec", "--dashboard", "--rde")]
+    if fec_mode + dashboard_mode + rde_mode > 1:
+        fail("pick one of --fec / --dashboard / --rde")
     if len(args) not in (1, 2):
-        fail("usage: validate_scenarios.py [--fec|--dashboard] <report.json> [<bounds.json>]")
-    entry = main_fec if fec_mode else main_dashboard if dashboard_mode else main
-    entry(args[0], args[1] if len(args) == 2 else "ci/scenario_bounds.json")
+        fail("usage: validate_scenarios.py [--fec|--dashboard|--rde] "
+             "<report.json> [<bounds.json>]")
+    entry = (main_fec if fec_mode
+             else main_dashboard if dashboard_mode
+             else main_rde if rde_mode
+             else main)
+    default_bounds = "ci/rde_bounds.json" if rde_mode else "ci/scenario_bounds.json"
+    entry(args[0], args[1] if len(args) == 2 else default_bounds)

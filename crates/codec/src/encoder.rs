@@ -48,6 +48,7 @@ use crate::policy::{
     RefreshPolicy,
 };
 use crate::quant::Qp;
+use crate::rde::{self, RdeCandidate, RdeConfig};
 use pbpair_media::{Frame, MbGrid, MbIndex, VideoFormat};
 use pbpair_sched::WorkStealingPool;
 use pbpair_telemetry::{Counter, Histogram, Stage, Telemetry};
@@ -143,6 +144,11 @@ pub struct EncoderConfig {
     /// Hot-path optimization switches (bitstream-neutral).
     #[serde(default)]
     pub opt: OptConfig,
+    /// Joint rate–distortion–energy controller ([`crate::rde`]). `None`
+    /// — and `Some` with both λ weights zero — leave every decision to
+    /// the plain policy path, bit-identically.
+    #[serde(default)]
+    pub rde: Option<RdeConfig>,
 }
 
 impl Default for EncoderConfig {
@@ -157,6 +163,7 @@ impl Default for EncoderConfig {
             half_pel: false,
             deblock: false,
             opt: OptConfig::default(),
+            rde: None,
         }
     }
 }
@@ -257,6 +264,9 @@ pub struct Encoder {
     /// Persistent bit writer, reused across frames (taken at frame start,
     /// restored after `finish_into`). Part of the zero-allocation loop.
     writer: BitWriter,
+    /// Scratch writer for RDE trial coding on the serial path (the
+    /// staged path carries one per row). Untouched when RDE is inactive.
+    rde_scratch: BitWriter,
     /// Reusable reconstruction target: after each frame it holds the
     /// retired two-frames-ago reconstruction, whose every pixel is
     /// overwritten before use (the MB grid tiles the frame exactly).
@@ -345,6 +355,7 @@ impl Encoder {
             trace: None,
             last_mb_mv: MotionVector::ZERO,
             writer: BitWriter::new(),
+            rde_scratch: BitWriter::new(),
             scratch_recon: Some(Frame::new(cfg.format)),
             prev_mvs: vec![MotionVector::ZERO; mbs],
             cur_mvs: vec![MotionVector::ZERO; mbs],
@@ -855,6 +866,7 @@ impl Encoder {
             let recon = &self.recon;
             let half_pel = self.cfg.half_pel;
             let kernels = self.kernels;
+            let rde_cfg = self.active_rde();
             let ParScratch { mbs, rows: rowscr } = &mut par;
             let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = mbs
                 .chunks_mut(cols)
@@ -882,55 +894,79 @@ impl Encoder {
                                 st.final_mode = MbMode::Intra;
                                 st.final_mv = MotionVector::ZERO;
                                 st.sad_mv = None;
-                            } else if let Some(int_mv) = st.inter_mv {
-                                let (mv, sad) = if half_pel {
-                                    let refined = me::refine_half_pel_with(
-                                        kernels,
-                                        frame.y(),
-                                        recon.y(),
-                                        mb,
-                                        int_mv,
-                                        st.me.sad,
-                                    );
-                                    rs.ops.sad_ops += refined.sad_ops;
-                                    (refined.mv, refined.sad)
-                                } else {
-                                    (SubPelVector::integer(int_mv), st.me.sad)
-                                };
-                                let final_mode = code_inter_mb(
-                                    &bcfg,
-                                    &mut rs.writer,
-                                    frame,
-                                    recon,
-                                    &mut rs.recon,
-                                    mb,
-                                    mv,
-                                    &mut rs.ops,
-                                );
-                                st.final_mode = final_mode;
-                                st.final_mv = if final_mode == MbMode::Inter {
-                                    mv.int
-                                } else {
-                                    MotionVector::ZERO
-                                };
-                                st.sad_mv = Some(sad);
                             } else {
-                                rs.writer.put_bit(false); // COD = 0: coded
-                                rs.writer.put_bit(true); // intra
-                                code_intra_mb(
-                                    &bcfg,
-                                    &mut rs.writer,
-                                    frame,
-                                    &mut rs.recon,
-                                    mb,
-                                    &mut rs.ops,
-                                );
-                                st.final_mode = MbMode::Intra;
-                                st.final_mv = MotionVector::ZERO;
-                                st.sad_mv = if st.force_intra {
-                                    None
+                                // Baseline decision (what the serial
+                                // policy path produces), with half-pel
+                                // refinement when inter survived.
+                                let baseline = if let Some(int_mv) = st.inter_mv {
+                                    let (mv, sad) = if half_pel {
+                                        let refined = me::refine_half_pel_with(
+                                            kernels,
+                                            frame.y(),
+                                            recon.y(),
+                                            mb,
+                                            int_mv,
+                                            st.me.sad,
+                                        );
+                                        rs.ops.sad_ops += refined.sad_ops;
+                                        (refined.mv, refined.sad)
+                                    } else {
+                                        (SubPelVector::integer(int_mv), st.me.sad)
+                                    };
+                                    st.sad_mv = Some(sad);
+                                    RdeCandidate::Inter(mv)
                                 } else {
-                                    Some(st.me.sad)
+                                    st.sad_mv = if st.force_intra {
+                                        None
+                                    } else {
+                                        Some(st.me.sad)
+                                    };
+                                    RdeCandidate::Intra
+                                };
+                                let final_mode = if let Some(rde_cfg) = &rde_cfg {
+                                    rde::choose_and_code_mb(
+                                        rde_cfg,
+                                        &bcfg,
+                                        &mut rs.writer,
+                                        &mut rs.rde_writer,
+                                        frame,
+                                        recon,
+                                        &mut rs.recon,
+                                        mb,
+                                        baseline,
+                                        &mut rs.ops,
+                                    )
+                                } else {
+                                    match baseline {
+                                        RdeCandidate::Inter(mv) => code_inter_mb(
+                                            &bcfg,
+                                            &mut rs.writer,
+                                            frame,
+                                            recon,
+                                            &mut rs.recon,
+                                            mb,
+                                            mv,
+                                            &mut rs.ops,
+                                        ),
+                                        _ => {
+                                            rs.writer.put_bit(false); // COD = 0: coded
+                                            rs.writer.put_bit(true); // intra
+                                            code_intra_mb(
+                                                &bcfg,
+                                                &mut rs.writer,
+                                                frame,
+                                                &mut rs.recon,
+                                                mb,
+                                                &mut rs.ops,
+                                            );
+                                            MbMode::Intra
+                                        }
+                                    }
+                                };
+                                st.final_mode = final_mode;
+                                st.final_mv = match (final_mode, baseline) {
+                                    (MbMode::Inter, RdeCandidate::Inter(mv)) => mv.int,
+                                    _ => MotionVector::ZERO,
                                 };
                             }
                             st.bit_start = bit_start;
@@ -1022,6 +1058,12 @@ impl Encoder {
             }
         }
         self.par = Some(par);
+    }
+
+    /// The RDE configuration, only when it actually reprices decisions
+    /// (the zero-λ gate: `None` and zero-λ configs are the same encoder).
+    fn active_rde(&self) -> Option<RdeConfig> {
+        self.cfg.rde.filter(|r| r.is_active())
     }
 
     /// The block-coding parameters for the current frame.
@@ -1157,23 +1199,43 @@ impl Encoder {
             }
         };
 
-        let final_mode = match mode {
-            MbMode::Intra => {
-                w.put_bit(false); // COD = 0: coded
-                w.put_bit(true); // intra
-                code_intra_mb(&self.block_cfg(), w, frame, new_recon, mb, &mut self.ops);
-                MbMode::Intra
-            }
-            _ => code_inter_mb(
-                &self.block_cfg(),
+        let bcfg = self.block_cfg();
+        let final_mode = if let Some(rde_cfg) = self.active_rde() {
+            let baseline = match mode {
+                MbMode::Intra => RdeCandidate::Intra,
+                _ => RdeCandidate::Inter(mv),
+            };
+            rde::choose_and_code_mb(
+                &rde_cfg,
+                &bcfg,
                 w,
+                &mut self.rde_scratch,
                 frame,
                 &self.recon,
                 new_recon,
                 mb,
-                mv,
+                baseline,
                 &mut self.ops,
-            ),
+            )
+        } else {
+            match mode {
+                MbMode::Intra => {
+                    w.put_bit(false); // COD = 0: coded
+                    w.put_bit(true); // intra
+                    code_intra_mb(&bcfg, w, frame, new_recon, mb, &mut self.ops);
+                    MbMode::Intra
+                }
+                _ => code_inter_mb(
+                    &bcfg,
+                    w,
+                    frame,
+                    &self.recon,
+                    new_recon,
+                    mb,
+                    mv,
+                    &mut self.ops,
+                ),
+            }
         };
 
         let outcome_mv = if final_mode == MbMode::Inter {

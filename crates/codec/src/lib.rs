@@ -60,6 +60,7 @@ pub(crate) mod par;
 pub mod policy;
 pub mod quant;
 pub mod rate;
+pub mod rde;
 pub mod vlc;
 pub mod zigzag;
 
@@ -76,3 +77,7 @@ pub use policy::{
 };
 pub use quant::Qp;
 pub use rate::RateController;
+pub use rde::{
+    bisect_min_lambda, BisectOutcome, EnergyPrice, FrameLambdaAdapter, RdeConfig, LAMBDA_ONE,
+    PJ_PER_NJ, PJ_PER_UJ,
+};

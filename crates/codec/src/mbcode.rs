@@ -22,6 +22,7 @@ use crate::mb::{MbMode, SubPelVector};
 use crate::mc::{predict_chroma_subpel_with, predict_luma_subpel_with, CHROMA_BLOCK, LUMA_BLOCK};
 use crate::ops::OpCounts;
 use crate::quant::{dequantize_block, quantize_block, Qp};
+use crate::rde::{mc_read_bytes, MB_FOOTPRINT_BYTES};
 use crate::vlc;
 use crate::zigzag;
 use pbpair_media::{Frame, MbIndex};
@@ -74,6 +75,7 @@ pub(crate) fn code_intra_mb(
 ) {
     let (lx, ly) = mb.luma_origin();
     let (cx, cy) = mb.chroma_origin();
+    ops.recon_write_bytes += MB_FOOTPRINT_BYTES;
     // Block order: Y0 Y1 Y2 Y3 (raster 8×8 quadrants), Cb, Cr.
     let mut levels = [[0i32; 64]; 6];
     let mut cbp = 0u8;
@@ -148,6 +150,8 @@ pub(crate) fn code_inter_mb(
     predict_chroma_subpel_with(cfg.kernels, reference.cr(), mb, mv, &mut pred_cr);
     ops.mc_luma_blocks += 1;
     ops.mc_chroma_blocks += 2;
+    ops.ref_read_bytes += mc_read_bytes(mv);
+    ops.recon_write_bytes += MB_FOOTPRINT_BYTES;
 
     // Residual transform per block.
     let sub = [(0usize, 0usize), (8, 0), (0, 8), (8, 8)];
@@ -276,4 +280,37 @@ pub(crate) fn code_inter_mb(
         }
     }
     MbMode::Inter
+}
+
+/// Codes one macroblock as an explicit skip: a single COD bit and a
+/// colocated (zero-vector) reference copy into the reconstruction. This
+/// is what the RDE controller emits when it *chooses* skip outright — it
+/// genuinely performs only the copy, unlike the demotion path of
+/// [`code_inter_mb`], which discovers the skip after full transform work.
+/// Bit-identical on the wire to a demoted skip.
+pub(crate) fn code_skip_mb(
+    w: &mut BitWriter,
+    reference: &Frame,
+    new_recon: &mut Frame,
+    mb: MbIndex,
+    ops: &mut OpCounts,
+) -> MbMode {
+    let (lx, ly) = mb.luma_origin();
+    let (cx, cy) = mb.chroma_origin();
+    w.put_bit(true); // COD = 1: skipped
+    for y in 0..16 {
+        let row = &reference.y().row(ly + y)[lx..lx + 16];
+        new_recon.y_mut().row_mut(ly + y)[lx..lx + 16].copy_from_slice(row);
+    }
+    for y in 0..8 {
+        let cb = &reference.cb().row(cy + y)[cx..cx + 8];
+        new_recon.cb_mut().row_mut(cy + y)[cx..cx + 8].copy_from_slice(cb);
+        let cr = &reference.cr().row(cy + y)[cx..cx + 8];
+        new_recon.cr_mut().row_mut(cy + y)[cx..cx + 8].copy_from_slice(cr);
+    }
+    ops.mc_luma_blocks += 1;
+    ops.mc_chroma_blocks += 2;
+    ops.ref_read_bytes += MB_FOOTPRINT_BYTES;
+    ops.recon_write_bytes += MB_FOOTPRINT_BYTES;
+    MbMode::Skip
 }

@@ -47,6 +47,15 @@ pub struct OpCounts {
     pub mc_chroma_blocks: u64,
     /// Bits produced by the entropy coder.
     pub bits_emitted: u64,
+    /// Reference-frame bytes read by motion-compensated prediction (the
+    /// luma + chroma prediction windows, including the extra row/column a
+    /// half-pel interpolation touches). Counted at the macroblock level,
+    /// independent of the SIMD kernel tier in use.
+    pub ref_read_bytes: u64,
+    /// Reconstruction bytes written back by the coding loop (every coded
+    /// or skipped macroblock stores its 384-byte YCbCr footprint exactly
+    /// once). Kernel-tier independent, like `ref_read_bytes`.
+    pub recon_write_bytes: u64,
 }
 
 impl OpCounts {
@@ -96,6 +105,8 @@ impl Add for OpCounts {
             mc_luma_blocks: self.mc_luma_blocks + rhs.mc_luma_blocks,
             mc_chroma_blocks: self.mc_chroma_blocks + rhs.mc_chroma_blocks,
             bits_emitted: self.bits_emitted + rhs.bits_emitted,
+            ref_read_bytes: self.ref_read_bytes + rhs.ref_read_bytes,
+            recon_write_bytes: self.recon_write_bytes + rhs.recon_write_bytes,
         }
     }
 }
@@ -132,6 +143,8 @@ impl Sub for OpCounts {
             mc_luma_blocks: self.mc_luma_blocks - rhs.mc_luma_blocks,
             mc_chroma_blocks: self.mc_chroma_blocks - rhs.mc_chroma_blocks,
             bits_emitted: self.bits_emitted - rhs.bits_emitted,
+            ref_read_bytes: self.ref_read_bytes - rhs.ref_read_bytes,
+            recon_write_bytes: self.recon_write_bytes - rhs.recon_write_bytes,
         }
     }
 }
@@ -163,10 +176,14 @@ mod tests {
             mc_luma_blocks: 12,
             mc_chroma_blocks: 13,
             bits_emitted: 14,
+            ref_read_bytes: 15,
+            recon_write_bytes: 16,
         };
         let sum = a + a;
         assert_eq!(sum.frames, 2);
         assert_eq!(sum.bits_emitted, 28);
+        assert_eq!(sum.ref_read_bytes, 30);
+        assert_eq!(sum.recon_write_bytes, 32);
         assert_eq!(sum.total_mbs(), 18);
         let mut b = OpCounts::new();
         b += a;

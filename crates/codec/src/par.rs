@@ -76,6 +76,9 @@ pub(crate) struct RowScratch {
     pub ops: OpCounts,
     /// Motion searches this row performed.
     pub me_invocations: u32,
+    /// Scratch writer for RDE trial coding; untouched when the joint
+    /// controller is inactive.
+    pub rde_writer: BitWriter,
 }
 
 /// Persistent scratch for the staged pipeline, lazily created on the
@@ -100,6 +103,7 @@ impl ParScratch {
                     recon: Frame::new(format),
                     ops: OpCounts::new(),
                     me_invocations: 0,
+                    rde_writer: BitWriter::new(),
                 })
                 .collect(),
         }

@@ -23,9 +23,11 @@
 pub mod battery;
 pub mod dvs;
 pub mod model;
+pub mod price;
 pub mod profile;
 
 pub use battery::Battery;
 pub use dvs::{DvfsGovernor, DvfsLevel, XSCALE_LEVELS};
 pub use model::{EnergyBreakdown, EnergyModel, Joules};
+pub use price::{nj_to_pj, rde_price};
 pub use profile::{DeviceProfile, IPAQ_H5555, ZAURUS_SL5600};

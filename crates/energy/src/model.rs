@@ -141,8 +141,32 @@ impl EnergyModel {
 
     /// Total *encoding* energy — the quantity of the paper's Figure 5(d)
     /// ("active energy, i.e., the total energy minus the idle energy").
+    ///
+    /// Deliberately does **not** include the memory-traffic term
+    /// ([`EnergyModel::memory_energy`]): the committed scenario, FEC,
+    /// and dashboard bounds in `ci/` were measured against this compute
+    /// total, and the RDE layer prices memory separately.
     pub fn encoding_energy(&self, ops: &OpCounts) -> Joules {
         self.breakdown(ops).total()
+    }
+
+    /// Energy of the coding loop's external-memory traffic:
+    /// reference-window reads and reconstruction writes, as counted
+    /// kernel-tier-independently by the codec.
+    pub fn memory_energy(&self, ops: &OpCounts) -> Joules {
+        let p = &self.profile;
+        Joules(
+            (ops.ref_read_bytes as f64 * p.mem_read_byte_nj
+                + ops.recon_write_bytes as f64 * p.mem_write_byte_nj)
+                * 1e-9,
+        )
+    }
+
+    /// Encoding energy extended with the memory-traffic term — the `E`
+    /// the joint RDE controller prices (per Guo et al.'s memory-aware
+    /// power analysis; see DESIGN.md "Joint RDE control").
+    pub fn encoding_energy_with_memory(&self, ops: &OpCounts) -> Joules {
+        self.encoding_energy(ops) + self.memory_energy(ops)
     }
 
     /// Radio energy to transmit `bits` of payload.

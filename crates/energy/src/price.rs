@@ -1,0 +1,148 @@
+//! Fixed-point bridge between the float energy model and the codec's
+//! integer RDE prices.
+//!
+//! The repo carries exactly one documented fixed-point energy scale:
+//! **microjoules at 1e-6 resolution**, i.e. integer **picojoules**, with
+//! [`pbpair_codec::PJ_PER_UJ`] pJ per µJ. The device profiles are
+//! authored in nanojoules (floats), and every per-op constant in both
+//! committed profiles is an exact multiple of 0.001 nJ = 1 pJ, so the
+//! conversion here is exact — [`nj_to_pj`] asserts it rather than
+//! rounding silently. The unit tests below are the cross-crate scale
+//! audit: the codec's default [`EnergyPrice`] must equal the converted
+//! iPAQ profile, and the FEC charging constants must sit on the same
+//! grid, so no crate can drift onto a private scale.
+
+use crate::profile::DeviceProfile;
+use pbpair_codec::rde::{EnergyPrice, PJ_PER_NJ, PJ_PER_UJ};
+
+// The scale contract, checked at compile time: the codec's µJ and nJ
+// fixed-point factors must agree with each other and with the SI ladder
+// this crate converts along.
+const _: () = assert!(PJ_PER_UJ == 1_000_000);
+const _: () = assert!(PJ_PER_NJ == 1_000);
+const _: () = assert!(PJ_PER_NJ * 1_000 == PJ_PER_UJ);
+
+/// Converts a profile constant from nanojoules to exact integer
+/// picojoules.
+///
+/// # Panics
+///
+/// Panics if the value is negative or does not sit on the 1 pJ grid —
+/// a profile edit that breaks the documented fixed-point scale should
+/// fail loudly, not round quietly.
+pub fn nj_to_pj(nj: f64) -> u64 {
+    let pj = nj * PJ_PER_NJ as f64;
+    let rounded = pj.round();
+    assert!(
+        pj >= 0.0 && (pj - rounded).abs() < 1e-6,
+        "{nj} nJ is not an exact picojoule multiple; profile constants \
+         must respect the documented 1e-6 µJ fixed-point scale"
+    );
+    rounded as u64
+}
+
+/// The integer RDE price table of a device profile (exact nJ→pJ
+/// conversion of the op classes a macroblock decision controls).
+pub fn rde_price(profile: &DeviceProfile) -> EnergyPrice {
+    EnergyPrice {
+        dct_block_pj: nj_to_pj(profile.dct_block_nj),
+        idct_block_pj: nj_to_pj(profile.idct_block_nj),
+        quant_block_pj: nj_to_pj(profile.quant_block_nj),
+        dequant_block_pj: nj_to_pj(profile.dequant_block_nj),
+        mc_luma_pj: nj_to_pj(profile.mc_luma_nj),
+        mc_chroma_pj: nj_to_pj(profile.mc_chroma_nj),
+        vlc_bit_pj: nj_to_pj(profile.vlc_bit_nj),
+        mb_overhead_pj: nj_to_pj(profile.mb_overhead_nj),
+        mem_read_byte_pj: nj_to_pj(profile.mem_read_byte_nj),
+        mem_write_byte_pj: nj_to_pj(profile.mem_write_byte_nj),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::EnergyModel;
+    use crate::profile::{IPAQ_H5555, ZAURUS_SL5600};
+    use pbpair_codec::OpCounts;
+
+    #[test]
+    fn codec_default_price_is_the_converted_ipaq_profile() {
+        // The cross-crate scale pin: if either side changes its constants
+        // or its fixed-point scale unilaterally, this fails.
+        assert_eq!(EnergyPrice::default(), rde_price(&IPAQ_H5555));
+    }
+
+    #[test]
+    fn every_profile_constant_sits_on_the_picojoule_grid() {
+        // The audit of satellite concern: all per-op charges — encoding
+        // *and* FEC — are exact multiples of the documented scale, so
+        // integer and float pipelines can never disagree by rounding.
+        for p in DeviceProfile::paper_devices() {
+            for nj in [
+                p.sad_op_nj,
+                p.dct_block_nj,
+                p.idct_block_nj,
+                p.quant_block_nj,
+                p.dequant_block_nj,
+                p.mc_luma_nj,
+                p.mc_chroma_nj,
+                p.vlc_bit_nj,
+                p.mb_overhead_nj,
+                p.frame_overhead_nj,
+                p.tx_bit_nj,
+                p.fec_xor_byte_nj,
+                p.fec_gf_byte_nj,
+                p.mem_read_byte_nj,
+                p.mem_write_byte_nj,
+            ] {
+                let _ = nj_to_pj(nj); // panics off-grid
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed-point scale")]
+    fn off_grid_constant_is_rejected() {
+        let _ = nj_to_pj(2.5001234);
+    }
+
+    #[test]
+    fn integer_price_matches_the_float_model() {
+        // Pricing a candidate's ops in integer pJ must agree with the
+        // float Joules model (compute-without-ME-and-overheads plus
+        // memory plus entropy) to float precision.
+        let ops = OpCounts {
+            dct_blocks: 6,
+            idct_blocks: 6,
+            quant_blocks: 6,
+            dequant_blocks: 6,
+            mc_luma_blocks: 1,
+            mc_chroma_blocks: 2,
+            ref_read_bytes: 418,
+            recon_write_bytes: 384,
+            ..OpCounts::default()
+        };
+        let bits = 173u64;
+        for p in DeviceProfile::paper_devices() {
+            let price = rde_price(&p);
+            let pj = price.mb_energy_pj(&ops, bits);
+            let model = EnergyModel::new(p);
+            let float_j = model.encoding_energy_with_memory(&ops).get()
+                + (bits as f64 * p.vlc_bit_nj + p.mb_overhead_nj) * 1e-9;
+            let int_j = pj as f64 * 1e-12;
+            assert!(
+                (float_j - int_j).abs() < 1e-12,
+                "{}: integer {int_j} J vs float {float_j} J",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn zaurus_memory_is_cheaper_than_ipaq() {
+        let z = rde_price(&ZAURUS_SL5600);
+        let i = rde_price(&IPAQ_H5555);
+        assert!(z.mem_read_byte_pj < i.mem_read_byte_pj);
+        assert!(z.mem_write_byte_pj < i.mem_write_byte_pj);
+    }
+}

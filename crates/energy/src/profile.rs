@@ -57,6 +57,12 @@ pub struct DeviceProfile {
     /// One byte-wide GF(256) multiply-accumulate (two table lookups in
     /// cached SRAM plus an XOR — ~5 cycles).
     pub fec_gf_byte_nj: f64,
+    /// Reading one reference-frame byte from SDRAM in the prediction
+    /// loop (amortized burst read, ~2 cycles/byte on the PXA bus).
+    pub mem_read_byte_nj: f64,
+    /// Writing one reconstruction byte back to SDRAM (write buffers
+    /// drain slower than reads fill, ~3 cycles/byte).
+    pub mem_write_byte_nj: f64,
 }
 
 /// HP iPAQ H5555: 400 MHz PXA255, 128 MB SDRAM, integrated 802.11b.
@@ -75,6 +81,8 @@ pub const IPAQ_H5555: DeviceProfile = DeviceProfile {
     tx_bit_nj: 120.0,
     fec_xor_byte_nj: 1.25,
     fec_gf_byte_nj: 6.25,
+    mem_read_byte_nj: 2.5,
+    mem_write_byte_nj: 3.75,
 };
 
 /// Sharp Zaurus SL-5600: 400 MHz PXA250, 32 MB SDRAM, CF 802.11b card.
@@ -95,6 +103,8 @@ pub const ZAURUS_SL5600: DeviceProfile = DeviceProfile {
     tx_bit_nj: 160.0,
     fec_xor_byte_nj: 1.1,
     fec_gf_byte_nj: 5.5,
+    mem_read_byte_nj: 2.2,
+    mem_write_byte_nj: 3.3,
 };
 
 impl DeviceProfile {
@@ -138,6 +148,8 @@ mod tests {
                 p.tx_bit_nj,
                 p.fec_xor_byte_nj,
                 p.fec_gf_byte_nj,
+                p.mem_read_byte_nj,
+                p.mem_write_byte_nj,
             ] {
                 assert!(v > 0.0, "{}: non-positive cost", p.name);
             }

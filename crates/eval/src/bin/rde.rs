@@ -1,0 +1,132 @@
+//! RDE λ-plane sweep: the pure-PBPAIR baseline, the inert zero-λ gate,
+//! and five (λ1, λ2) operating points, each a full fleet run on the
+//! committed Markov burst-erasure channel, reduced to a Pareto front
+//! over (encode energy, wire bytes, displayed quality).
+//!
+//! Usage: `cargo run --release -p pbpair-eval --bin rde \
+//!   [-- --smoke] [--workers N] [--out <path>] [--telemetry]`
+//!
+//! The deterministic JSON report goes to stdout by default; `--out
+//! <path>` redirects it to a file (the human table then stays on
+//! stdout, otherwise it moves to stderr so stdout remains
+//! machine-parseable). The JSON is byte-identical for any `--workers N`
+//! — `ci/validate_scenarios.py --rde` gates the committed front and
+//! per-arm bounds in `ci/rde_bounds.json` on it. `PBPAIR_FRAMES`
+//! overrides the frames-per-session depth.
+//!
+//! `--telemetry` instruments every arm's fleet into one shared registry
+//! and prints the full [`pbpair_telemetry::TelemetryReport`] as JSON on
+//! stdout (same flag semantics as the fec binary).
+
+use pbpair_eval::experiments::frames_from_env;
+use pbpair_eval::experiments::rde::run_rde_sweep_instrumented;
+use pbpair_telemetry::Telemetry;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let workers = flag_value(&args, "--workers")
+        .map(|v| {
+            v.parse::<usize>()
+                .unwrap_or_else(|_| panic!("--workers expects a number, got {v:?}"))
+        })
+        .unwrap_or(2);
+    let out_path = flag_value(&args, "--out");
+
+    let (frames, sessions) = if smoke {
+        (frames_from_env(48), 2)
+    } else {
+        (frames_from_env(96), 4)
+    };
+
+    let telemetry = args.iter().any(|a| a == "--telemetry");
+    eprintln!("rde: 7 lambda arms, {sessions} sessions x {frames} frames/arm, {workers} workers");
+    let tel = if telemetry {
+        Telemetry::with_config(sessions, true)
+    } else {
+        Telemetry::disabled()
+    };
+    let sweep = match run_rde_sweep_instrumented(frames, sessions, workers, &tel) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rde sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let json = sweep.deterministic_json();
+    let table = sweep.table().to_string();
+    match &out_path {
+        Some(path) => {
+            println!("{table}");
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("deterministic rde report written to {path}");
+        }
+        None => {
+            eprintln!("{table}");
+            if telemetry {
+                // Telemetry owns stdout; keep the report reachable.
+                eprintln!("{json}");
+            } else {
+                println!("{json}");
+            }
+        }
+    }
+    if telemetry {
+        println!("{}", tel.report().to_json());
+    }
+
+    if smoke {
+        // Smoke gates: full grid coverage with usable output, the inert
+        // zero-λ gate byte-identical to pure PBPAIR, the front weakly
+        // dominating the baseline at equal energy, and the energy lever
+        // strictly engaging somewhere on the plane.
+        if sweep.cells.len() != 7 {
+            eprintln!(
+                "smoke gate failed: expected 7 arms, got {}",
+                sweep.cells.len()
+            );
+            std::process::exit(1);
+        }
+        if sweep.cells.iter().any(|c| c.psnr_mdb == 0 || c.digest == 0) {
+            eprintln!("smoke gate failed: an arm produced no usable output");
+            std::process::exit(1);
+        }
+        let base = sweep.cell("pbpair").expect("committed arm");
+        let zero = sweep.cell("rde-zero").expect("committed arm");
+        if zero.digest != base.digest {
+            eprintln!(
+                "smoke gate failed: zero-lambda digest {:016x} != pbpair {:016x}",
+                zero.digest, base.digest
+            );
+            std::process::exit(1);
+        }
+        if !sweep
+            .front()
+            .iter()
+            .any(|c| c.encode_uj <= base.encode_uj && c.psnr_mdb >= base.psnr_mdb)
+        {
+            eprintln!("smoke gate failed: no front arm weakly dominates pure PBPAIR");
+            std::process::exit(1);
+        }
+        if !sweep
+            .cells
+            .iter()
+            .filter(|c| c.lambda2_q16 > 0)
+            .any(|c| c.encode_uj < base.encode_uj)
+        {
+            eprintln!("smoke gate failed: no energy-priced arm encoded cheaper than baseline");
+            std::process::exit(1);
+        }
+    }
+}

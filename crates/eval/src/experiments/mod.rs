@@ -9,6 +9,7 @@ pub mod fec;
 pub mod fig5;
 pub mod fig6;
 pub mod headline;
+pub mod rde;
 pub mod resilience;
 pub mod scenarios;
 pub mod sweeps;

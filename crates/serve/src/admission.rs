@@ -52,6 +52,16 @@ pub struct AdmissionConfig {
     /// While rate-dropping, every `rate_drop_stride`-th frame of each
     /// degraded session is skipped (must be ≥ 2).
     pub rate_drop_stride: u64,
+    /// Shed ranking metric. `false` (the default, and the behaviour of
+    /// every committed scenario digest) sheds the session with the
+    /// highest raw round energy. `true` ranks by **Joules per quality
+    /// point** — round energy divided by the session's delivered
+    /// quality, where the manager supplies quality as the last
+    /// displayed PSNR discounted by the encoder's `C^k` expected-damage
+    /// forecast — so the controller sheds the session spending the most
+    /// energy per unit of quality it actually delivers to a viewer.
+    #[serde(default)]
+    pub rank_energy_per_quality: bool,
 }
 
 impl Default for AdmissionConfig {
@@ -64,6 +74,7 @@ impl Default for AdmissionConfig {
             recover_lag: 0.5,
             degrade_floor_th: 0.995,
             rate_drop_stride: 3,
+            rank_energy_per_quality: false,
         }
     }
 }
@@ -100,6 +111,27 @@ impl AdmissionConfig {
         Ok(())
     }
 }
+
+/// One live session's contribution to a finished round, as the manager
+/// reports it to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionRoundCost {
+    /// Session id.
+    pub id: u32,
+    /// Modeled compute Joules the session spent this round (encode plus
+    /// FEC processing).
+    pub joules: f64,
+    /// Delivered quality in points — the manager supplies the last
+    /// displayed PSNR in dB, discounted by the encoder's `C^k`
+    /// expected-damage forecast. Only consulted when
+    /// [`AdmissionConfig::rank_energy_per_quality`] is set.
+    pub quality: f64,
+}
+
+/// Quality floor used when ranking by Joules per quality point: a
+/// session that has delivered no measurable quality yet (or reports
+/// zero) ranks as maximally expensive rather than dividing by zero.
+const MIN_QUALITY_POINTS: f64 = 1e-3;
 
 /// The fleet-level service state the controller is in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -176,8 +208,30 @@ impl AdmissionController {
 
     /// Feeds one finished round: `(session id, encode Joules)` for every
     /// session that stepped. Returns the decision for the next round.
+    ///
+    /// Legacy entry point: every session's quality is taken as one
+    /// point, so shedding ranks by raw Joules regardless of
+    /// [`AdmissionConfig::rank_energy_per_quality`].
     pub fn observe_round(&mut self, round_cost: &[(u32, f64)]) -> RoundDecision {
-        let spent: f64 = round_cost.iter().map(|&(_, j)| j).sum();
+        let costs: Vec<SessionRoundCost> = round_cost
+            .iter()
+            .map(|&(id, joules)| SessionRoundCost {
+                id,
+                joules,
+                quality: 1.0,
+            })
+            .collect();
+        self.observe_round_ranked(&costs)
+    }
+
+    /// Feeds one finished round with per-session delivered quality.
+    /// Identical to [`AdmissionController::observe_round`] except that,
+    /// with [`AdmissionConfig::rank_energy_per_quality`] set, the shed
+    /// ranking key becomes `joules / quality` (Joules per quality
+    /// point) instead of raw Joules. Lag accounting is unchanged —
+    /// quality never buys capacity, it only chooses the victim.
+    pub fn observe_round_ranked(&mut self, round_cost: &[SessionRoundCost]) -> RoundDecision {
+        let spent: f64 = round_cost.iter().map(|c| c.joules).sum();
         self.lag_j = (self.lag_j + spent - self.cfg.capacity_j_per_round).max(0.0);
         let lag = self.lag();
 
@@ -197,17 +251,26 @@ impl AdmissionController {
         }
 
         let shed = if lag > self.cfg.shed_lag {
-            // Shed the costliest session; ties break to the lowest id so
-            // the choice is independent of observation order.
+            // Shed the costliest session by the configured metric; ties
+            // break to the lowest id so the choice is independent of
+            // observation order.
+            let key = |c: &SessionRoundCost| {
+                if self.cfg.rank_energy_per_quality {
+                    c.joules / c.quality.max(MIN_QUALITY_POINTS)
+                } else {
+                    c.joules
+                }
+            };
             round_cost
                 .iter()
                 .copied()
                 .max_by(|a, b| {
-                    a.1.partial_cmp(&b.1)
-                        .expect("energy is never NaN")
-                        .then(b.0.cmp(&a.0))
+                    key(a)
+                        .partial_cmp(&key(b))
+                        .expect("energy and quality are never NaN")
+                        .then(b.id.cmp(&a.id))
                 })
-                .map(|(id, _)| id)
+                .map(|c| c.id)
         } else {
             None
         };
@@ -242,6 +305,7 @@ mod tests {
             recover_lag: 0.5,
             degrade_floor_th: 0.99,
             rate_drop_stride: 3,
+            rank_energy_per_quality: false,
         }
     }
 
@@ -308,6 +372,90 @@ mod tests {
         }
         let d = c.observe_round(&[(7, 30.0), (3, 30.0)]);
         assert_eq!(d.shed, Some(3));
+    }
+
+    #[test]
+    fn quality_ranking_sheds_the_least_efficient_session_not_the_costliest() {
+        // Session 0: 30 J for 40 quality points → 0.75 J/point.
+        // Session 1: 20 J for 10 quality points → 2.0 J/point.
+        // Raw-energy ranking sheds 0; per-quality ranking sheds 1.
+        let round = [
+            SessionRoundCost {
+                id: 0,
+                joules: 30.0,
+                quality: 40.0,
+            },
+            SessionRoundCost {
+                id: 1,
+                joules: 20.0,
+                quality: 10.0,
+            },
+        ];
+        let mut raw = AdmissionController::new(cfg()).unwrap();
+        let mut ranked = AdmissionController::new(AdmissionConfig {
+            rank_energy_per_quality: true,
+            ..cfg()
+        })
+        .unwrap();
+        let mut shed_raw = None;
+        let mut shed_ranked = None;
+        for _ in 0..100 {
+            shed_raw = shed_raw.or(raw.observe_round_ranked(&round).shed);
+            shed_ranked = shed_ranked.or(ranked.observe_round_ranked(&round).shed);
+        }
+        assert_eq!(shed_raw, Some(0), "raw metric sheds the costliest");
+        assert_eq!(
+            shed_ranked,
+            Some(1),
+            "per-quality metric sheds the worst Joules-per-point"
+        );
+    }
+
+    #[test]
+    fn zero_quality_session_ranks_as_maximally_expensive() {
+        let round = [
+            SessionRoundCost {
+                id: 0,
+                joules: 50.0,
+                quality: 30.0,
+            },
+            // Delivered nothing yet: must be the shed candidate even
+            // with far less raw energy, and must not divide by zero.
+            SessionRoundCost {
+                id: 1,
+                joules: 1.0,
+                quality: 0.0,
+            },
+        ];
+        let mut c = AdmissionController::new(AdmissionConfig {
+            rank_energy_per_quality: true,
+            ..cfg()
+        })
+        .unwrap();
+        let mut shed = None;
+        for _ in 0..100 {
+            shed = shed.or(c.observe_round_ranked(&round).shed);
+        }
+        assert_eq!(shed, Some(1));
+    }
+
+    #[test]
+    fn legacy_observe_round_is_unchanged_by_the_ranking_flag() {
+        // Through the tuple entry point every quality is one point, so
+        // the flag must not alter which session is shed.
+        let round = [(0u32, 30.0f64), (1, 20.0)];
+        let mut raw = AdmissionController::new(cfg()).unwrap();
+        let mut flagged = AdmissionController::new(AdmissionConfig {
+            rank_energy_per_quality: true,
+            ..cfg()
+        })
+        .unwrap();
+        for _ in 0..100 {
+            let a = raw.observe_round(&round);
+            let b = flagged.observe_round(&round);
+            assert_eq!(a.shed, b.shed);
+            assert_eq!(a.level, b.level);
+        }
     }
 
     #[test]

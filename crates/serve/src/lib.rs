@@ -50,7 +50,9 @@ pub mod sched;
 pub mod session;
 pub mod trace;
 
-pub use admission::{AdmissionConfig, AdmissionController, RoundDecision, ServiceLevel};
+pub use admission::{
+    AdmissionConfig, AdmissionController, RoundDecision, ServiceLevel, SessionRoundCost,
+};
 pub use chaos::{ChaosEvent, ChaosFault, ChaosPlan};
 pub use health::{HealthLedger, HealthState, HealthTransition, StalenessWatchdog, WatchdogConfig};
 pub use manager::{

@@ -16,7 +16,7 @@
 //! keeps admission decisions on that deterministic side of the line:
 //! the controller always observes complete rounds in session-id order.
 
-use crate::admission::{AdmissionConfig, AdmissionController};
+use crate::admission::{AdmissionConfig, AdmissionController, SessionRoundCost};
 use crate::chaos::ChaosPlan;
 use crate::health::WatchdogConfig;
 use crate::observe::{
@@ -27,6 +27,7 @@ use crate::report::{quantile_ms, FleetHealth, FleetTiming, ServeReport, SessionR
 use crate::sched::WorkStealingPool;
 use crate::session::{DeviceKind, FrameOutcome, Session, SessionConfig, SessionScheme};
 use crate::trace::{FleetTrace, TraceState};
+use pbpair_codec::RdeConfig;
 use pbpair_media::synth::MotionClass;
 use pbpair_netsim::{ChannelSpec, FecSpec, RetryConfig};
 use pbpair_telemetry::Telemetry;
@@ -106,6 +107,11 @@ pub struct ServeConfig {
     pub clip: Option<MotionClass>,
     /// Refresh scheme every session encodes with.
     pub scheme: SessionScheme,
+    /// Joint rate–distortion–energy controller for every session's
+    /// encoder (`None` or zero λ weights leave the fleet's bitstreams —
+    /// and every committed digest — unchanged).
+    #[serde(default)]
+    pub rde: Option<RdeConfig>,
     /// Device-profile assignment across sessions.
     pub device_mix: DeviceMix,
     /// Feedback-report staleness window (frames); `None` disables expiry.
@@ -144,6 +150,7 @@ impl Default for ServeConfig {
             channel: None,
             clip: None,
             scheme: SessionScheme::Pbpair,
+            rde: None,
             device_mix: DeviceMix::Uniform(DeviceKind::Ipaq),
             feedback_staleness: None,
             retry: RetryConfig::default(),
@@ -213,6 +220,7 @@ impl ServeConfig {
             cfg.class = class;
         }
         cfg.scheme = self.scheme;
+        cfg.rde = self.rde;
         cfg.device = self.device_mix.device_for(id);
         cfg.feedback_staleness = self.feedback_staleness;
         cfg.retry = self.retry;
@@ -397,7 +405,17 @@ fn run_internal(
             if let Some(outcome) = &outcome {
                 // FEC processing is session compute too; the admission
                 // controller budgets the sum (identical when FEC is off).
-                round_cost.push((id as u32, outcome.encode_joules + outcome.fec_joules));
+                // The quality term is displayed dB discounted by the
+                // session's C^k expected-damage forecast: fragile quality
+                // counts for less, so under the energy-per-quality
+                // ranking a fragile expensive session sheds first. It is
+                // ignored entirely unless that ranking is enabled.
+                let s = &slot.session;
+                round_cost.push(SessionRoundCost {
+                    id: id as u32,
+                    joules: outcome.encode_joules + outcome.fec_joules,
+                    quality: (s.last_psnr_mdb() as f64 / 1000.0) * (1.0 - s.expected_damage()),
+                });
             }
             if let Some(obs) = &obs {
                 // Live sessions only: a shed slot carries no traffic and
@@ -413,7 +431,7 @@ fn run_internal(
                 }
             }
         }
-        let decision = controller.observe_round(&round_cost);
+        let decision = controller.observe_round_ranked(&round_cost);
         floor_th = decision.floor_th;
         drop_frames = decision.drop_frames;
         final_lag = decision.lag;

@@ -27,7 +27,9 @@ use crate::health::{HealthLedger, HealthState, StalenessWatchdog, WatchdogConfig
 use crate::redundancy::{RedundancyConfig, RedundancyController};
 use pbpair::adapt::{DegradationConfig, DegradationController};
 use pbpair::{AirPolicy, GopPolicy, PbpairConfig, PbpairPolicy, PgopPolicy};
-use pbpair_codec::{DecodeReport, Decoder, Encoder, EncoderConfig, OpCounts, RefreshPolicy};
+use pbpair_codec::{
+    DecodeReport, Decoder, Encoder, EncoderConfig, OpCounts, RdeConfig, RefreshPolicy,
+};
 use pbpair_energy::{DeviceProfile, EnergyModel, IPAQ_H5555, ZAURUS_SL5600};
 use pbpair_media::metrics::QualityStats;
 use pbpair_media::synth::{MotionClass, SyntheticSequence};
@@ -154,6 +156,12 @@ pub struct SessionConfig {
     pub retry: RetryConfig,
     /// Staleness-watchdog thresholds for the session's health ledger.
     pub watchdog: WatchdogConfig,
+    /// Joint rate–distortion–energy controller for this session's
+    /// encoder ([`pbpair_codec::rde`]). `None` — and `Some` with both λ
+    /// weights zero — keep the refresh scheme's decisions bit-identical
+    /// to a plain encoder, so every committed digest is unchanged.
+    #[serde(default)]
+    pub rde: Option<RdeConfig>,
 }
 
 impl SessionConfig {
@@ -181,6 +189,7 @@ impl SessionConfig {
             feedback_staleness: None,
             retry: RetryConfig::default(),
             watchdog: WatchdogConfig::default(),
+            rde: None,
         }
     }
 }
@@ -425,7 +434,10 @@ impl Session {
         Ok(Session {
             source: SyntheticSequence::for_class(cfg.class, sub(1)),
             driver,
-            encoder: Encoder::new(EncoderConfig::default()),
+            encoder: Encoder::new(EncoderConfig {
+                rde: cfg.rde,
+                ..EncoderConfig::default()
+            }),
             decoder: Decoder::new(format),
             packetizer: Packetizer::new(cfg.mtu),
             fec,
@@ -580,6 +592,21 @@ impl Session {
         self.degradation.frames_dark(self.frame.saturating_sub(1))
     }
 
+    /// The encoder's `C^k` expected-damage forecast in `[0, 1]`: the
+    /// probability-weighted fraction of the picture a loss *now* would
+    /// visibly damage. PBPAIR sessions read it off the committed
+    /// correctness matrix (`1 − mean σ`); fixed refresh schemes carry no
+    /// per-MB forecast and report the uninformative prior 0.5. This is
+    /// the same forecast the joint redundancy controller re-rates FEC
+    /// with, and the quality discount the admission controller's
+    /// Joules-per-quality-point ranking applies.
+    pub fn expected_damage(&self) -> f64 {
+        match &self.driver {
+            SchemeDriver::Pbpair(policy) => 1.0 - policy.matrix().mean_sigma(),
+            SchemeDriver::Fixed(_) => 0.5,
+        }
+    }
+
     /// Most recent displayed-frame PSNR in milli-dB, clamped to 120 dB
     /// because identical frames report infinite PSNR. Zero before the
     /// first frame.
@@ -687,12 +714,10 @@ impl Session {
         // Joint controller: re-decide at GOP boundaries, re-rate the
         // protector when parity moves, and take over the `Intra_Th`
         // lever (the fleet and watchdog floors still outrank it).
-        if let Some(ctl) = &mut self.redundancy {
-            if now.is_multiple_of(ctl.gop()) {
-                let expected_damage = match &self.driver {
-                    SchemeDriver::Pbpair(policy) => 1.0 - policy.matrix().mean_sigma(),
-                    SchemeDriver::Fixed(_) => 0.5,
-                };
+        if let Some(gop) = self.redundancy.as_ref().map(|c| c.gop()) {
+            if now.is_multiple_of(gop) {
+                let expected_damage = self.expected_damage();
+                let ctl = self.redundancy.as_mut().expect("presence checked above");
                 let d = ctl.decide(expected_damage);
                 let want = (d.parity > 0).then(|| ctl.family().with_parity(d.parity));
                 if want != self.fec.as_ref().map(|p| p.spec()) {

@@ -1,0 +1,76 @@
+//! The joint RDE controller layered over the *PBPAIR refresh policy*
+//! (the paper's scheme, not the natural encoder): the zero-λ gate keeps
+//! PBPAIR's probability-based decisions bit-identical, and active λ
+//! points reprice those decisions exactly as they do the natural ones.
+//! This is the cross-crate half of the metamorphic battery — the codec
+//! suite proves the λ-plane properties under `NaturalPolicy`; here the
+//! baseline candidates come from PBPAIR's correctness-matrix early
+//! decisions and σ-biased motion search.
+
+use pbpair_repro::codec::policy::RefreshPolicy;
+use pbpair_repro::codec::{Encoder, EncoderConfig, MbMode, RdeConfig};
+use pbpair_repro::media::synth::SyntheticSequence;
+use pbpair_repro::media::VideoFormat;
+use pbpair_repro::schemes::{PbpairConfig, PbpairPolicy};
+
+fn encode_pbpair(rde: Option<RdeConfig>, frames: usize) -> Vec<(Vec<u8>, Vec<MbMode>, u64)> {
+    let mut enc = Encoder::new(EncoderConfig {
+        rde,
+        ..EncoderConfig::default()
+    });
+    let mut policy = PbpairPolicy::new(VideoFormat::QCIF, PbpairConfig::default())
+        .expect("default PBPAIR config is valid");
+    let mut seq = SyntheticSequence::foreman_class(2005);
+    (0..frames)
+        .map(|_| {
+            let e = enc.encode_frame(&seq.next_frame(), &mut policy as &mut dyn RefreshPolicy);
+            (e.data, e.mb_modes, e.stats.bits)
+        })
+        .collect()
+}
+
+/// `rde: None` and `rde: Some(zero λ)` produce byte-identical PBPAIR
+/// streams over eight frames: the gate bypasses trial coding entirely,
+/// so the paper's probability-based refresh decisions — including the
+/// σ-biased search and the early-intra path — are untouched.
+#[test]
+fn zero_lambda_reproduces_pbpair_decisions_bit_identically() {
+    let plain = encode_pbpair(None, 8);
+    let gated = encode_pbpair(Some(RdeConfig::default()), 8);
+    for (i, (p, g)) in plain.iter().zip(&gated).enumerate() {
+        assert_eq!(p.0, g.0, "frame {i}: PBPAIR bitstream diverged at zero λ");
+        assert_eq!(p.1, g.1, "frame {i}: PBPAIR mode map diverged at zero λ");
+    }
+}
+
+/// An active λ1 reprices PBPAIR's decisions without breaking the rate
+/// direction: the P-frame bits under a heavy bit price never exceed the
+/// unpriced PBPAIR stream's, and the saturated price strictly reduces
+/// them — i.e. the controller genuinely perturbs the scheme's
+/// `Intra_Th`-style choices rather than being inert on top of PBPAIR.
+#[test]
+fn rate_price_never_inflates_pbpair_frames() {
+    let plain = encode_pbpair(None, 4);
+    let priced = encode_pbpair(Some(RdeConfig::rate_weighted(u32::MAX)), 4);
+    let plain_bits: u64 = plain.iter().skip(1).map(|f| f.2).sum();
+    let priced_bits: u64 = priced.iter().skip(1).map(|f| f.2).sum();
+    assert!(
+        priced_bits < plain_bits,
+        "saturated λ1 left PBPAIR P-frame bits unchanged ({plain_bits})"
+    );
+}
+
+/// Saturated λ2 reaches the all-skip floor even against PBPAIR's forced
+/// intra refreshes: the controller may overrule the policy's baseline
+/// when the energy price demands it, which is exactly the authority the
+/// joint control design gives it.
+#[test]
+fn saturated_energy_price_overrules_pbpair_refreshes() {
+    let clip = encode_pbpair(Some(RdeConfig::energy_weighted(u32::MAX)), 4);
+    for (i, (_, modes, _)) in clip.iter().enumerate().skip(1) {
+        assert!(
+            modes.iter().all(|&m| m == MbMode::Skip),
+            "frame {i}: PBPAIR refresh survived a saturated energy price"
+        );
+    }
+}
